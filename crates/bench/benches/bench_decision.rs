@@ -1,0 +1,69 @@
+//! E05/E07/E08 benches: the decision procedures of Section 2 —
+//! Cooper's Presburger elimination, the ⟨ℕ,′⟩ elimination, and the
+//! Theorem 2.5 relative-safety equivalence check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fq_bench::workloads;
+use fq_core::finitize;
+use fq_core::relative::relative_safety_nat;
+use fq_domains::{DecidableTheory, NatSucc, Presburger};
+use fq_logic::parse_formula;
+
+fn bench_cooper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E05_cooper_elimination");
+    for depth in [1usize, 2, 3] {
+        let sentence = workloads::presburger_sentence(depth, 7);
+        group.bench_with_input(
+            BenchmarkId::new("alternation_depth", depth),
+            &sentence,
+            |b, s| b.iter(|| Presburger.decide(s).unwrap()),
+        );
+    }
+    // The Theorem 2.2 core check: φ ≡ finitize(φ).
+    let phi = parse_formula("x < 40 | x = 100").unwrap();
+    group.bench_function("finitization_equivalence", |b| {
+        b.iter(|| Presburger.equivalent(&phi, &finitize(&phi)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_relative_safety_nat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E07_relative_safety_nat");
+    group.sample_size(10);
+    for edges in [4usize, 8, 12] {
+        let state = workloads::genealogy_state(edges as u64 * 2, edges, 5);
+        let q = parse_formula("exists y. F(y, x)").unwrap();
+        group.bench_with_input(BenchmarkId::new("state_size", edges), &state, |b, st| {
+            b.iter(|| relative_safety_nat(st, &q, &["x".to_string()]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_nat_succ_qe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E08_nat_succ_qe");
+    let sentences = [
+        ("one_var", "exists x. x'' = 5"),
+        ("guard", "forall y. y = 0 | exists x. x' = y"),
+        ("alternation", "forall x. exists y. y = x' & y != 0"),
+    ];
+    for (name, s) in sentences {
+        let f = parse_formula(s).unwrap();
+        group.bench_with_input(BenchmarkId::new("decide", name), &f, |b, f| {
+            b.iter(|| NatSucc.decide(f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep full-workspace bench runs bounded: short warm-up and
+    // measurement windows, 10 samples per benchmark.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_cooper, bench_relative_safety_nat, bench_nat_succ_qe
+}
+criterion_main!(benches);

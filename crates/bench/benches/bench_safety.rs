@@ -1,0 +1,116 @@
+//! E03/E09/E13/E15 benches: the syntactic safety machinery and the
+//! Section 3 reductions — certification-sentence decision (the inner loop
+//! of Theorem 3.1) and the halting semi-decision of Theorem 3.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fq_bench::workloads;
+use fq_core::negative::{certification_sentence, ExactRuntimeSyntax};
+use fq_core::relative::{relative_safety_eq, relative_safety_traces};
+use fq_core::syntax::{ActiveDomainSyntax, SuccessorSyntax};
+use fq_domains::{DecidableTheory, TraceDomain};
+use fq_logic::parse_formula;
+use fq_relational::{is_safe_range, Schema};
+use fq_turing::builders;
+
+fn bench_safe_range_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E03_safe_range_check");
+    let schema = Schema::new().with_relation("F", 2);
+    for (name, q) in workloads::genealogy_queries() {
+        group.bench_with_input(BenchmarkId::new("check", name), &q, |b, q| {
+            b.iter(|| is_safe_range(&schema, q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fresh_element_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E03_fresh_element_test");
+    group.sample_size(20);
+    let q = parse_formula("!F(x, y)").unwrap();
+    for edges in [5usize, 15, 30] {
+        let state = workloads::genealogy_state(edges as u64 * 2, edges, 9);
+        group.bench_with_input(BenchmarkId::new("state_size", edges), &state, |b, st| {
+            b.iter(|| {
+                relative_safety_eq(st, &q, &["x".to_string(), "y".to_string()]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_syntax_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E09_syntax_transforms");
+    let schema = Schema::new().with_relation("F", 2);
+    let ad = ActiveDomainSyntax { schema: schema.clone() };
+    let succ = SuccessorSyntax { schema };
+    let q = parse_formula("!F(x, y)").unwrap();
+    group.bench_function("active_domain_transform", |b| b.iter(|| ad.transform(&q)));
+    group.bench_function("extended_active_domain_transform", |b| {
+        b.iter(|| succ.transform(&q))
+    });
+    group.finish();
+}
+
+fn bench_certification_sentence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_certification_decision");
+    group.sample_size(10);
+    // The Theorem 3.1 inner loop: deciding ∀z∀x(M(x)[z/c] ↔ φ_r(x)[z/c]).
+    let machines = [
+        ("halter", builders::halter()),
+        ("scanner", builders::scan_right_halt_on_blank()),
+    ];
+    for (name, m) in machines {
+        let phi = ExactRuntimeSyntax::default_candidate_for(&m);
+        let sentence = certification_sentence(&m, &phi);
+        group.bench_with_input(BenchmarkId::new("decide", name), &sentence, |b, s| {
+            b.iter(|| TraceDomain.decide(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_halting_semidecision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E15_halting_semidecision");
+    for budget in [100usize, 1_000, 10_000] {
+        let looper = builders::looper();
+        group.bench_with_input(
+            BenchmarkId::new("divergent_budget", budget),
+            &budget,
+            |b, &n| b.iter(|| relative_safety_traces(&looper, "1", n)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_finrep(c: &mut Criterion) {
+    use fq_core::finrep::FinRep;
+    let mut group = c.benchmark_group("finrep_constraint_relations");
+    let evens = FinRep::new(["x"], parse_formula("div(2, x, 0)").unwrap()).unwrap();
+    group.bench_function("membership_infinite", |b| {
+        b.iter(|| evens.contains(&[123456]).unwrap())
+    });
+    let band = FinRep::new(["x"], parse_formula("x > 5 & x < 60").unwrap()).unwrap();
+    group.bench_function("finiteness_check", |b| b.iter(|| band.is_finite().unwrap()));
+    let pairs = FinRep::new(["x", "y"], parse_formula("y = x + 1 & y < 30").unwrap()).unwrap();
+    group.bench_function("projection_via_cooper", |b| {
+        b.iter(|| pairs.project(&["x"]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep full-workspace bench runs bounded: short warm-up and
+    // measurement windows, 10 samples per benchmark.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_finrep,
+    bench_safe_range_check,
+    bench_fresh_element_test,
+    bench_syntax_transforms,
+    bench_certification_sentence,
+    bench_halting_semidecision
+}
+criterion_main!(benches);

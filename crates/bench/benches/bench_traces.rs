@@ -1,0 +1,91 @@
+//! E10/E11/E12 benches: the trace substrate and the Theorem A.3
+//! quantifier elimination, characterizing the (exponential) cost the
+//! Appendix pays for decidability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fq_bench::workloads;
+use fq_domains::traces::{qe, rterm};
+use fq_domains::{DecidableTheory, TraceDomain};
+use fq_logic::parse_formula;
+use fq_turing::trace::{trace_string, validate_trace};
+use fq_turing::{builders, run_bounded};
+
+fn bench_machine_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_machine_execution");
+    let m = builders::scan_right_halt_on_blank();
+    for n in [100usize, 1_000, 10_000] {
+        let word = workloads::ones(n);
+        group.bench_with_input(BenchmarkId::new("scan_steps", n), &word, |b, w| {
+            b.iter(|| run_bounded(&m, w, n + 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_trace_roundtrip");
+    let m = builders::scan_right_halt_on_blank();
+    for n in [10usize, 50, 200] {
+        let word = workloads::ones(n);
+        group.bench_with_input(BenchmarkId::new("generate", n), &word, |b, w| {
+            b.iter(|| trace_string(&m, w, n).unwrap())
+        });
+        let trace = trace_string(&m, &word, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("validate", n), &trace, |b, t| {
+            b.iter(|| validate_trace(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma_a2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_lemma_a2");
+    for n in [2usize, 4, 8] {
+        let sys = workloads::de_system(n, 3);
+        group.bench_with_input(BenchmarkId::new("criterion", n), &sys, |b, s| {
+            b.iter(|| s.satisfiable())
+        });
+        group.bench_with_input(BenchmarkId::new("witness", n), &sys, |b, s| {
+            b.iter(|| s.witness().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_qe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_trace_qe");
+    group.sample_size(10);
+    // Growing numbers of excluded traces exercise the T−4 pattern
+    // disjunction (Bell-number growth).
+    for n in [0usize, 1, 2, 3] {
+        let sentence = workloads::trace_qe_sentence(n);
+        let f = rterm::from_logic(&sentence).unwrap();
+        group.bench_with_input(BenchmarkId::new("excluded_traces", n), &f, |b, f| {
+            b.iter(|| qe::decide(f).unwrap())
+        });
+    }
+    // D/E index growth exercises the exponential B-expansion.
+    for i in [2u64, 4, 6] {
+        let s = format!("forall y. W(y) -> (exists x. E({i}, x, y))");
+        let sentence = parse_formula(&s).unwrap();
+        group.bench_with_input(BenchmarkId::new("b_expansion_index", i), &sentence, |b, s| {
+            b.iter(|| TraceDomain.decide(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep full-workspace bench runs bounded: short warm-up and
+    // measurement windows, 10 samples per benchmark.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_machine_execution,
+    bench_trace_generation_validation,
+    bench_lemma_a2,
+    bench_trace_qe
+}
+criterion_main!(benches);

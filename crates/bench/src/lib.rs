@@ -1,0 +1,14 @@
+//! # fq-bench — workloads and experiment harness
+//!
+//! Shared workload generators for the Criterion benches and the
+//! `experiments` binary that regenerates every row of `EXPERIMENTS.md`.
+//!
+//! The paper has no tables or figures; its "evaluation" is its theorems.
+//! Each workload here parameterizes the decision procedure or reduction
+//! behind one theorem so that benches can characterize its cost and the
+//! experiment runner can verify its predicted behaviour.
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{ExperimentReport, ExperimentResult};

@@ -1,0 +1,102 @@
+//! Structured experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment row: what the paper predicts, what we measured.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id from DESIGN.md (e.g. "E05").
+    pub id: String,
+    /// The paper reference (theorem / section).
+    pub reference: String,
+    /// The paper's claim, paraphrased.
+    pub claim: String,
+    /// What the implementation observed.
+    pub observed: String,
+    /// Whether observation matches the claim.
+    pub pass: bool,
+    /// Wall-clock milliseconds spent.
+    pub millis: u128,
+}
+
+/// A full experiments run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    pub results: Vec<ExperimentResult>,
+}
+
+impl ExperimentReport {
+    /// Record one experiment, timing the closure.
+    pub fn run(
+        &mut self,
+        id: &str,
+        reference: &str,
+        claim: &str,
+        f: impl FnOnce() -> (String, bool),
+    ) {
+        let start = std::time::Instant::now();
+        let (observed, pass) = f();
+        let millis = start.elapsed().as_millis();
+        println!(
+            "[{}] {:60} {:4} ({millis} ms)\n      claim:    {}\n      observed: {}",
+            id,
+            reference,
+            if pass { "PASS" } else { "FAIL" },
+            claim,
+            observed
+        );
+        self.results.push(ExperimentResult {
+            id: id.to_string(),
+            reference: reference.to_string(),
+            claim: claim.to_string(),
+            observed,
+            pass,
+            millis,
+        });
+    }
+
+    /// Number of failing experiments.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.pass).count()
+    }
+
+    /// Serialize as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Render the Markdown table for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| Exp | Paper ref | Claim | Observed | Status | Time |\n|---|---|---|---|---|---|\n",
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} ms |\n",
+                r.id,
+                r.reference,
+                r.claim,
+                r.observed,
+                if r.pass { "✅" } else { "❌" },
+                r.millis
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_records_and_counts() {
+        let mut rep = ExperimentReport::default();
+        rep.run("E00", "test", "claim", || ("observed".to_string(), true));
+        rep.run("E01", "test", "claim", || ("observed".to_string(), false));
+        assert_eq!(rep.results.len(), 2);
+        assert_eq!(rep.failures(), 1);
+        assert!(rep.to_markdown().contains("E00"));
+        assert!(rep.to_json().contains("\"pass\": false"));
+    }
+}

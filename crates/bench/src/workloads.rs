@@ -1,0 +1,198 @@
+//! Deterministic workload generators.
+//!
+//! All generators take an explicit seed so benches and experiments are
+//! reproducible run to run.
+
+use fq_logic::{Formula, Term};
+use fq_relational::{Schema, State, Value};
+use fq_turing::{builders, Machine};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random genealogy state: a forest over `0 .. population` where each
+/// person has at most one father and fathers precede sons.
+pub fn genealogy_state(population: u64, edges: usize, seed: u64) -> State {
+    let schema = Schema::new().with_relation("F", 2);
+    let mut state = State::new(schema);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..edges {
+        let son = rng.gen_range(1..population.max(2));
+        let father = rng.gen_range(0..son);
+        state.insert("F", vec![Value::Nat(father), Value::Nat(son)]);
+    }
+    state
+}
+
+/// The paper's Section 1 queries over the genealogy scheme.
+pub fn genealogy_queries() -> Vec<(&'static str, Formula)> {
+    let parse = |s: &str| fq_logic::parse_formula(s).expect("workload query parses");
+    vec![
+        (
+            "M(x): more than one son",
+            parse("exists y z. y != z & F(x, y) & F(x, z)"),
+        ),
+        (
+            "G(x,z): grandfather",
+            parse("exists y. F(x, y) & F(y, z)"),
+        ),
+        (
+            "M or G (unsafe)",
+            parse(
+                "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))",
+            ),
+        ),
+    ]
+}
+
+/// Random Presburger sentences with `depth` quantifier alternations over
+/// small linear atoms — the Cooper-elimination workload.
+pub fn presburger_sentence(depth: usize, seed: u64) -> Formula {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vars: Vec<String> = (0..depth).map(|i| format!("v{i}")).collect();
+    let mut atoms = Vec::new();
+    for i in 0..depth {
+        for j in 0..depth {
+            if i == j {
+                continue;
+            }
+            let k: u64 = rng.gen_range(0..4);
+            let a = Term::var(vars[i].clone());
+            let b = Term::app2("+", Term::var(vars[j].clone()), Term::Nat(k));
+            atoms.push(if rng.gen_bool(0.5) {
+                Formula::lt(a, b)
+            } else {
+                Formula::eq(a, b)
+            });
+        }
+    }
+    let mut body = Formula::or(atoms);
+    for (i, v) in vars.iter().enumerate().rev() {
+        body = if i % 2 == 0 {
+            Formula::exists(v.clone(), body)
+        } else {
+            Formula::forall(v.clone(), body)
+        };
+    }
+    body
+}
+
+/// Machines with parameterized runtime for the trace workloads.
+pub fn machine_zoo() -> Vec<(&'static str, Machine)> {
+    vec![
+        ("halter", builders::halter()),
+        ("scanner", builders::scan_right_halt_on_blank()),
+        ("eraser", builders::erase_and_halt()),
+        ("increment", builders::unary_increment()),
+        ("run_exactly(8)", builders::run_exactly(8)),
+        ("bouncer", builders::bouncer()),
+        ("looper", builders::looper()),
+    ]
+}
+
+/// A word of `n` unary digits.
+pub fn ones(n: usize) -> String {
+    "1".repeat(n)
+}
+
+/// Random words over `{1, &}`.
+pub fn random_word(len: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| if rng.gen_bool(0.5) { '1' } else { '&' })
+        .collect()
+}
+
+/// Lemma A.2 constraint systems of a given size, built greedily so the
+/// result is always satisfiable: each randomly drawn constraint is kept
+/// only if the system stays consistent.
+pub fn de_system(constraints: usize, seed: u64) -> fq_domains::traces::DESystem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sys = fq_domains::traces::DESystem::default();
+    let mut draws = 0u64;
+    while sys.at_least.len() + sys.exactly.len() < constraints && draws < 10_000 {
+        draws += 1;
+        let word = random_word(6, seed.wrapping_mul(31).wrapping_add(draws));
+        let idx = rng.gen_range(1..=4usize);
+        let mut candidate = sys.clone();
+        if draws.is_multiple_of(2) {
+            candidate.at_least.push((word, idx));
+        } else {
+            candidate.exactly.push((word, idx));
+        }
+        if candidate.satisfiable() {
+            sys = candidate;
+        }
+    }
+    sys
+}
+
+/// Reach-theory sentences of increasing size for the QE workload:
+/// `∃p (P(M, w, p) ∧ p ≠ t₁ ∧ … ∧ p ≠ t_n)` over a halting machine.
+pub fn trace_qe_sentence(excluded: usize) -> Formula {
+    let m = builders::scan_right_halt_on_blank();
+    let enc = fq_turing::encode_machine(&m);
+    let word = ones(excluded + 2);
+    let mut conjuncts = vec![Formula::pred(
+        "P",
+        vec![
+            Term::Str(enc),
+            Term::Str(word.clone()),
+            Term::var("p"),
+        ],
+    )];
+    for k in 1..=excluded {
+        let t = fq_turing::trace::trace_string(&m, &word, k).expect("trace exists");
+        conjuncts.push(Formula::neq(Term::var("p"), Term::Str(t)));
+    }
+    Formula::exists("p", Formula::and(conjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_domains::{DecidableTheory, Presburger, TraceDomain};
+
+    #[test]
+    fn genealogy_state_is_reproducible() {
+        let a = genealogy_state(50, 30, 7);
+        let b = genealogy_state(50, 30, 7);
+        assert_eq!(a, b);
+        assert!(a.size() <= 30);
+    }
+
+    #[test]
+    fn genealogy_queries_parse_and_typecheck() {
+        let schema = Schema::new().with_relation("F", 2);
+        for (_, q) in genealogy_queries() {
+            let sig = schema.extend_signature(fq_logic::Signature::new());
+            assert!(sig.check(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn presburger_workload_is_decidable() {
+        for depth in 1..=3 {
+            let s = presburger_sentence(depth, 42);
+            assert!(s.is_sentence());
+            assert!(Presburger.decide(&s).is_ok(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn de_systems_are_satisfiable() {
+        for n in 1..=6 {
+            let sys = de_system(n, 11);
+            assert!(sys.satisfiable(), "n = {n}");
+            assert!(sys.witness().is_some());
+        }
+    }
+
+    #[test]
+    fn trace_qe_sentences_decide_true() {
+        // Excluding n of the n+3 traces always leaves one.
+        for n in 0..3 {
+            let s = trace_qe_sentence(n);
+            assert!(TraceDomain.decide(&s).unwrap(), "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Smoke test: the experiments binary must pass all rows.
+
+use std::process::Command;
+
+#[test]
+fn experiments_binary_reports_zero_failures() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .output()
+        .expect("experiments binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "experiments failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 failures"), "{stdout}");
+    // Every experiment id appears.
+    for id in 1..=19 {
+        assert!(
+            stdout.contains(&format!("[E{id:02}]")),
+            "missing experiment E{id:02}"
+        );
+    }
+}

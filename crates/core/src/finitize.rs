@@ -1,0 +1,201 @@
+//! The Theorem 2.2 finitization transform.
+//!
+//! For any extension of ⟨ℕ, <⟩, the *finitization* of `φ(x₁, …, x_k)` is
+//!
+//! ```text
+//! φ(x̄) ∧ (∃m)(∀x̄)(φ(x̄) → ⋀ᵢ xᵢ < m)
+//! ```
+//!
+//! "It is easy to see that, first, the finitization of any formula is
+//! finite, and, second, the finitization of a finite formula is
+//! equivalent to this finite formula. Therefore, the set of the
+//! finitizations of all formulas is a recursive syntax for finite
+//! queries."
+
+use fq_logic::{fresh_var, Formula, Term};
+
+/// Compute the finitization of a formula with respect to its free
+/// variables. Sentences are returned unchanged (their answer is `{()}` or
+/// `∅`, always finite).
+pub fn finitize(phi: &Formula) -> Formula {
+    let free: Vec<String> = phi.free_vars().into_iter().collect();
+    finitize_wrt(phi, &free)
+}
+
+/// Finitization with an explicit answer-variable tuple (useful when the
+/// answer relation projects only some of the free variables).
+pub fn finitize_wrt(phi: &Formula, vars: &[String]) -> Formula {
+    if vars.is_empty() {
+        return phi.clone();
+    }
+    let taken = phi.all_vars();
+    let m = fresh_var("m", &taken);
+    // (∃m)(∀x̄)(φ → ⋀ xᵢ < m)
+    let bound = Formula::and(
+        vars.iter()
+            .map(|x| Formula::lt(Term::var(x.clone()), Term::var(m.clone()))),
+    );
+    let guard = Formula::exists(
+        m,
+        Formula::forall_many(vars.to_vec(), Formula::implies(phi.clone(), bound)),
+    );
+    Formula::and([phi.clone(), guard])
+}
+
+/// The "minor modification of the finitization procedure" for ⟨ℤ, <⟩
+/// (Section 2.1): clamp the answers from both sides,
+/// `φ ∧ ∃m ∀x̄ (φ → ⋀ᵢ (−m < xᵢ ∧ xᵢ < m))`.
+pub fn finitize_two_sided(phi: &Formula) -> Formula {
+    let vars: Vec<String> = phi.free_vars().into_iter().collect();
+    if vars.is_empty() {
+        return phi.clone();
+    }
+    let taken = phi.all_vars();
+    let m = fresh_var("m", &taken);
+    let neg_m = Term::app2("-", Term::Nat(0), Term::var(m.clone()));
+    let bound = Formula::and(vars.iter().flat_map(|x| {
+        [
+            Formula::lt(Term::var(x.clone()), Term::var(m.clone())),
+            Formula::lt(neg_m.clone(), Term::var(x.clone())),
+        ]
+    }));
+    let guard = Formula::exists(
+        m,
+        Formula::forall_many(vars, Formula::implies(phi.clone(), bound)),
+    );
+    Formula::and([phi.clone(), guard])
+}
+
+/// The Fact 2.1 observation packaged as data: over ⟨ℕ, <⟩ the
+/// least-strict-upper-bound query is finite but not domain-independent.
+/// Returns the (query, expected unique answer) pair for a materialized
+/// active domain.
+pub fn fact_2_1_witness(active: &[u64]) -> (Formula, u64) {
+    let q = fq_domains::NatOrder.least_upper_witness("x", active);
+    let answer = active.iter().max().map_or(0, |m| m + 1);
+    (q, answer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_domains::{DecidableTheory, Presburger};
+    use fq_logic::parse_formula;
+
+    #[test]
+    fn finitization_adds_the_bound_guard() {
+        let phi = parse_formula("x < 5").unwrap();
+        let f = finitize(&phi);
+        // Shape: φ ∧ ∃m ∀x (φ → x < m).
+        assert_eq!(f.free_vars(), phi.free_vars());
+        assert!(f.quantifier_depth() >= 2);
+    }
+
+    #[test]
+    fn finitization_of_finite_formula_is_equivalent() {
+        // x < 5 is finite; its finitization must be equivalent (Cooper).
+        let phi = parse_formula("x < 5").unwrap();
+        assert!(Presburger.equivalent(&phi, &finitize(&phi)).unwrap());
+    }
+
+    #[test]
+    fn finitization_of_infinite_formula_is_not_equivalent() {
+        // x > 5 is infinite; its finitization is empty, not equivalent.
+        let phi = parse_formula("x > 5").unwrap();
+        let f = finitize(&phi);
+        assert!(!Presburger.equivalent(&phi, &f).unwrap());
+        // The finitization of x > 5 is actually unsatisfiable.
+        let nonempty = Formula::exists("x", f);
+        assert!(!Presburger.decide(&nonempty).unwrap());
+    }
+
+    #[test]
+    fn finitization_is_always_finite() {
+        // For any φ(x), the finitization's answers are bounded: check the
+        // Presburger sentence ∃m ∀x (fin(φ) → x < m) for several φ.
+        for s in ["x > 5", "x < 5", "x = 3 | x > 10", "div(2, x, 0)"] {
+            let phi = parse_formula(s).unwrap();
+            let f = finitize(&phi);
+            let bounded = Formula::exists(
+                "mb",
+                Formula::forall(
+                    "x",
+                    Formula::implies(f, Formula::lt(Term::var("x"), Term::var("mb"))),
+                ),
+            );
+            assert!(
+                Presburger.decide(&bounded).unwrap(),
+                "finitization of `{s}` is unbounded"
+            );
+        }
+    }
+
+    #[test]
+    fn two_variable_finitization() {
+        // x + y = 5 has 6 solutions over ℕ — already finite.
+        let phi = parse_formula("x + y = 5").unwrap();
+        assert!(Presburger.equivalent(&phi, &finitize(&phi)).unwrap());
+        // x = y is infinite.
+        let inf = parse_formula("x = y").unwrap();
+        assert!(!Presburger.equivalent(&inf, &finitize(&inf)).unwrap());
+    }
+
+    #[test]
+    fn sentences_are_untouched() {
+        let phi = parse_formula("exists x. x = 0").unwrap();
+        assert_eq!(finitize(&phi), phi);
+    }
+
+    #[test]
+    fn fresh_bound_variable_avoids_capture() {
+        let phi = parse_formula("x < m").unwrap();
+        let f = finitize(&phi);
+        // Both x and m are free in φ; the bound variable must be fresh.
+        assert_eq!(f.free_vars(), phi.free_vars());
+    }
+
+    #[test]
+    fn two_sided_finitization_over_integers() {
+        use fq_domains::IntOrder;
+        // −3 < x < 3 is finite over ℤ; x < 3 alone is not (unbounded below).
+        let band = parse_formula("0 - 3 < x & x < 3").unwrap();
+        assert!(IntOrder
+            .equivalent(&band, &finitize_two_sided(&band))
+            .unwrap());
+        let half = parse_formula("x < 3").unwrap();
+        assert!(!IntOrder
+            .equivalent(&half, &finitize_two_sided(&half))
+            .unwrap());
+        // Why the modification is needed: over ℤ the ℕ-style one-sided
+        // guard of `x < 3` is satisfied (m = 3 bounds it above), so the
+        // one-sided "finitization" stays equivalent to the INFINITE
+        // x < 3 — it is not a finitization at all over ℤ.
+        let one_sided = finitize(&half);
+        assert!(IntOrder.equivalent(&half, &one_sided).unwrap());
+        // The two-sided transform of the same formula is genuinely
+        // finite: its own two-sided finitization is equivalent to it.
+        let two = finitize_two_sided(&half);
+        assert!(IntOrder
+            .equivalent(&two, &finitize_two_sided(&two))
+            .unwrap());
+    }
+
+    #[test]
+    fn fact_2_1_witness_answer() {
+        let (q, ans) = fact_2_1_witness(&[1, 4]);
+        assert_eq!(ans, 5);
+        let at = fq_logic::substitute(&q, "x", &Term::Nat(ans));
+        assert!(fq_domains::NatOrder.decide(&at).unwrap());
+    }
+
+    #[test]
+    fn fact_2_1_witness_is_finite_but_not_domain_independent() {
+        // Finite: the finitization is equivalent.
+        let (q, _) = fact_2_1_witness(&[1, 4]);
+        assert!(Presburger.equivalent(&q, &finitize(&q)).unwrap());
+        // Not domain-independent: the answer (5) lies outside the
+        // materialized active domain {1, 4}.
+        let (_, ans) = fact_2_1_witness(&[1, 4]);
+        assert!(![1u64, 4].contains(&ans));
+    }
+}

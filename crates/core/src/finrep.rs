@@ -1,0 +1,411 @@
+//! Finitely-representable (constraint) relations — the Section 1.2 way.
+//!
+//! "One way of handling the situation is to accept infinite relations
+//! that may result in answering infinite queries. Note that although
+//! infinite, these relations are finitely representable. … the database
+//! remains capable of answering questions of whether a certain tuple
+//! belongs to a relation, finite or infinite, or whether a certain fact
+//! holds. This approach was mentioned in \[AGSS86, GSSS86\] and developed
+//! into a nice theory by Kanellakis et al. \[KKR90\]."
+//!
+//! A [`FinRep`] stores a relation over ℕ as a quantifier-free Presburger
+//! formula over named columns. The relational operations are formula
+//! manipulations; projection runs Cooper's elimination to keep the
+//! representation quantifier-free; membership, emptiness, finiteness, and
+//! (when finite) full enumeration all reduce to the Presburger decision
+//! procedure.
+
+use crate::finitize::finitize_wrt;
+use fq_domains::{DecidableTheory, DomainError, Presburger};
+use fq_logic::{Formula, Term};
+
+/// A finitely-representable relation over ℕ: named columns constrained by
+/// a Presburger formula. The formula may mention only the columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinRep {
+    columns: Vec<String>,
+    formula: Formula,
+}
+
+impl FinRep {
+    /// Create a relation; the formula's free variables must be among the
+    /// columns.
+    pub fn new(
+        columns: impl IntoIterator<Item = impl Into<String>>,
+        formula: Formula,
+    ) -> Result<FinRep, DomainError> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for v in formula.free_vars() {
+            if !columns.contains(&v) {
+                return Err(DomainError::NotASentence { free: vec![v] });
+            }
+        }
+        Ok(FinRep { columns, formula })
+    }
+
+    /// A finite relation from explicit tuples.
+    pub fn from_tuples(
+        columns: impl IntoIterator<Item = impl Into<String>>,
+        tuples: impl IntoIterator<Item = Vec<u64>>,
+    ) -> Result<FinRep, DomainError> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        let formula = Formula::or(tuples.into_iter().map(|t| {
+            Formula::and(
+                columns
+                    .iter()
+                    .zip(t)
+                    .map(|(c, v)| Formula::eq(Term::var(c.clone()), Term::Nat(v))),
+            )
+        }));
+        Ok(FinRep { columns, formula })
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The defining formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Tuple membership: "the database remains capable of answering
+    /// questions of whether a certain tuple belongs to a relation, finite
+    /// or infinite".
+    pub fn contains(&self, tuple: &[u64]) -> Result<bool, DomainError> {
+        if tuple.len() != self.columns.len() {
+            return Err(DomainError::SortMismatch {
+                detail: format!(
+                    "tuple arity {} vs {} columns",
+                    tuple.len(),
+                    self.columns.len()
+                ),
+            });
+        }
+        let mut f = self.formula.clone();
+        for (c, v) in self.columns.iter().zip(tuple) {
+            f = fq_logic::substitute(&f, c, &Term::Nat(*v));
+        }
+        Presburger.decide(&f)
+    }
+
+    /// Intersection (same columns required).
+    pub fn intersect(&self, other: &FinRep) -> Result<FinRep, DomainError> {
+        self.check_compatible(other)?;
+        Ok(FinRep {
+            columns: self.columns.clone(),
+            formula: Formula::and([self.formula.clone(), other.formula.clone()]),
+        })
+    }
+
+    /// Union (same columns required).
+    pub fn union(&self, other: &FinRep) -> Result<FinRep, DomainError> {
+        self.check_compatible(other)?;
+        Ok(FinRep {
+            columns: self.columns.clone(),
+            formula: Formula::or([self.formula.clone(), other.formula.clone()]),
+        })
+    }
+
+    /// Difference: `self ∖ other` (same columns required).
+    pub fn difference(&self, other: &FinRep) -> Result<FinRep, DomainError> {
+        self.check_compatible(other)?;
+        Ok(FinRep {
+            columns: self.columns.clone(),
+            formula: Formula::and([
+                self.formula.clone(),
+                Formula::not(other.formula.clone()),
+            ]),
+        })
+    }
+
+    /// Complement within ℕ^k — the operation classical finite relations
+    /// cannot support but finitely-representable ones can.
+    pub fn complement(&self) -> FinRep {
+        FinRep {
+            columns: self.columns.clone(),
+            formula: Formula::not(self.formula.clone()),
+        }
+    }
+
+    /// Selection by an extra Presburger constraint over the columns.
+    pub fn select(&self, constraint: Formula) -> Result<FinRep, DomainError> {
+        for v in constraint.free_vars() {
+            if !self.columns.contains(&v) {
+                return Err(DomainError::NotASentence { free: vec![v] });
+            }
+        }
+        Ok(FinRep {
+            columns: self.columns.clone(),
+            formula: Formula::and([self.formula.clone(), constraint]),
+        })
+    }
+
+    /// Projection onto a subset of columns. The dropped columns are
+    /// existentially quantified and *eliminated* (Cooper), keeping the
+    /// stored representation quantifier-free.
+    pub fn project(&self, keep: &[&str]) -> Result<FinRep, DomainError> {
+        let kept: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| keep.contains(&c.as_str()))
+            .cloned()
+            .collect();
+        let dropped: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| !keep.contains(&c.as_str()))
+            .cloned()
+            .collect();
+        let quantified = Formula::exists_many(dropped, self.formula.clone());
+        let eliminated = Presburger.quantifier_free_equivalent(&quantified)?;
+        Ok(FinRep {
+            columns: kept,
+            formula: eliminated,
+        })
+    }
+
+    /// Natural join on shared column names.
+    pub fn join(&self, other: &FinRep) -> FinRep {
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            if !columns.contains(c) {
+                columns.push(c.clone());
+            }
+        }
+        FinRep {
+            columns,
+            formula: Formula::and([self.formula.clone(), other.formula.clone()]),
+        }
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(&self) -> Result<bool, DomainError> {
+        let any = Formula::exists_many(self.columns.clone(), self.formula.clone());
+        Ok(!Presburger.decide(&any)?)
+    }
+
+    /// Finiteness test — the Theorem 2.5 criterion applied to the stored
+    /// representation: finite iff equivalent to its finitization.
+    pub fn is_finite(&self) -> Result<bool, DomainError> {
+        if self.columns.is_empty() {
+            return Ok(true);
+        }
+        let fin = finitize_wrt(&self.formula, &self.columns);
+        Presburger.equivalent(&self.formula, &fin)
+    }
+
+    /// Enumerate the tuples when the relation is finite; `None` when it
+    /// is infinite. The enumeration walks candidates below the bound that
+    /// the finiteness certificate guarantees exists.
+    pub fn enumerate(&self, max_tuples: usize) -> Result<Option<Vec<Vec<u64>>>, DomainError> {
+        if !self.is_finite()? {
+            return Ok(None);
+        }
+        // Find an upper bound b with ∀x̄ (φ → ⋀ xᵢ < b) by doubling.
+        let mut bound = 1u64;
+        loop {
+            let below = Formula::forall_many(
+                self.columns.clone(),
+                Formula::implies(
+                    self.formula.clone(),
+                    Formula::and(
+                        self.columns
+                            .iter()
+                            .map(|c| Formula::lt(Term::var(c.clone()), Term::Nat(bound))),
+                    ),
+                ),
+            );
+            if Presburger.decide(&below)? {
+                break;
+            }
+            bound = bound.checked_mul(2).ok_or_else(|| DomainError::BudgetExhausted {
+                detail: "bound search overflowed".into(),
+            })?;
+        }
+        let mut out = Vec::new();
+        let mut tuple = vec![0u64; self.columns.len()];
+        loop {
+            if self.contains(&tuple)? {
+                out.push(tuple.clone());
+                if out.len() > max_tuples {
+                    return Err(DomainError::BudgetExhausted {
+                        detail: format!("more than {max_tuples} tuples"),
+                    });
+                }
+            }
+            // Mixed-radix increment below `bound`.
+            let mut pos = 0;
+            loop {
+                if pos == tuple.len() {
+                    return Ok(Some(out));
+                }
+                tuple[pos] += 1;
+                if tuple[pos] < bound {
+                    break;
+                }
+                tuple[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    fn check_compatible(&self, other: &FinRep) -> Result<(), DomainError> {
+        if self.columns != other.columns {
+            return Err(DomainError::SortMismatch {
+                detail: format!("columns {:?} vs {:?}", self.columns, other.columns),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn rep(cols: &[&str], f: &str) -> FinRep {
+        FinRep::new(cols.iter().copied(), parse_formula(f).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn membership_in_infinite_relation() {
+        // The paper's point: infinite relations still answer membership.
+        let evens = rep(&["x"], "div(2, x, 0)");
+        assert!(evens.contains(&[4]).unwrap());
+        assert!(!evens.contains(&[5]).unwrap());
+        assert!(!evens.is_finite().unwrap());
+    }
+
+    #[test]
+    fn from_tuples_round_trip() {
+        let r = FinRep::from_tuples(["x", "y"], vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert!(r.contains(&[1, 2]).unwrap());
+        assert!(!r.contains(&[2, 1]).unwrap());
+        assert!(r.is_finite().unwrap());
+        assert_eq!(
+            r.enumerate(10).unwrap(),
+            Some(vec![vec![1, 2], vec![3, 4]])
+        );
+    }
+
+    #[test]
+    fn complement_flips_membership_and_finiteness() {
+        let r = FinRep::from_tuples(["x"], vec![vec![7]]).unwrap();
+        let c = r.complement();
+        assert!(!c.contains(&[7]).unwrap());
+        assert!(c.contains(&[8]).unwrap());
+        assert!(r.is_finite().unwrap());
+        assert!(!c.is_finite().unwrap());
+        assert!(c.enumerate(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn intersection_of_infinite_relations_can_be_finite() {
+        let lo = rep(&["x"], "x < 10");
+        let hi = rep(&["x"], "x > 5");
+        let band = hi.intersect(&lo).unwrap();
+        assert!(band.is_finite().unwrap());
+        assert_eq!(
+            band.enumerate(10).unwrap(),
+            Some(vec![vec![6], vec![7], vec![8], vec![9]])
+        );
+    }
+
+    #[test]
+    fn projection_eliminates_quantifiers() {
+        // {(x, y) : y = x + 1 ∧ y < 5} projected to x = {0..3}.
+        let r = rep(&["x", "y"], "y = x + 1 & y < 5");
+        let p = r.project(&["x"]).unwrap();
+        assert!(p.formula().is_quantifier_free());
+        assert_eq!(
+            p.enumerate(10).unwrap(),
+            Some(vec![vec![0], vec![1], vec![2], vec![3]])
+        );
+    }
+
+    #[test]
+    fn join_shares_columns() {
+        let r = rep(&["x", "y"], "y = x + 1");
+        let s = rep(&["y", "z"], "z = y + 1");
+        let j = r.join(&s);
+        assert_eq!(j.columns(), &["x", "y", "z"]);
+        assert!(j.contains(&[1, 2, 3]).unwrap());
+        assert!(!j.contains(&[1, 2, 4]).unwrap());
+    }
+
+    #[test]
+    fn difference_of_infinite_relations() {
+        // evens ∖ multiples-of-4 = numbers ≡ 2 (mod 4): still infinite,
+        // membership still decidable.
+        let evens = rep(&["x"], "div(2, x, 0)");
+        let fours = rep(&["x"], "div(4, x, 0)");
+        let diff = evens.difference(&fours).unwrap();
+        assert!(diff.contains(&[2]).unwrap());
+        assert!(diff.contains(&[6]).unwrap());
+        assert!(!diff.contains(&[4]).unwrap());
+        assert!(!diff.contains(&[3]).unwrap());
+        assert!(!diff.is_finite().unwrap());
+        // Bounded difference is finite and enumerable.
+        let small = rep(&["x"], "x < 10");
+        let banded = diff.intersect(&small).unwrap();
+        assert_eq!(
+            banded.enumerate(10).unwrap(),
+            Some(vec![vec![2], vec![6]])
+        );
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(rep(&["x"], "x < 0").is_empty().unwrap());
+        assert!(!rep(&["x"], "x < 1").is_empty().unwrap());
+    }
+
+    #[test]
+    fn union_compatible_columns_only() {
+        let r = rep(&["x"], "x < 2");
+        let s = rep(&["y"], "y < 2");
+        assert!(r.union(&s).is_err());
+        let t = rep(&["x"], "x = 5");
+        let u = r.union(&t).unwrap();
+        assert_eq!(
+            u.enumerate(10).unwrap(),
+            Some(vec![vec![0], vec![1], vec![5]])
+        );
+    }
+
+    #[test]
+    fn selection() {
+        let evens = rep(&["x"], "div(2, x, 0)");
+        let small_evens = evens.select(parse_formula("x < 7").unwrap()).unwrap();
+        assert_eq!(
+            small_evens.enumerate(10).unwrap(),
+            Some(vec![vec![0], vec![2], vec![4], vec![6]])
+        );
+    }
+
+    #[test]
+    fn formula_with_foreign_variable_rejected() {
+        assert!(FinRep::new(["x"], parse_formula("x = y").unwrap()).is_err());
+        let r = rep(&["x"], "x < 3");
+        assert!(r.select(parse_formula("z = 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn enumerate_budget() {
+        let r = rep(&["x"], "x < 1000");
+        assert!(matches!(
+            r.enumerate(10),
+            Err(DomainError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn nullary_relation_is_a_boolean() {
+        let truthy = FinRep::new(Vec::<String>::new(), Formula::True).unwrap();
+        assert!(truthy.is_finite().unwrap());
+        assert!(!truthy.is_empty().unwrap());
+    }
+}

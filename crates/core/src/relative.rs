@@ -1,0 +1,356 @@
+//! Relative safety: given a query **and a state**, is the answer finite?
+//!
+//! "Although the formula that you use may be infinite, in a given state
+//! you may be lucky and the answer may be finite." (Section 1.3.)
+//!
+//! Positive results implemented here:
+//!
+//! * the equality-only domain — the fresh-element test ("it suffices to
+//!   fix an arbitrary element not in the active domain and to check
+//!   whether any tuple that only includes this element and active domain
+//!   elements satisfies the formula");
+//! * **Theorem 2.5** — any decidable extension of ⟨ℕ, <⟩: "in a given
+//!   state, a formula yields a finite answer iff it is equivalent to its
+//!   finitization", decided by Cooper's procedure after the Section 1.1
+//!   translation;
+//! * **Theorem 2.6** — ⟨ℕ, ′⟩: quantifier-eliminate the translated
+//!   formula and decide finiteness of the quantifier-free residue.
+//!
+//! And the negative one:
+//!
+//! * **Theorem 3.3** — over **T**, relative safety is *undecidable*:
+//!   [`halting_instance`] builds, for any machine and word, a
+//!   (query, state) pair whose relative safety is exactly the halting of
+//!   the machine on the word; [`relative_safety_traces`] is therefore
+//!   only a *semi-decision* with an explicit budget.
+
+use crate::finitize::finitize_wrt;
+use crate::safety::{totality_query, SafetyVerdict};
+use fq_domains::{DecidableTheory, DomainError, NatSucc, Presburger};
+use fq_logic::Formula;
+use fq_relational::active_eval::{solutions_over, NoOps};
+use fq_relational::{translate_to_domain_formula, Schema, State, Value};
+use fq_turing::trace::{count_traces, TraceCount};
+use fq_turing::Machine;
+
+/// Relative safety over the pure-equality domain (Section 2 opening).
+///
+/// Finite iff no answer tuple contains an element outside the active
+/// domain; by symmetry one fresh element suffices.
+pub fn relative_safety_eq(
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+) -> Result<bool, DomainError> {
+    let mut universe: Vec<Value> = state.query_active_domain(query).into_iter().collect();
+    let fresh = Value::Nat(
+        universe
+            .iter()
+            .filter_map(|v| match v {
+                Value::Nat(n) => Some(*n),
+                _ => None,
+            })
+            .max()
+            .map_or(0, |m| m + 1),
+    );
+    universe.push(fresh.clone());
+    let answers = solutions_over(state, &NoOps, query, vars, &universe)
+        .map_err(DomainError::Logic)?;
+    Ok(!answers.iter().any(|t| t.contains(&fresh)))
+}
+
+/// Theorem 2.5: relative safety over ⟨ℕ, <⟩ (and its Presburger
+/// extension): finite in the state iff equivalent to the finitization.
+pub fn relative_safety_nat(
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+) -> Result<bool, DomainError> {
+    let phi = translate_to_domain_formula(query, state);
+    let fin = finitize_wrt(&phi, vars);
+    Presburger.equivalent(&phi, &fin)
+}
+
+/// The Section 2.1 variant for ⟨ℤ, <⟩: finite in the state iff equivalent
+/// to the **two-sided** finitization ("integers with < can be handled
+/// similarly after a minor modification of the finitization procedure").
+pub fn relative_safety_int(
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+) -> Result<bool, DomainError> {
+    let _ = vars; // the two-sided transform derives the tuple itself
+    let phi = translate_to_domain_formula(query, state);
+    let fin = crate::finitize::finitize_two_sided(&phi);
+    fq_domains::IntOrder.equivalent(&phi, &fin)
+}
+
+/// Relative safety over the length-lex word domain (the Section 2.2
+/// closing remark): decidable by transporting the query through the
+/// order isomorphism with ⟨ℕ, <⟩ and applying the Theorem 2.5 criterion.
+pub fn relative_safety_words(
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+) -> Result<bool, DomainError> {
+    let phi = translate_to_domain_formula(query, state);
+    let transported = fq_domains::WordsLlex.translate(&phi)?;
+    let fin = finitize_wrt(&transported, vars);
+    Presburger.equivalent(&transported, &fin)
+}
+
+/// Theorem 2.6: relative safety over ⟨ℕ, ′⟩ via quantifier elimination.
+pub fn relative_safety_succ(
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+) -> Result<bool, DomainError> {
+    let phi = translate_to_domain_formula(query, state);
+    let qf = NatSucc.quantifier_eliminate(&phi)?;
+    NatSucc.solution_set_finite(&qf, vars)
+}
+
+/// The Theorem 3.3 reduction: a (query, state) pair over **T** whose
+/// relative safety equals `machine` halting on `word`.
+///
+/// "M(x) is finite in the state c iff M stops starting from the value of
+/// c. However, it is undecidable to determine whether a Turing machine
+/// stops on an input."
+pub fn halting_instance(machine: &Machine, word: &str) -> (Formula, State) {
+    let schema = Schema::new().with_constant("c");
+    let state = State::new(schema).with_constant("c", word);
+    (totality_query(machine), state)
+}
+
+/// Semi-decide relative safety over **T** for totality-shaped instances
+/// by bounded simulation; `Unknown` after `budget` steps — the honest
+/// outcome Theorem 3.3 forces.
+pub fn relative_safety_traces(
+    machine: &Machine,
+    word: &str,
+    budget: usize,
+) -> SafetyVerdict {
+    match count_traces(machine, word, budget) {
+        TraceCount::Exactly(n) => SafetyVerdict::Finite(Some(n)),
+        TraceCount::AtLeast(_) => SafetyVerdict::Unknown { budget_spent: budget },
+    }
+}
+
+/// Semi-decide relative safety over **T** for an **arbitrary**
+/// single-variable query via the Theorem A.3 decision procedure.
+///
+/// The answer set is finite with exactly `n` elements iff the sentence
+/// "there exist `n + 1` pairwise-distinct answers" is false while the
+/// `n`-version is true — and each such sentence is *decidable*
+/// (Corollary A.4). Finiteness over **T** is therefore semi-decidable:
+/// this function halts with the exact count whenever the answer is
+/// finite with at most `max_count` elements, and reports `Unknown`
+/// otherwise. Theorem 3.3 says no bound on `max_count` can ever make it
+/// a full decision procedure.
+pub fn certify_finite_traces_via_qe(
+    query: &Formula,
+    state: &State,
+    var: &str,
+    max_count: usize,
+) -> Result<SafetyVerdict, DomainError> {
+    use fq_domains::TraceDomain;
+    let phi = translate_to_domain_formula(query, state);
+    for n in 0..=max_count {
+        // ∃x₀ … x_n (pairwise ≠ ∧ ⋀ φ(xᵢ)): at least n + 1 answers.
+        let names: Vec<String> = (0..=n).map(|i| format!("_cq{i}")).collect();
+        let mut parts: Vec<Formula> = names
+            .iter()
+            .map(|x| fq_logic::substitute(&phi, var, &fq_logic::Term::var(x.clone())))
+            .collect();
+        for i in 0..names.len() {
+            for j in i + 1..names.len() {
+                parts.push(Formula::neq(
+                    fq_logic::Term::var(names[i].clone()),
+                    fq_logic::Term::var(names[j].clone()),
+                ));
+            }
+        }
+        let sentence = Formula::exists_many(names, Formula::and(parts));
+        if !TraceDomain.decide(&sentence)? {
+            return Ok(SafetyVerdict::Finite(Some(n)));
+        }
+    }
+    Ok(SafetyVerdict::Unknown { budget_spent: max_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+    use fq_turing::builders;
+
+    fn fathers() -> State {
+        let schema = Schema::new().with_relation("F", 2);
+        State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+    }
+
+    fn vars(vs: &[&str]) -> Vec<String> {
+        vs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn eq_domain_m_query_is_finite() {
+        let q = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
+        assert!(relative_safety_eq(&fathers(), &q, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn eq_domain_negation_is_infinite() {
+        let q = parse_formula("!F(x, y)").unwrap();
+        assert!(!relative_safety_eq(&fathers(), &q, &vars(&["x", "y"])).unwrap());
+    }
+
+    #[test]
+    fn eq_domain_papers_conditional_example() {
+        // M(x) ∨ G(x, z) is infinite exactly when someone has ≥ 2 sons
+        // (footnote 4 of the paper).
+        let q = parse_formula(
+            "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))",
+        )
+        .unwrap();
+        // In the two-sons state: infinite.
+        assert!(!relative_safety_eq(&fathers(), &q, &vars(&["x", "z"])).unwrap());
+        // In a state where nobody has two sons: finite.
+        let single = State::new(Schema::new().with_relation("F", 2))
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)]);
+        assert!(relative_safety_eq(&single, &q, &vars(&["x", "z"])).unwrap());
+    }
+
+    #[test]
+    fn theorem_2_5_on_ordered_naturals() {
+        // x < every stored value: finite (bounded).
+        let bounded = parse_formula("forall y. (exists p. F(y, p)) -> x < y").unwrap();
+        assert!(relative_safety_nat(&fathers(), &bounded, &vars(&["x"])).unwrap());
+        // x > every stored value: infinite.
+        let unbounded = parse_formula("forall y. (exists p. F(y, p)) -> x > y").unwrap();
+        assert!(!relative_safety_nat(&fathers(), &unbounded, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn theorem_2_5_depends_on_the_state() {
+        // ¬F(x, x) ∧ x < 3 is finite in every state; ¬F(x, x) alone is not.
+        let q1 = parse_formula("!F(x, x) & x < 3").unwrap();
+        assert!(relative_safety_nat(&fathers(), &q1, &vars(&["x"])).unwrap());
+        let q2 = parse_formula("!F(x, x)").unwrap();
+        assert!(!relative_safety_nat(&fathers(), &q2, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn words_relative_safety() {
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema).with_tuple("R", vec![Value::Str("1&1".into())]);
+        // Words strictly below a stored word: finite (the order is iso ℕ).
+        let below = parse_formula("exists y. R(y) & llex(x, y)").unwrap();
+        assert!(relative_safety_words(&state, &below, &vars(&["x"])).unwrap());
+        // Words above it: infinite.
+        let above = parse_formula("exists y. R(y) & llex(y, x)").unwrap();
+        assert!(!relative_safety_words(&state, &above, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn int_order_relative_safety() {
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema).with_tuple("R", vec![Value::Nat(5)]);
+        // Between the stored value and its negation: finite over ℤ.
+        let band = parse_formula("exists y. R(y) & 0 - y < x & x < y").unwrap();
+        assert!(relative_safety_int(&state, &band, &vars(&["x"])).unwrap());
+        // Below the stored value: infinite over ℤ (but finite over ℕ!).
+        let below = parse_formula("exists y. R(y) & x < y").unwrap();
+        assert!(!relative_safety_int(&state, &below, &vars(&["x"])).unwrap());
+        assert!(relative_safety_nat(&state, &below, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn theorem_2_6_on_successor_naturals() {
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema).with_tuple("R", vec![Value::Nat(5)]);
+        // Successor of a stored element: finite.
+        let fin = parse_formula("exists y. R(y) & x = y'").unwrap();
+        assert!(relative_safety_succ(&state, &fin, &vars(&["x"])).unwrap());
+        // Different from the stored element: infinite.
+        let inf = parse_formula("exists y. R(y) & x != y").unwrap();
+        assert!(!relative_safety_succ(&state, &inf, &vars(&["x"])).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_3_halting_direction() {
+        // Halting machine ⟹ verdict Finite with the trace count.
+        let m = builders::scan_right_halt_on_blank();
+        assert_eq!(
+            relative_safety_traces(&m, "111", 1000),
+            SafetyVerdict::Finite(Some(4))
+        );
+    }
+
+    #[test]
+    fn theorem_3_3_divergence_direction() {
+        // Non-halting machine ⟹ the semi-decision cannot answer.
+        let m = builders::looper();
+        assert_eq!(
+            relative_safety_traces(&m, "1", 1000),
+            SafetyVerdict::Unknown { budget_spent: 1000 }
+        );
+    }
+
+    #[test]
+    fn qe_based_finiteness_matches_simulation() {
+        // For totality queries the QE-based certificate must agree with
+        // the bounded-simulation count.
+        let m = builders::scan_right_halt_on_blank();
+        let (query, state) = halting_instance(&m, "11");
+        let bound = fq_logic::bind_constants(&query, &["c".to_string()].into());
+        let verdict = certify_finite_traces_via_qe(&bound, &state, "x", 4).unwrap();
+        assert_eq!(verdict, SafetyVerdict::Finite(Some(3)));
+    }
+
+    #[test]
+    fn qe_based_finiteness_reports_unknown_for_divergent() {
+        let m = builders::looper();
+        let (query, state) = halting_instance(&m, "1");
+        let bound = fq_logic::bind_constants(&query, &["c".to_string()].into());
+        let verdict = certify_finite_traces_via_qe(&bound, &state, "x", 3).unwrap();
+        assert_eq!(verdict, SafetyVerdict::Unknown { budget_spent: 3 });
+    }
+
+    #[test]
+    fn qe_based_finiteness_on_non_totality_queries() {
+        // A sort query: "x is a trace of the halter with word 1" — the
+        // halter has exactly one trace there.
+        let schema = Schema::new();
+        let state = State::new(schema);
+        let enc = fq_turing::encode_machine(&builders::halter());
+        let q = parse_formula(&format!("P(\"{enc}\", \"1\", x)")).unwrap();
+        let verdict = certify_finite_traces_via_qe(&q, &state, "x", 3).unwrap();
+        assert_eq!(verdict, SafetyVerdict::Finite(Some(1)));
+        // "x is any word" is infinite.
+        let inf = parse_formula("W(x)").unwrap();
+        let verdict = certify_finite_traces_via_qe(&inf, &state, "x", 2).unwrap();
+        assert_eq!(verdict, SafetyVerdict::Unknown { budget_spent: 2 });
+    }
+
+    #[test]
+    fn halting_instance_answers_match_traces() {
+        // The instance's actual answers in the state are the traces.
+        let m = builders::scan_right_halt_on_blank();
+        let (query, state) = halting_instance(&m, "11");
+        let bound = fq_logic::bind_constants(&query, &["c".to_string()].into());
+        let out = crate::answer::answer_query(
+            &fq_domains::TraceDomain,
+            &state,
+            &bound,
+            &vars(&["x"]),
+            100_000,
+        )
+        .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.found().len(), 3);
+    }
+}

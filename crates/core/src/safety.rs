@@ -1,0 +1,85 @@
+//! Core safety notions.
+//!
+//! "A relational query is called *finite*, or sometimes *safe*, iff it
+//! yields a finite answer in every database state." The set of finite
+//! queries is undecidable for every infinite domain (Di Paola, Vardi,
+//! Ailamazian et al.), so implementations deal in *verdicts* produced by
+//! syntactic tests, domain-specific decision procedures, or bounded
+//! semi-decision — never in a universal finiteness decider.
+
+use fq_logic::{Formula, Term};
+use fq_turing::{encode_machine, Machine};
+
+/// What an analysis concluded about a query's answer in a state (or in
+/// all states, for the syntactic checks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyVerdict {
+    /// The answer is finite; when known, its exact size.
+    Finite(Option<usize>),
+    /// The answer is provably infinite.
+    Infinite,
+    /// The analysis exhausted its budget without an answer — the honest
+    /// outcome when the underlying problem is undecidable (Theorem 3.3).
+    Unknown { budget_spent: usize },
+}
+
+impl SafetyVerdict {
+    /// Whether this verdict asserts finiteness.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, SafetyVerdict::Finite(_))
+    }
+}
+
+/// The Theorem 3.1 *totality query* of a machine: `M(x) := P(enc(M), c, x)`
+/// over the scheme with the single constant `c`.
+///
+/// "Observe that the formula M(x) is finite iff M is total": in a state
+/// assigning word `w` to `c`, the answers are exactly the traces of `M`
+/// in `w` — finitely many iff `M` halts on `w`.
+pub fn totality_query(machine: &Machine) -> Formula {
+    Formula::pred(
+        "P",
+        vec![
+            Term::Str(encode_machine(machine)),
+            Term::named("c"),
+            Term::var("x"),
+        ],
+    )
+}
+
+/// The same query with the scheme constant replaced by a fresh variable —
+/// the paper's `M(x)[z/c]` step used inside the Theorem 3.1 sentence.
+pub fn totality_query_open(machine: &Machine, z: &str) -> Formula {
+    fq_logic::substitute_const(&totality_query(machine), "c", &Term::var(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_turing::builders;
+
+    #[test]
+    fn totality_query_shape() {
+        let m = builders::halter();
+        let q = totality_query(&m);
+        assert_eq!(q.free_vars().into_iter().collect::<Vec<_>>(), vec!["x"]);
+        assert!(q.named_constants().contains("c"));
+    }
+
+    #[test]
+    fn open_variant_replaces_constant() {
+        let m = builders::halter();
+        let q = totality_query_open(&m, "z");
+        let fv = q.free_vars();
+        assert!(fv.contains("x") && fv.contains("z"));
+        assert!(q.named_constants().is_empty());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(SafetyVerdict::Finite(Some(3)).is_finite());
+        assert!(SafetyVerdict::Finite(None).is_finite());
+        assert!(!SafetyVerdict::Infinite.is_finite());
+        assert!(!SafetyVerdict::Unknown { budget_spent: 10 }.is_finite());
+    }
+}

@@ -1,0 +1,438 @@
+//! Effective syntaxes for finite queries — the positive side of the paper.
+//!
+//! An *effective syntax* (Section 1.4) is "a recursive subclass of safe
+//! formulas, such that every safe formula is equivalent to one in this
+//! subclass". Each syntax here is given in two forms: a **transform**
+//! that maps an arbitrary formula to a guaranteed-finite one (equivalent
+//! whenever the input was already finite), and the induced **enumeration**
+//! (apply the transform to an exhaustive formula enumeration).
+//!
+//! * [`ActiveDomainSyntax`] — the equality-only domain: "the easiest
+//!   effective syntax for this case consists of restricting the answers
+//!   for all formulas to the active domain";
+//! * [`FinitizationSyntax`] — Theorem 2.2 for any extension of ⟨ℕ, <⟩;
+//! * [`SuccessorSyntax`] — Theorem 2.7 for ⟨ℕ, ′⟩, restricting answers to
+//!   the *extended* active domain of radius 2^q;
+//! * [`OrderedTraceExtension`] — Corollary 2.4 applied to **T**: adding a
+//!   length-lexicographic order (isomorphic to ⟨ℕ, <⟩) makes the
+//!   finitization syntax available — but by Corollary 3.2 the extended
+//!   theory is necessarily **undecidable**, so the syntax exists while
+//!   effective query answering is lost.
+
+use crate::enumerate::FormulaSpace;
+use crate::finitize::finitize;
+use fq_domains::DomainError;
+use fq_logic::{fresh_var, Formula, Term};
+use fq_relational::Schema;
+
+/// The active-domain defining formula Δ(x) over a scheme: `x` occurs in
+/// some stored tuple or equals one of the listed constant terms. ("It is
+/// known that the active domain is definable in the relational calculus.")
+pub fn active_domain_formula(schema: &Schema, var: &str, extra_constants: &[Term]) -> Formula {
+    let mut disjuncts = Vec::new();
+    for (name, arity) in schema.relations() {
+        for position in 0..arity {
+            // ∃ȳ R(y₁, …, x at `position`, …, y_arity).
+            let mut args = Vec::with_capacity(arity);
+            let mut bound = Vec::new();
+            for i in 0..arity {
+                if i == position {
+                    args.push(Term::var(var));
+                } else {
+                    let y = format!("_ad{i}");
+                    bound.push(y.clone());
+                    args.push(Term::var(y));
+                }
+            }
+            disjuncts.push(Formula::exists_many(
+                bound,
+                Formula::pred(name, args),
+            ));
+        }
+    }
+    for c in schema.constants() {
+        disjuncts.push(Formula::eq(Term::var(var), Term::named(c.clone())));
+    }
+    for t in extra_constants {
+        disjuncts.push(Formula::eq(Term::var(var), t.clone()));
+    }
+    Formula::or(disjuncts)
+}
+
+/// The constants of a formula as ground terms (for Δ's constant part).
+pub fn formula_constants(phi: &Formula) -> Vec<Term> {
+    let (nats, strs) = phi.literal_constants();
+    nats.into_iter()
+        .map(Term::Nat)
+        .chain(strs.into_iter().map(Term::Str))
+        .collect()
+}
+
+/// The active-domain syntax for the pure-equality domain.
+#[derive(Clone, Debug)]
+pub struct ActiveDomainSyntax {
+    pub schema: Schema,
+}
+
+impl ActiveDomainSyntax {
+    /// Restrict every answer variable to the active domain:
+    /// `φ ∧ ⋀ᵢ Δ(xᵢ)`.
+    pub fn transform(&self, phi: &Formula) -> Formula {
+        let consts = formula_constants(phi);
+        let guards = phi
+            .free_vars()
+            .into_iter()
+            .map(|v| active_domain_formula(&self.schema, &v, &consts));
+        Formula::and(std::iter::once(phi.clone()).chain(guards))
+    }
+}
+
+/// The Theorem 2.2 finitization syntax over a formula space: the r-th
+/// member is the finitization of the r-th formula.
+#[derive(Clone, Debug)]
+pub struct FinitizationSyntax {
+    pub space: FormulaSpace,
+}
+
+impl FinitizationSyntax {
+    /// The first `n` members of the enumerated syntax.
+    pub fn enumerate(&self, n: usize) -> Vec<Formula> {
+        self.space.iter().take(n).map(|f| finitize(&f)).collect()
+    }
+}
+
+/// The Theorem 2.7 syntax for ⟨ℕ, ′⟩.
+#[derive(Clone, Debug)]
+pub struct SuccessorSyntax {
+    pub schema: Schema,
+}
+
+impl SuccessorSyntax {
+    /// The extended-active-domain radius for a formula: "if the quantifier
+    /// depth of the formula is q, the new constants introduced under the
+    /// quantifier-elimination procedure are within the distance 2^q".
+    pub fn radius(phi: &Formula) -> u64 {
+        1u64 << phi.quantifier_depth().min(62)
+    }
+
+    /// The extended-active-domain membership formula Δ⁺(x): within
+    /// distance `radius` of an active-domain element or of 0.
+    pub fn extended_active_domain(&self, var: &str, radius: u64, consts: &[Term]) -> Formula {
+        let taken: std::collections::BTreeSet<String> = [var.to_string()].into();
+        let y = fresh_var("_ead", &taken);
+        let delta_y = active_domain_formula(&self.schema, &y, consts);
+        // ⋁_{k ≤ r} (x = y⁽ᵏ⁾ ∨ y = x⁽ᵏ⁾)
+        let near_y = Formula::or((0..=radius).flat_map(|k| {
+            [
+                Formula::eq(Term::var(var), Term::var(y.clone()).succ_n(k)),
+                Formula::eq(Term::var(y.clone()), Term::var(var).succ_n(k)),
+            ]
+        }));
+        let near_active = Formula::exists(y.clone(), Formula::and([delta_y, near_y]));
+        // ⋁_{k ≤ r} x = 0⁽ᵏ⁾ — "the active domain plus the elements that
+        // are within the specified range … (and 0)".
+        let near_zero =
+            Formula::or((0..=radius).map(|k| Formula::eq(Term::var(var), Term::Nat(k))));
+        Formula::or([near_active, near_zero])
+    }
+
+    /// The Theorem 2.7 transform: `φ ∧ ⋀ᵢ Δ⁺_q(xᵢ)`.
+    pub fn transform(&self, phi: &Formula) -> Formula {
+        let radius = Self::radius(phi);
+        let consts = formula_constants(phi);
+        let guards = phi
+            .free_vars()
+            .into_iter()
+            .map(|v| self.extended_active_domain(&v, radius, &consts));
+        Formula::and(std::iter::once(phi.clone()).chain(guards))
+    }
+}
+
+/// Corollary 2.4 applied to the trace domain: **T** extended with the
+/// length-lexicographic order `⊑` (rendered as the binary predicate
+/// `llex`), which is isomorphic to ⟨ℕ, <⟩ via [`Self::index`].
+///
+/// The finitization syntax of Theorem 2.2 therefore works over this
+/// extension — but Corollary 3.2 proves its first-order theory is
+/// **undecidable**, so [`Self::decide`] only offers bounded
+/// model-checking refutation, never a full decision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrderedTraceExtension;
+
+impl OrderedTraceExtension {
+    /// Length-lexicographic order on domain strings (`1 < & < * < #`).
+    pub fn llex_lt(a: &str, b: &str) -> bool {
+        let rank = |c: char| match c {
+            '1' => 0u8,
+            '&' => 1,
+            '*' => 2,
+            '#' => 3,
+            _ => 4,
+        };
+        a.len() < b.len()
+            || (a.len() == b.len()
+                && a.chars().map(rank).lt(b.chars().map(rank)))
+    }
+
+    /// The position of a string in the canonical enumeration — the
+    /// isomorphism with ⟨ℕ, <⟩.
+    pub fn index(s: &str) -> u128 {
+        // Strings of length < n: (4^n − 1) / 3; then base-4 offset.
+        let n = s.len() as u32;
+        let shorter = (4u128.pow(n) - 1) / 3;
+        let offset = s.chars().fold(0u128, |acc, c| {
+            acc * 4
+                + match c {
+                    '1' => 0,
+                    '&' => 1,
+                    '*' => 2,
+                    '#' => 3,
+                    _ => 0,
+                }
+        });
+        shorter + offset
+    }
+
+    /// The Theorem 2.2 finitization over the extension, with `<` replaced
+    /// by the order predicate `llex`.
+    pub fn finitize(&self, phi: &Formula) -> Formula {
+        let free: Vec<String> = phi.free_vars().into_iter().collect();
+        if free.is_empty() {
+            return phi.clone();
+        }
+        let taken = phi.all_vars();
+        let m = fresh_var("m", &taken);
+        let bound = Formula::and(free.iter().map(|x| {
+            Formula::pred("llex", vec![Term::var(x.clone()), Term::var(m.clone())])
+        }));
+        let guard = Formula::exists(
+            m,
+            Formula::forall_many(free, Formula::implies(phi.clone(), bound)),
+        );
+        Formula::and([phi.clone(), guard])
+    }
+
+    /// Corollary 3.2: no decision procedure can exist for this extension
+    /// (otherwise the finitization syntax would contradict Theorem 3.1).
+    /// Only bounded refutation is offered: evaluate the sentence over the
+    /// first `n` strings; a counterexample to a universal claim is final,
+    /// anything else is `BudgetExhausted`.
+    pub fn decide(&self, _sentence: &Formula) -> Result<bool, DomainError> {
+        Err(DomainError::BudgetExhausted {
+            detail: "the theory of T extended with a length-lex order is \
+                     undecidable (Corollary 3.2); use check_over_prefix for \
+                     bounded model checking"
+                .to_string(),
+        })
+    }
+
+    /// Bounded model checking over the first `n` strings of the domain.
+    pub fn check_over_prefix(&self, sentence: &Formula, n: usize) -> Result<bool, DomainError> {
+        use fq_logic::eval::{eval_sentence, Interpretation};
+        struct Interp;
+        impl Interpretation for Interp {
+            type Elem = String;
+            fn nat(&self, _n: u64) -> Result<String, fq_logic::LogicError> {
+                Err(fq_logic::LogicError::eval("no numerals in T"))
+            }
+            fn str_lit(&self, s: &str) -> Result<String, fq_logic::LogicError> {
+                Ok(s.to_string())
+            }
+            fn func(&self, name: &str, args: &[String]) -> Result<String, fq_logic::LogicError> {
+                match (name, args) {
+                    ("w", [s]) => Ok(fq_turing::trace::validate_trace(s)
+                        .map(|i| i.word)
+                        .unwrap_or_default()),
+                    ("m", [s]) => Ok(fq_turing::trace::validate_trace(s)
+                        .map(|i| i.machine_str)
+                        .unwrap_or_default()),
+                    _ => Err(fq_logic::LogicError::eval(format!("unknown function {name}"))),
+                }
+            }
+            fn pred(&self, name: &str, args: &[String]) -> Result<bool, fq_logic::LogicError> {
+                match (name, args) {
+                    ("llex", [a, b]) => Ok(OrderedTraceExtension::llex_lt(a, b)),
+                    ("P", [m, w, p]) => Ok(fq_turing::trace::p_predicate(m, w, p)),
+                    _ => Err(fq_logic::LogicError::eval(format!("unknown predicate {name}"))),
+                }
+            }
+        }
+        let universe = fq_domains::traces::enumerate_strings(n);
+        Ok(eval_sentence(&Interp, &universe, sentence)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_domains::{DecidableTheory, NatSucc, Presburger};
+    use fq_logic::parse_formula;
+    use fq_relational::active_eval::{eval_query, NoOps};
+    use fq_relational::{State, Value};
+
+    fn fathers_schema() -> Schema {
+        Schema::new().with_relation("F", 2)
+    }
+
+    fn fathers_state() -> State {
+        State::new(fathers_schema())
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+    }
+
+    #[test]
+    fn active_domain_formula_matches_stored_values() {
+        let delta = active_domain_formula(&fathers_schema(), "x", &[]);
+        let ans = eval_query(&fathers_state(), &NoOps, &delta, &["x".to_string()]).unwrap();
+        let vals: Vec<u64> = ans
+            .into_iter()
+            .map(|t| match &t[0] {
+                Value::Nat(n) => *n,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn active_domain_syntax_makes_unsafe_queries_safe() {
+        // ¬F(x, y) is unsafe; its transform restricts both variables.
+        let syntax = ActiveDomainSyntax { schema: fathers_schema() };
+        let phi = parse_formula("!F(x, y)").unwrap();
+        let t = syntax.transform(&phi);
+        assert!(fq_relational::is_safe_range(&fathers_schema(), &t));
+        // And evaluates to the finite complement within the active domain.
+        let ans = eval_query(
+            &fathers_state(),
+            &NoOps,
+            &t,
+            &["x".to_string(), "y".to_string()],
+        )
+        .unwrap();
+        assert_eq!(ans.len(), 9 - 2); // 3×3 pairs minus the 2 stored
+    }
+
+    #[test]
+    fn active_domain_syntax_preserves_domain_independent_queries() {
+        let syntax = ActiveDomainSyntax { schema: fathers_schema() };
+        let phi = parse_formula("exists y. F(x, y)").unwrap();
+        let t = syntax.transform(&phi);
+        let before =
+            eval_query(&fathers_state(), &NoOps, &phi, &["x".to_string()]).unwrap();
+        let after = eval_query(&fathers_state(), &NoOps, &t, &["x".to_string()]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn finitization_syntax_enumerates_finite_formulas() {
+        let syntax = FinitizationSyntax {
+            space: FormulaSpace {
+                predicates: vec![("<".to_string(), 2)],
+                constants: vec![Term::Nat(0), Term::Nat(3)],
+                variables: vec!["x".to_string()],
+                unary_functions: vec![],
+                with_equality: true,
+            },
+        };
+        // Every enumerated member is finite over Presburger: its own
+        // finitization is equivalent to it.
+        for member in syntax.enumerate(25) {
+            let refin = finitize(&member);
+            assert!(
+                Presburger.equivalent(&member, &refin).unwrap(),
+                "member `{member}` is not finite"
+            );
+        }
+    }
+
+    #[test]
+    fn successor_syntax_radius_is_two_to_the_depth() {
+        let phi = parse_formula("exists y. x = y'").unwrap();
+        assert_eq!(SuccessorSyntax::radius(&phi), 2);
+        let deep = parse_formula("exists a. exists b. exists d. x = a & a = b & b = d").unwrap();
+        assert_eq!(SuccessorSyntax::radius(&deep), 8);
+    }
+
+    #[test]
+    fn successor_transform_is_equivalent_for_finite_queries() {
+        // Over scheme R/1 with state {5}: φ(x) := ∃y R(y) ∧ x = y′ is
+        // finite; the transform must yield the same pure-domain answers.
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema.clone()).with_tuple("R", vec![Value::Nat(5)]);
+        let syntax = SuccessorSyntax { schema };
+        let phi = parse_formula("exists y. R(y) & x = y'").unwrap();
+        let t = syntax.transform(&phi);
+        let phi_d = fq_relational::translate_to_domain_formula(&phi, &state);
+        let t_d = fq_relational::translate_to_domain_formula(&t, &state);
+        assert!(NatSucc.equivalent(&phi_d, &t_d).unwrap());
+    }
+
+    #[test]
+    fn successor_transform_truncates_infinite_queries() {
+        // φ(x) := ¬R(x) is infinite; the transform is a strict subset.
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema.clone()).with_tuple("R", vec![Value::Nat(5)]);
+        let syntax = SuccessorSyntax { schema };
+        let phi = parse_formula("!R(x)").unwrap();
+        let t = syntax.transform(&phi);
+        let phi_d = fq_relational::translate_to_domain_formula(&phi, &state);
+        let t_d = fq_relational::translate_to_domain_formula(&t, &state);
+        assert!(!NatSucc.equivalent(&phi_d, &t_d).unwrap());
+        // The transform still has answers near the active domain.
+        let radius = SuccessorSyntax::radius(&phi);
+        assert_eq!(radius, 1);
+        // 5−1, 5+1 are in Δ⁺ and satisfy ¬R; also 0..=1 near zero.
+        let witness = fq_logic::substitute(&t_d, "x", &Term::Nat(4));
+        let closed = Formula::forall_many(Vec::<String>::new(), witness);
+        assert!(NatSucc.decide(&closed).unwrap());
+    }
+
+    #[test]
+    fn llex_order_is_a_linear_order_on_samples() {
+        let strings = fq_domains::traces::enumerate_strings(40);
+        for (i, a) in strings.iter().enumerate() {
+            for (j, b) in strings.iter().enumerate() {
+                assert_eq!(
+                    OrderedTraceExtension::llex_lt(a, b),
+                    i < j,
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn llex_index_is_the_enumeration_position() {
+        let strings = fq_domains::traces::enumerate_strings(100);
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(OrderedTraceExtension::index(s), i as u128, "{s}");
+        }
+    }
+
+    #[test]
+    fn ordered_extension_refuses_to_decide() {
+        let err = OrderedTraceExtension.decide(&parse_formula("exists x. x = x").unwrap());
+        assert!(matches!(err, Err(DomainError::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn ordered_extension_bounded_checking() {
+        let ext = OrderedTraceExtension;
+        // Within any finite prefix there is a maximal element, so this
+        // bounded check "verifies" a sentence false in the full domain —
+        // the honest limitation of model checking an infinite structure.
+        let has_max = parse_formula("exists x. forall y. !llex(x, y)").unwrap();
+        assert!(ext.check_over_prefix(&has_max, 30).unwrap());
+        // Irreflexivity holds in every prefix and in the full domain.
+        let irref = parse_formula("forall x. !llex(x, x)").unwrap();
+        assert!(ext.check_over_prefix(&irref, 30).unwrap());
+    }
+
+    #[test]
+    fn ordered_extension_finitization_shape() {
+        let phi = parse_formula("P(m0, w0, x)").unwrap();
+        let fin = OrderedTraceExtension.finitize(&phi);
+        assert!(fin.predicate_names().contains("llex"));
+        assert_eq!(fin.free_vars(), phi.free_vars());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the safety theory.
+
+use fq_core::finitize;
+use fq_core::relative::{relative_safety_eq, relative_safety_nat};
+use fq_domains::{DecidableTheory, Presburger};
+use fq_logic::{Formula, Term};
+use fq_relational::active_eval::{eval_query, NoOps};
+use fq_relational::{Schema, State, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new().with_relation("R", 2)
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    proptest::collection::btree_set((0u64..5, 0u64..5), 0..5).prop_map(|tuples| {
+        let mut state = State::new(schema());
+        for (a, b) in tuples {
+            state.insert("R", vec![Value::Nat(a), Value::Nat(b)]);
+        }
+        state
+    })
+}
+
+/// Random single-free-variable queries mixing database atoms with order
+/// atoms (so both finite and infinite answers appear).
+fn arb_query() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        (0u64..5).prop_map(|k| Formula::pred(
+            "R",
+            vec![Term::var("x"), Term::Nat(k)]
+        )),
+        (0u64..5).prop_map(|k| Formula::pred(
+            "R",
+            vec![Term::Nat(k), Term::var("x")]
+        )),
+        (0u64..6).prop_map(|k| Formula::eq(Term::var("x"), Term::Nat(k))),
+        (0u64..6).prop_map(|k| Formula::lt(Term::var("x"), Term::Nat(k))),
+        (0u64..6).prop_map(|k| Formula::lt(Term::Nat(k), Term::var("x"))),
+    ];
+    atom.prop_recursive(2, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Ground-truth finiteness over ⟨ℕ,<⟩ for the workload above: evaluate
+/// the translated formula pointwise; the atoms only reference constants
+/// < 6 and stored values < 5, so the answer set is an eventually-constant
+/// predicate — if x = 50 satisfies it, it is infinite.
+fn brute_finite(state: &State, q: &Formula) -> bool {
+    let phi = fq_relational::translate_to_domain_formula(q, state);
+    let at = |n: u64| {
+        let inst = fq_logic::substitute(&phi, "x", &Term::Nat(n));
+        Presburger
+            .decide(&Formula::forall_many(Vec::<String>::new(), inst))
+            .unwrap()
+    };
+    // Beyond every constant in sight, truth is constant in x.
+    !at(50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem_2_5_matches_ground_truth(state in arb_state(), q in arb_query()) {
+        let vars = vec!["x".to_string()];
+        let decided = relative_safety_nat(&state, &q, &vars).unwrap();
+        prop_assert_eq!(decided, brute_finite(&state, &q), "query {}", q);
+    }
+
+    #[test]
+    fn finitization_is_idempotent_up_to_equivalence(q in arb_query(), state in arb_state()) {
+        let phi = fq_relational::translate_to_domain_formula(&q, &state);
+        let fin = finitize(&phi);
+        // fin is finite, so finitizing again changes nothing semantically.
+        prop_assert!(Presburger.equivalent(&fin, &finitize(&fin)).unwrap());
+    }
+
+    #[test]
+    fn finitization_implies_original(q in arb_query(), state in arb_state()) {
+        // fin(φ) → φ is valid (the transform only restricts).
+        let phi = fq_relational::translate_to_domain_formula(&q, &state);
+        let fin = finitize(&phi);
+        let implication = Formula::forall_many(
+            phi.free_vars().into_iter().collect::<Vec<_>>(),
+            Formula::implies(fin, phi),
+        );
+        prop_assert!(Presburger.decide(&implication).unwrap());
+    }
+
+    #[test]
+    fn eq_relative_safety_is_monotone_under_fresh_elements(state in arb_state()) {
+        // Purely relational queries (no order): the fresh-element test
+        // says finite iff the active-domain evaluation is the whole
+        // answer. For positive-existential queries this is always true.
+        let q = fq_logic::parse_formula("exists y. R(x, y)").unwrap();
+        let finite = relative_safety_eq(&state, &q, &["x".to_string()]).unwrap();
+        prop_assert!(finite);
+        let answers = eval_query(&state, &NoOps, &q, &["x".to_string()]).unwrap();
+        // All answers are active-domain members.
+        let ad = state.active_domain();
+        prop_assert!(answers.iter().all(|t| ad.contains(&t[0])));
+    }
+
+    #[test]
+    fn negated_relational_queries_are_infinite_unless_trivial(state in arb_state()) {
+        // ¬R(x, x) is infinite over the equality domain whenever the
+        // domain has elements outside the diagonal — always.
+        let q = fq_logic::parse_formula("!R(x, x)").unwrap();
+        let finite = relative_safety_eq(&state, &q, &["x".to_string()]).unwrap();
+        prop_assert!(!finite);
+    }
+}
+
+mod negative_props {
+    use fq_core::negative::{cantor_unpair, CandidateSyntax, ExactRuntimeSyntax};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cantor_unpair_injective(r1 in 0usize..5000, r2 in 0usize..5000) {
+            if r1 != r2 {
+                prop_assert_ne!(cantor_unpair(r1), cantor_unpair(r2));
+            }
+        }
+
+        #[test]
+        fn candidates_are_well_formed(r in 0usize..30) {
+            let phi = ExactRuntimeSyntax.candidate(r).unwrap();
+            // Free variable is exactly x; constant c appears.
+            prop_assert_eq!(
+                phi.free_vars().into_iter().collect::<Vec<_>>(),
+                vec!["x".to_string()]
+            );
+            prop_assert!(phi.named_constants().contains("c"));
+        }
+    }
+}
+
+mod answer_props {
+    use fq_core::answer_query;
+    use fq_domains::NatOrder;
+    use fq_logic::{Formula, Term};
+    use fq_relational::active_eval::{eval_query, NoOps};
+    use fq_relational::{Schema, State, Value};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn schema() -> Schema {
+        Schema::new().with_relation("R", 2)
+    }
+
+    fn arb_state() -> impl Strategy<Value = State> {
+        proptest::collection::btree_set((0u64..4, 0u64..4), 0..5).prop_map(|tuples| {
+            let mut state = State::new(schema());
+            for (a, b) in tuples {
+                state.insert("R", vec![Value::Nat(a), Value::Nat(b)]);
+            }
+            state
+        })
+    }
+
+    /// Safe-range single-variable queries built from positive atoms.
+    fn arb_safe_query() -> impl Strategy<Value = Formula> {
+        let atom = prop_oneof![
+            Just(Formula::exists(
+                "y",
+                Formula::pred("R", vec![Term::var("x"), Term::var("y")])
+            )),
+            Just(Formula::exists(
+                "y",
+                Formula::pred("R", vec![Term::var("y"), Term::var("x")])
+            )),
+            (0u64..4).prop_map(|k| Formula::eq(Term::var("x"), Term::Nat(k))),
+            Just(Formula::pred("R", vec![Term::var("x"), Term::var("x")])),
+        ];
+        atom.prop_recursive(2, 6, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn enumerate_and_ask_matches_active_domain_eval(
+            state in arb_state(),
+            q in arb_safe_query(),
+        ) {
+            // Positive-existential queries are domain independent, so the
+            // Section 1.1 algorithm and active-domain evaluation agree —
+            // and the algorithm must terminate with a completeness
+            // certificate.
+            let vars = vec!["x".to_string()];
+            let reference: BTreeSet<u64> = eval_query(&state, &NoOps, &q, &vars)
+                .unwrap()
+                .into_iter()
+                .map(|t| match &t[0] {
+                    Value::Nat(n) => *n,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let out = answer_query(&NatOrder, &state, &q, &vars, 10_000).unwrap();
+            prop_assert!(out.is_complete(), "query {} did not complete", q);
+            let found: BTreeSet<u64> =
+                out.found().iter().map(|t| t[0]).collect();
+            prop_assert_eq!(found, reference, "query {}", q);
+        }
+    }
+}

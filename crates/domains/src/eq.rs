@@ -1,0 +1,148 @@
+//! The simplest domain: an infinite set with equality only.
+//!
+//! "The simplest possible example to start with is an infinite domain with
+//! the only domain relation of equality. In this case … every finite
+//! formula is domain independent" (Section 2). Elements are abstractly the
+//! naturals, but *no* arithmetic is available — only `=`.
+//!
+//! The theory of an infinite pure-equality structure is decidable by a
+//! small-model argument: a sentence of quantifier depth `q` mentioning `k`
+//! distinct constants holds in the infinite model iff it holds when
+//! quantifiers range over the `k` constants plus `q` fresh elements
+//! (any two elements outside the named ones are indistinguishable).
+
+use crate::domain::{require_sentence, DecidableTheory, Domain, DomainError};
+use fq_logic::eval::{eval_sentence, Interpretation};
+use fq_logic::{Formula, LogicError, Term};
+
+/// The infinite pure-equality domain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EqDomain;
+
+struct EqInterp;
+
+impl Interpretation for EqInterp {
+    type Elem = u64;
+
+    fn nat(&self, n: u64) -> Result<u64, LogicError> {
+        Ok(n)
+    }
+
+    fn func(&self, name: &str, _args: &[u64]) -> Result<u64, LogicError> {
+        Err(LogicError::eval(format!(
+            "the equality domain has no functions (got `{name}`)"
+        )))
+    }
+
+    fn pred(&self, name: &str, _args: &[u64]) -> Result<bool, LogicError> {
+        Err(LogicError::eval(format!(
+            "the equality domain has no predicates (got `{name}`)"
+        )))
+    }
+}
+
+impl Domain for EqDomain {
+    type Elem = u64;
+
+    fn name(&self) -> String {
+        "⟨infinite set, =⟩".to_string()
+    }
+
+    fn enumerate(&self, n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn elem_term(&self, e: &u64) -> Term {
+        Term::Nat(*e)
+    }
+
+    fn parse_elem(&self, t: &Term) -> Option<u64> {
+        match t {
+            Term::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl DecidableTheory for EqDomain {
+    fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        require_sentence(sentence)?;
+        // Small-model property: constants + quantifier-depth fresh points.
+        let (nats, strs) = sentence.literal_constants();
+        if !strs.is_empty() {
+            return Err(DomainError::UnsupportedSymbol {
+                symbol: format!("string literal \"{}\"", strs.iter().next().expect("nonempty")),
+            });
+        }
+        let mut universe: Vec<u64> = nats.into_iter().collect();
+        let fresh_base = universe.iter().max().map_or(0, |m| m + 1);
+        for i in 0..sentence.quantifier_depth() as u64 {
+            universe.push(fresh_base + i);
+        }
+        if universe.is_empty() {
+            // A quantifier-free sentence without constants is a boolean
+            // combination of True/False; one point suffices.
+            universe.push(0);
+        }
+        Ok(eval_sentence(&EqInterp, &universe, sentence)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn decide(s: &str) -> bool {
+        EqDomain.decide(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn the_domain_is_infinite() {
+        // For any x, y there is a z different from both.
+        assert!(decide("forall x y. exists z. z != x & z != y"));
+        // There are at least 4 distinct elements.
+        assert!(decide(
+            "exists a b c d. a != b & a != c & a != d & b != c & b != d & c != d"
+        ));
+    }
+
+    #[test]
+    fn no_two_element_bound() {
+        // "Every element equals 0 or 1" is false.
+        assert!(!decide("forall x. x = 0 | x = 1"));
+    }
+
+    #[test]
+    fn constants_are_distinct_elements() {
+        assert!(decide("0 != 1"));
+        assert!(decide("exists x. x = 5"));
+    }
+
+    #[test]
+    fn quantifier_depth_matters() {
+        // ∃x∃y x≠y needs two fresh points — depth 2 provides them.
+        assert!(decide("exists x y. x != y"));
+    }
+
+    #[test]
+    fn equality_axioms() {
+        assert!(decide("forall x. x = x"));
+        assert!(decide("forall x y. x = y -> y = x"));
+        assert!(decide("forall x y z. x = y & y = z -> x = z"));
+    }
+
+    #[test]
+    fn rejects_arithmetic() {
+        assert!(EqDomain
+            .decide(&parse_formula("forall x. exists y. x < y").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_string_constants() {
+        assert!(EqDomain
+            .decide(&parse_formula("exists x. x = \"1\"").unwrap())
+            .is_err());
+    }
+}

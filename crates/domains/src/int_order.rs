@@ -1,0 +1,112 @@
+//! The domain ⟨ℤ, <⟩ (and its Presburger extension).
+//!
+//! Section 2.1: "integers with < can be handled similarly after a minor
+//! modification of the finitization procedure" — the bound must clamp the
+//! answers from **both** sides (`fq-core`'s `finitize_two_sided`).
+//! Decision is Cooper's procedure without the ℕ relativization.
+
+use crate::domain::{DecidableTheory, Domain, DomainError};
+use crate::presburger::Presburger;
+use fq_logic::{Formula, Term};
+
+/// The domain ⟨ℤ, <, +⟩. Elements are encoded as `i64`; the canonical
+/// enumeration alternates 0, 1, −1, 2, −2, …
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntOrder;
+
+impl IntOrder {
+    /// The ground term denoting an integer: non-negative values are
+    /// numerals, negative values are `0 - |n|`.
+    pub fn int_term(n: i64) -> Term {
+        if n >= 0 {
+            Term::Nat(n as u64)
+        } else {
+            Term::app2("-", Term::Nat(0), Term::Nat(n.unsigned_abs()))
+        }
+    }
+}
+
+impl Domain for IntOrder {
+    type Elem = i64;
+
+    fn name(&self) -> String {
+        "⟨Z, <, +⟩".to_string()
+    }
+
+    fn enumerate(&self, n: usize) -> Vec<i64> {
+        (0..n as i64)
+            .map(|k| {
+                if k % 2 == 0 {
+                    k / 2
+                } else {
+                    -(k / 2) - 1
+                }
+            })
+            .collect()
+    }
+
+    fn elem_term(&self, e: &i64) -> Term {
+        Self::int_term(*e)
+    }
+
+    fn parse_elem(&self, t: &Term) -> Option<i64> {
+        match t {
+            Term::Nat(n) => i64::try_from(*n).ok(),
+            Term::App(f, args) if f == "-" && args.len() == 2 => {
+                match (&args[0], &args[1]) {
+                    (Term::Nat(0), Term::Nat(n)) => i64::try_from(*n).ok().map(|v| -v),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl DecidableTheory for IntOrder {
+    fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        Presburger.decide_over_integers(sentence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn decide(s: &str) -> bool {
+        IntOrder.decide(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn no_endpoints() {
+        // Unlike ℕ there is no least element.
+        assert!(!decide("exists y. forall x. y <= x"));
+        assert!(decide("forall x. exists y. y < x"));
+        assert!(decide("forall x. exists y. x < y"));
+    }
+
+    #[test]
+    fn discreteness() {
+        assert!(decide("forall x. !(exists z. x < z & z < x + 1)"));
+    }
+
+    #[test]
+    fn negative_constants() {
+        // 0 − 3 < 0 over ℤ.
+        assert!(decide("0 - 3 < 0"));
+        assert!(decide("exists x. x < 0"));
+    }
+
+    #[test]
+    fn enumeration_alternates() {
+        assert_eq!(IntOrder.enumerate(5), vec![0, -1, 1, -2, 2]);
+    }
+
+    #[test]
+    fn int_term_round_trip() {
+        for n in [-5i64, -1, 0, 1, 7] {
+            assert_eq!(IntOrder.parse_elem(&IntOrder::int_term(n)), Some(n), "{n}");
+        }
+    }
+}

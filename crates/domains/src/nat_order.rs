@@ -1,0 +1,173 @@
+//! The domain N< = ⟨ℕ, <⟩ of Section 2.1.
+//!
+//! "Of special interest is the fact that the results presented here remain
+//! true for extensions of the domain" — ⟨ℕ, <⟩ is a reduct of Presburger
+//! arithmetic, so its sentences (and those of any Presburger-definable
+//! extension) are decided by delegating to Cooper's procedure.
+//!
+//! This module also provides [`NatOrder::active_domain_formula`], the
+//! formula Δ(x) defining the active domain that Fact 2.1's construction
+//! uses, specialized to a given finite set of constants.
+
+use crate::domain::{DecidableTheory, Domain, DomainError};
+use crate::presburger::Presburger;
+use fq_logic::{Formula, Term};
+
+/// The domain ⟨ℕ, <⟩ (with ≤, >, ≥ as definable conveniences).
+///
+/// Sentences may freely use the richer Presburger signature — the paper's
+/// theorems are stated "for any extension of the domain N<", and the
+/// decision procedure covers the canonical one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NatOrder;
+
+impl NatOrder {
+    /// The formula `Δ(x)`: `x` belongs to the given finite set of elements
+    /// (used as the "active domain" formula in Fact 2.1's construction,
+    /// where the active domain has been materialized by the relational
+    /// layer).
+    pub fn active_domain_formula(&self, var: &str, elements: &[u64]) -> Formula {
+        Formula::or(
+            elements
+                .iter()
+                .map(|e| Formula::eq(Term::var(var), Term::Nat(*e))),
+        )
+    }
+
+    /// The Fact 2.1 witness formula: "the smallest integer greater than all
+    /// active-domain elements", over the given materialized active domain.
+    ///
+    /// The resulting formula is **finite** (its answer is always one
+    /// element) but **not domain-independent** (the answer lies outside
+    /// the active domain).
+    pub fn least_upper_witness(&self, var: &str, active: &[u64]) -> Formula {
+        let delta_y = self.active_domain_formula("y", active);
+        // (∀y)(Δ(y) → x > y) ∧ (∀y)(y < x → (∃z)(Δ(z) ∧ z ≥ y))
+        Formula::and([
+            Formula::forall(
+                "y",
+                Formula::implies(
+                    delta_y.clone(),
+                    Formula::pred(">", vec![Term::var(var), Term::var("y")]),
+                ),
+            ),
+            Formula::forall(
+                "y",
+                Formula::implies(
+                    Formula::lt(Term::var("y"), Term::var(var)),
+                    Formula::exists(
+                        "z",
+                        Formula::and([
+                            self.active_domain_formula("z", active),
+                            Formula::pred(">=", vec![Term::var("z"), Term::var("y")]),
+                        ]),
+                    ),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Domain for NatOrder {
+    type Elem = u64;
+
+    fn name(&self) -> String {
+        "⟨N, <⟩".to_string()
+    }
+
+    fn enumerate(&self, n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn elem_term(&self, e: &u64) -> Term {
+        Term::Nat(*e)
+    }
+
+    fn parse_elem(&self, t: &Term) -> Option<u64> {
+        match t {
+            Term::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl DecidableTheory for NatOrder {
+    fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        Presburger.decide(sentence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn decide(s: &str) -> bool {
+        NatOrder.decide(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn discrete_unbounded_order_with_least_element() {
+        assert!(decide("exists x. forall y. x <= y"));
+        assert!(decide("forall x. exists y. x < y"));
+        assert!(!decide("forall x. exists y. y < x"));
+        // Discreteness: nothing strictly between x and x+1 — expressible
+        // in the extension with +.
+        assert!(decide("forall x. !(exists z. x < z & z < x + 1)"));
+    }
+
+    #[test]
+    fn active_domain_formula_defines_membership() {
+        let delta = NatOrder.active_domain_formula("x", &[2, 5]);
+        let member = Formula::forall_many(
+            Vec::<String>::new(),
+            fq_logic::substitute(&delta, "x", &Term::Nat(5)),
+        );
+        assert!(NatOrder.decide(&member).unwrap());
+        let non_member = fq_logic::substitute(&delta, "x", &Term::Nat(3));
+        assert!(!NatOrder.decide(&non_member).unwrap());
+    }
+
+    #[test]
+    fn fact_2_1_witness_is_the_least_strict_upper_bound() {
+        // Active domain {1, 4}: the witness must be exactly 5.
+        let phi = NatOrder.least_upper_witness("x", &[1, 4]);
+        let at_5 = fq_logic::substitute(&phi, "x", &Term::Nat(5));
+        assert!(NatOrder.decide(&at_5).unwrap());
+        for other in [0, 1, 4, 6, 7] {
+            let at = fq_logic::substitute(&phi, "x", &Term::Nat(other));
+            assert!(!NatOrder.decide(&at).unwrap(), "x = {other}");
+        }
+    }
+
+    #[test]
+    fn fact_2_1_witness_has_exactly_one_answer() {
+        let phi = NatOrder.least_upper_witness("x", &[3, 7]);
+        let unique = Formula::exists(
+            "x",
+            Formula::and([
+                phi.clone(),
+                Formula::forall(
+                    "x2",
+                    Formula::implies(
+                        fq_logic::substitute(&phi, "x", &Term::var("x2")),
+                        Formula::eq(Term::var("x2"), Term::var("x")),
+                    ),
+                ),
+            ]),
+        );
+        assert!(NatOrder.decide(&unique).unwrap());
+    }
+
+    #[test]
+    fn empty_active_domain_witness_is_zero() {
+        // With an empty active domain the least strict upper bound is 0
+        // (every y < x must be dominated by an active element — vacuous
+        // only when x = 0).
+        let phi = NatOrder.least_upper_witness("x", &[]);
+        let at_0 = fq_logic::substitute(&phi, "x", &Term::Nat(0));
+        assert!(NatOrder.decide(&at_0).unwrap());
+        let at_1 = fq_logic::substitute(&phi, "x", &Term::Nat(1));
+        assert!(!NatOrder.decide(&at_1).unwrap());
+    }
+}

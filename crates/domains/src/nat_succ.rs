@@ -1,0 +1,664 @@
+//! The domain N′ = ⟨ℕ, ′, =⟩ of Section 2.2 — successor, **no order**.
+//!
+//! "The reason we consider it is to make a technical point, that we do not
+//! necessarily need < for an effective syntax." The paper sketches the
+//! quantifier-elimination procedure (after Mal'cev): every formula is
+//! equivalent to a quantifier-free one over atoms `x⁽ⁿ⁾ = y`, `x = y⁽ⁿ⁾`
+//! and their negations, where `t⁽ⁿ⁾` is `t` followed by `n` primes.
+//!
+//! Elimination of `∃x` from a conjunction of literals:
+//!
+//! * `x⁽ᵃ⁾ = x⁽ᵇ⁾` resolves to `a = b`;
+//! * a positive equality `x⁽ᵃ⁾ = t` is solved for `x`: substitute
+//!   `x = t⁽ᵇ⁻ᵃ⁾`, and when `b < a` "additionally add the conjunction
+//!   `y ≠ 0 ∧ … ∧ y ≠ (a−b−1)`" (the paper's guard making `y⁽ᵇ⁻ᵃ⁾`
+//!   defined);
+//! * a conjunction of inequalities only is always satisfiable (each
+//!   inequality excludes at most one value of `x` from an infinite set).
+//!
+//! The same analysis powers the Theorem 2.6 relative-safety decision: a
+//! quantifier-free formula has a finite solution set iff every satisfiable
+//! DNF conjunct pins every free variable to a constant through a chain of
+//! equalities (see [`NatSucc::solution_set_finite`]).
+
+use crate::domain::{require_sentence, DecidableTheory, Domain, DomainError};
+use fq_logic::transform::{dnf_conjunctions, dnf_conjunctions_wrt, nnf, simplify, DnfPiece, Literal};
+use fq_logic::{Formula, Term};
+use std::collections::BTreeMap;
+
+/// The domain ⟨ℕ, ′, =⟩.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NatSucc;
+
+/// The base of a successor term.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SBase {
+    Var(String),
+    Num(u64),
+}
+
+/// A successor term `base⁽ᵒᶠᶠˢᵉᵗ⁾`; constants are normalized so that a
+/// numeric base always has offset 0.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct STerm {
+    pub base: SBase,
+    pub offset: u64,
+}
+
+impl STerm {
+    /// Parse an `fq-logic` term over the N′ signature.
+    pub fn from_term(t: &Term) -> Option<STerm> {
+        match t {
+            Term::Var(v) => Some(STerm { base: SBase::Var(v.clone()), offset: 0 }),
+            Term::Nat(n) => Some(STerm { base: SBase::Num(*n), offset: 0 }),
+            Term::App(f, args) if f == "succ" && args.len() == 1 => {
+                let inner = STerm::from_term(&args[0])?;
+                Some(inner.shift(1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Add `n` to the offset, folding constants.
+    pub fn shift(&self, n: u64) -> STerm {
+        match &self.base {
+            SBase::Num(k) => STerm { base: SBase::Num(k + n + self.offset), offset: 0 },
+            SBase::Var(_) => STerm { base: self.base.clone(), offset: self.offset + n },
+        }
+    }
+
+    /// Render back as an `fq-logic` term.
+    pub fn to_term(&self) -> Term {
+        let base = match &self.base {
+            SBase::Var(v) => Term::var(v.clone()),
+            SBase::Num(n) => Term::Nat(*n),
+        };
+        base.succ_n(self.offset)
+    }
+
+    /// The variable, if the base is one.
+    pub fn var(&self) -> Option<&str> {
+        match &self.base {
+            SBase::Var(v) => Some(v),
+            SBase::Num(_) => None,
+        }
+    }
+
+    /// Ground value, if constant.
+    pub fn value(&self) -> Option<u64> {
+        match &self.base {
+            SBase::Num(n) => Some(n + self.offset),
+            SBase::Var(_) => None,
+        }
+    }
+}
+
+/// A parsed equality literal `lhs ⋈ rhs`.
+#[derive(Clone, Debug)]
+struct SLit {
+    positive: bool,
+    lhs: STerm,
+    rhs: STerm,
+}
+
+fn parse_literal(l: &Literal) -> Result<SLit, DomainError> {
+    match &l.atom {
+        Formula::Eq(a, b) => {
+            let lhs = STerm::from_term(a).ok_or_else(|| DomainError::UnsupportedSymbol {
+                symbol: a.to_string(),
+            })?;
+            let rhs = STerm::from_term(b).ok_or_else(|| DomainError::UnsupportedSymbol {
+                symbol: b.to_string(),
+            })?;
+            Ok(SLit { positive: l.positive, lhs, rhs })
+        }
+        other => Err(DomainError::UnsupportedSymbol {
+            symbol: other.to_string(),
+        }),
+    }
+}
+
+impl NatSucc {
+    /// Compute a quantifier-free equivalent of a formula over the N′
+    /// signature. Quantifiers are eliminated innermost-first, keeping
+    /// variable-free subformulas opaque and simplifying between rounds.
+    pub fn quantifier_eliminate(&self, f: &Formula) -> Result<Formula, DomainError> {
+        Ok(simplify(&self.eliminate_rec(f)?))
+    }
+
+    fn eliminate_rec(&self, f: &Formula) -> Result<Formula, DomainError> {
+        Ok(match f {
+            Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => Formula::not(self.eliminate_rec(g)?),
+            Formula::And(gs) => {
+                let parts: Result<Vec<_>, _> = gs.iter().map(|g| self.eliminate_rec(g)).collect();
+                Formula::and(parts?)
+            }
+            Formula::Or(gs) => {
+                let parts: Result<Vec<_>, _> = gs.iter().map(|g| self.eliminate_rec(g)).collect();
+                Formula::or(parts?)
+            }
+            Formula::Implies(a, b) => {
+                Formula::or([Formula::not(self.eliminate_rec(a)?), self.eliminate_rec(b)?])
+            }
+            Formula::Iff(a, b) => {
+                let ea = self.eliminate_rec(a)?;
+                let eb = self.eliminate_rec(b)?;
+                Formula::or([
+                    Formula::and([ea.clone(), eb.clone()]),
+                    Formula::and([Formula::not(ea), Formula::not(eb)]),
+                ])
+            }
+            Formula::Exists(v, g) => {
+                simplify(&self.eliminate_exists(v, &simplify(&self.eliminate_rec(g)?))?)
+            }
+            Formula::Forall(v, g) => simplify(&Formula::not(self.eliminate_exists(
+                v,
+                &Formula::not(self.eliminate_rec(g)?),
+            )?)),
+        })
+    }
+
+    /// Eliminate one existential over a quantifier-free body.
+    fn eliminate_exists(&self, var: &str, body: &Formula) -> Result<Formula, DomainError> {
+        if !body.free_vars().contains(var) {
+            return Ok(body.clone());
+        }
+        let mut disjuncts = Vec::new();
+        for pieces in dnf_conjunctions_wrt(body, var) {
+            let mut residue: Vec<Formula> = Vec::new();
+            let mut literals: Vec<Literal> = Vec::new();
+            for p in pieces {
+                match p {
+                    DnfPiece::Opaque(f) => residue.push(f),
+                    DnfPiece::Lit(l) => literals.push(l),
+                }
+            }
+            let eliminated = self.eliminate_conjunct(var, &literals)?;
+            disjuncts.push(Formula::and(
+                std::iter::once(eliminated).chain(residue),
+            ));
+        }
+        Ok(Formula::or(disjuncts))
+    }
+
+    fn eliminate_conjunct(&self, var: &str, literals: &[Literal]) -> Result<Formula, DomainError> {
+        let mut residue: Vec<Formula> = Vec::new();
+        let mut x_lits: Vec<SLit> = Vec::new();
+        for l in literals {
+            let sl = parse_literal(l)?;
+            let mentions = sl.lhs.var() == Some(var) || sl.rhs.var() == Some(var);
+            if mentions {
+                x_lits.push(sl);
+            } else {
+                residue.push(l.to_formula());
+            }
+        }
+
+        // Resolve literals where BOTH sides are x-terms: x⁽ᵃ⁾ ⋈ x⁽ᵇ⁾.
+        let mut remaining: Vec<SLit> = Vec::new();
+        for sl in x_lits {
+            if sl.lhs.var() == Some(var) && sl.rhs.var() == Some(var) {
+                let holds = sl.lhs.offset == sl.rhs.offset;
+                if holds != sl.positive {
+                    // x⁽ᵃ⁾ = x⁽ᵇ⁾ with a ≠ b (or x ≠ x): conjunct is false.
+                    return Ok(Formula::False);
+                }
+                // Trivially true literal: drop.
+            } else if sl.lhs.var() == Some(var) {
+                remaining.push(sl);
+            } else {
+                // Orient so the x-term is on the left.
+                remaining.push(SLit { positive: sl.positive, lhs: sl.rhs, rhs: sl.lhs });
+            }
+        }
+
+        // A positive equality solves for x.
+        if let Some(pos) = remaining.iter().position(|l| l.positive) {
+            let eq = remaining.remove(pos);
+            let a = eq.lhs.offset; // x⁽ᵃ⁾ = rhs
+            let mut guards: Vec<Formula> = Vec::new();
+            // Solve x + a = rhs for x, when the solution is representable.
+            let solved: Option<STerm> = match eq.rhs.value() {
+                Some(v) => {
+                    if v < a {
+                        return Ok(Formula::False);
+                    }
+                    Some(STerm { base: SBase::Num(v - a), offset: 0 })
+                }
+                None => {
+                    let b = eq.rhs.offset;
+                    if b >= a {
+                        // x = y⁽ᵇ⁻ᵃ⁾.
+                        Some(STerm { base: eq.rhs.base.clone(), offset: b - a })
+                    } else {
+                        // x = y − (a−b): guard y ∉ {0, …, a−b−1} (the
+                        // paper's "add the conjunction y ≠ 0 ∧ … ∧
+                        // y ≠ (n−1)").
+                        for k in 0..(a - b) {
+                            guards.push(Formula::neq(
+                                STerm { base: eq.rhs.base.clone(), offset: 0 }.to_term(),
+                                Term::Nat(k),
+                            ));
+                        }
+                        None
+                    }
+                }
+            };
+            // Substitute into the remaining literals.
+            for l in &remaining {
+                let c = l.lhs.offset; // x⁽ᶜ⁾ ⋈ l.rhs
+                let atom = match &solved {
+                    Some(s) => eval_or_atom(&s.shift(c), &l.rhs),
+                    None => {
+                        // x = y − (a−b): x⁽ᶜ⁾ ⋈ s, i.e. y + c − (a−b) ⋈ s;
+                        // shift both sides by a−b ≥ 0 to stay in ℕ:
+                        // y⁽ᶜ⁾ ⋈ s⁽ᵃ⁻ᵇ⁾.
+                        eval_or_atom(
+                            &STerm { base: eq.rhs.base.clone(), offset: c },
+                            &l.rhs.shift(a - eq.rhs.offset),
+                        )
+                    }
+                };
+                guards.push(if l.positive { atom } else { Formula::not(atom) });
+            }
+            residue.extend(guards);
+            return Ok(Formula::and(residue));
+        }
+
+        // Only inequalities constrain x: always satisfiable over infinite ℕ.
+        Ok(Formula::and(residue))
+    }
+
+    /// Decide whether a **quantifier-free** formula has a finite solution
+    /// set over the given free variables — Theorem 2.6's core step
+    /// ("given a quantifier-free formula, it is easy to decide upon the
+    /// finiteness of the answer it yields").
+    pub fn solution_set_finite(
+        &self,
+        qf: &Formula,
+        vars: &[String],
+    ) -> Result<bool, DomainError> {
+        for conjunct in dnf_conjunctions(&nnf(qf)) {
+            let lits: Result<Vec<SLit>, _> = conjunct.iter().map(parse_literal).collect();
+            let lits = lits?;
+            if let Some(pinned) = analyze_conjunct(&lits) {
+                // Satisfiable conjunct: finite only if every free variable
+                // is pinned to a constant.
+                for v in vars {
+                    if !pinned.get(v.as_str()).copied().unwrap_or(false) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Build the equality atom between two successor terms, folding ground
+/// cases.
+fn eval_or_atom(lhs: &STerm, rhs: &STerm) -> Formula {
+    match (lhs.value(), rhs.value()) {
+        (Some(a), Some(b)) => {
+            if a == b {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        _ => {
+            if lhs == rhs {
+                Formula::True
+            } else if lhs.var().is_some() && lhs.var() == rhs.var() {
+                // Same variable, different offsets: never equal.
+                Formula::False
+            } else {
+                Formula::eq(lhs.to_term(), rhs.to_term())
+            }
+        }
+    }
+}
+
+/// Analyze a conjunction of successor literals.
+///
+/// Returns `None` if the conjunct is unsatisfiable over ℕ; otherwise a map
+/// from variable to "is pinned to a constant value".
+#[allow(clippy::needless_range_loop)]
+fn analyze_conjunct(lits: &[SLit]) -> Option<BTreeMap<String, bool>> {
+    // Union-find with offsets: value(node) = value(parent) + delta.
+    struct Uf {
+        parent: Vec<usize>,
+        delta: Vec<i128>,
+    }
+    impl Uf {
+        fn find(&mut self, i: usize) -> (usize, i128) {
+            if self.parent[i] == i {
+                return (i, 0);
+            }
+            let (root, d) = self.find(self.parent[i]);
+            self.parent[i] = root;
+            self.delta[i] += d;
+            (root, self.delta[i])
+        }
+    }
+
+    let mut index: BTreeMap<SBase, usize> = BTreeMap::new();
+    let mut bases: Vec<SBase> = Vec::new();
+    let mut uf = Uf { parent: Vec::new(), delta: Vec::new() };
+    let mut intern = |b: &SBase, uf: &mut Uf, bases: &mut Vec<SBase>| -> usize {
+        *index.entry(b.clone()).or_insert_with(|| {
+            let i = uf.parent.len();
+            uf.parent.push(i);
+            uf.delta.push(0);
+            bases.push(b.clone());
+            i
+        })
+    };
+
+    // Merge positive equalities: value(lhs.base) + lo = value(rhs.base) + ro.
+    for l in lits.iter().filter(|l| l.positive) {
+        let li = intern(&l.lhs.base, &mut uf, &mut bases);
+        let ri = intern(&l.rhs.base, &mut uf, &mut bases);
+        let (lr, ld) = uf.find(li);
+        let (rr, rd) = uf.find(ri);
+        let lo = l.lhs.offset as i128;
+        let ro = l.rhs.offset as i128;
+        if lr == rr {
+            if ld + lo != rd + ro {
+                return None;
+            }
+        } else {
+            // value(lr) = value(rr) + (rd + ro − ld − lo).
+            uf.parent[lr] = rr;
+            uf.delta[lr] = rd + ro - ld - lo;
+        }
+    }
+
+    // Pin classes containing constants; check consistency and ℕ-feasibility.
+    let mut root_value: BTreeMap<usize, i128> = BTreeMap::new();
+    for i in 0..bases.len() {
+        if let SBase::Num(k) = bases[i] {
+            let (root, d) = uf.find(i);
+            let rv = k as i128 - d;
+            match root_value.get(&root) {
+                Some(prev) if *prev != rv => return None,
+                _ => {
+                    root_value.insert(root, rv);
+                }
+            }
+        }
+    }
+    for i in 0..bases.len() {
+        let (root, d) = uf.find(i);
+        if let Some(rv) = root_value.get(&root) {
+            if rv + d < 0 {
+                return None;
+            }
+        }
+    }
+
+    // Inequalities kill the conjunct only when both sides are forced equal.
+    for l in lits.iter().filter(|l| !l.positive) {
+        let li = intern(&l.lhs.base, &mut uf, &mut bases);
+        let ri = intern(&l.rhs.base, &mut uf, &mut bases);
+        let (lr, ld) = uf.find(li);
+        let (rr, rd) = uf.find(ri);
+        let lo = l.lhs.offset as i128;
+        let ro = l.rhs.offset as i128;
+        if lr == rr && ld + lo == rd + ro {
+            return None;
+        }
+        if lr != rr {
+            if let (Some(lv), Some(rv)) = (root_value.get(&lr), root_value.get(&rr)) {
+                if lv + ld + lo == rv + rd + ro {
+                    return None;
+                }
+            }
+        }
+    }
+
+    let mut pinned = BTreeMap::new();
+    for i in 0..bases.len() {
+        if let SBase::Var(v) = bases[i].clone() {
+            let (root, _) = uf.find(i);
+            pinned.insert(v, root_value.contains_key(&root));
+        }
+    }
+    Some(pinned)
+}
+
+impl Domain for NatSucc {
+    type Elem = u64;
+
+    fn name(&self) -> String {
+        "⟨N, ′⟩".to_string()
+    }
+
+    fn enumerate(&self, n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn elem_term(&self, e: &u64) -> Term {
+        Term::Nat(*e)
+    }
+
+    fn parse_elem(&self, t: &Term) -> Option<u64> {
+        STerm::from_term(t).and_then(|s| s.value())
+    }
+}
+
+impl DecidableTheory for NatSucc {
+    fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        require_sentence(sentence)?;
+        let qf = self.quantifier_eliminate(sentence)?;
+        eval_ground(&qf)
+    }
+}
+
+/// Evaluate a ground quantifier-free N′ formula.
+pub fn eval_ground(f: &Formula) -> Result<bool, DomainError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Eq(a, b) => {
+            let av = STerm::from_term(a).and_then(|s| s.value());
+            let bv = STerm::from_term(b).and_then(|s| s.value());
+            match (av, bv) {
+                (Some(x), Some(y)) => Ok(x == y),
+                _ => Err(DomainError::NotASentence {
+                    free: f.free_vars().into_iter().collect(),
+                }),
+            }
+        }
+        Formula::Not(g) => Ok(!eval_ground(g)?),
+        Formula::And(gs) => {
+            for g in gs {
+                if !eval_ground(g)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(gs) => {
+            for g in gs {
+                if eval_ground(g)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => Ok(!eval_ground(a)? || eval_ground(b)?),
+        Formula::Iff(a, b) => Ok(eval_ground(a)? == eval_ground(b)?),
+        other => Err(DomainError::UnsupportedSymbol {
+            symbol: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn decide(s: &str) -> bool {
+        NatSucc.decide(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn successor_is_injective_and_zero_free() {
+        assert!(decide("forall x y. x' = y' -> x = y"));
+        assert!(decide("forall x. x' != 0"));
+        assert!(decide("forall x. x' != x"));
+    }
+
+    #[test]
+    fn every_nonzero_has_a_predecessor() {
+        assert!(decide("forall x. x = 0 | exists y. y' = x"));
+        assert!(!decide("forall x. exists y. y' = x"));
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert!(decide("0'' = 2"));
+        assert!(decide("1''' = 4"));
+        assert!(!decide("0' = 0"));
+    }
+
+    #[test]
+    fn existential_with_solution() {
+        assert!(decide("exists x. x'' = 5"));
+        // x'' = 1 needs x = −1.
+        assert!(!decide("exists x. x'' = 1"));
+    }
+
+    #[test]
+    fn guard_for_negative_shift() {
+        // ∃x x′ = y ⟺ y ≠ 0.
+        let f = parse_formula("exists x. x' = y").unwrap();
+        let qf = NatSucc.quantifier_eliminate(&f).unwrap();
+        assert!(qf.is_quantifier_free());
+        let at0 = fq_logic::substitute(&qf, "y", &Term::Nat(0));
+        assert!(!eval_ground(&fq_logic::transform::simplify(&at0)).unwrap());
+        let at3 = fq_logic::substitute(&qf, "y", &Term::Nat(3));
+        assert!(eval_ground(&fq_logic::transform::simplify(&at3)).unwrap());
+    }
+
+    #[test]
+    fn inequalities_only_are_satisfiable() {
+        assert!(decide("exists x. x != 0 & x != 1"));
+        assert!(decide("forall y. exists x. x != y"));
+    }
+
+    #[test]
+    fn no_loops_distinct_iterates() {
+        // The paper: "any linearly ordered structure has no loop" — over ℕ,
+        // x⁽ⁿ⁾ = x is false for n ≥ 1.
+        assert!(!decide("exists x. x''' = x"));
+        assert!(decide("forall x. x'' != x"));
+    }
+
+    #[test]
+    fn nested_alternation() {
+        assert!(decide("forall x. exists y. y = x'"));
+        // y = 0 is not a successor.
+        assert!(decide("exists y. forall x. y != x'"));
+        assert!(!decide("forall y. exists x. y = x'"));
+    }
+
+    #[test]
+    fn solution_finiteness_pinned() {
+        let qf = parse_formula("x = 3").unwrap();
+        assert!(NatSucc.solution_set_finite(&qf, &["x".into()]).unwrap());
+        let qf2 = parse_formula("x' = 3").unwrap();
+        assert!(NatSucc.solution_set_finite(&qf2, &["x".into()]).unwrap());
+    }
+
+    #[test]
+    fn solution_finiteness_unpinned() {
+        let qf = parse_formula("x != 3").unwrap();
+        assert!(!NatSucc.solution_set_finite(&qf, &["x".into()]).unwrap());
+        let qf2 = parse_formula("x = y'").unwrap();
+        assert!(!NatSucc
+            .solution_set_finite(&qf2, &["x".into(), "y".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn solution_finiteness_unsat_conjunct_is_finite() {
+        let qf = parse_formula("x = 3 & x = 4").unwrap();
+        assert!(NatSucc.solution_set_finite(&qf, &["x".into()]).unwrap());
+        // Infeasible over ℕ: x = y and y'' = 1 forces y = −1.
+        let qf2 = parse_formula("x = y'' & x = 1 & y = y").unwrap();
+        assert!(NatSucc
+            .solution_set_finite(&qf2, &["x".into(), "y".into()])
+            .unwrap_or(true));
+    }
+
+    #[test]
+    fn solution_finiteness_mixed_disjunction() {
+        let qf = parse_formula("x = 3 | x != 5").unwrap();
+        assert!(!NatSucc.solution_set_finite(&qf, &["x".into()]).unwrap());
+    }
+
+    #[test]
+    fn pinned_through_chain() {
+        let qf = parse_formula("x = y' & y = 2").unwrap();
+        assert!(NatSucc
+            .solution_set_finite(&qf, &["x".into(), "y".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn qe_output_is_quantifier_free() {
+        for s in [
+            "exists x. x' = y & x != z",
+            "forall x. x != y | x = y",
+            "exists x y. x' = y'' & y != 0",
+        ] {
+            let f = parse_formula(s).unwrap();
+            let qf = NatSucc.quantifier_eliminate(&f).unwrap();
+            assert!(qf.is_quantifier_free(), "{s} -> {qf}");
+        }
+    }
+
+    #[test]
+    fn qe_agrees_with_enumeration() {
+        let f = parse_formula("exists x. x' = y & x != z").unwrap();
+        let qf = NatSucc.quantifier_eliminate(&f).unwrap();
+        for y in 0u64..5 {
+            for z in 0u64..5 {
+                let brute = (0u64..10).any(|x| x + 1 == y && x != z);
+                let inst = fq_logic::transform::simplify(&fq_logic::substitute(
+                    &fq_logic::substitute(&qf, "y", &Term::Nat(y)),
+                    "z",
+                    &Term::Nat(z),
+                ));
+                assert_eq!(eval_ground(&inst).unwrap(), brute, "y={y}, z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn qe_negative_shift_substitution() {
+        // ∃x (x'' = y ∧ x' = z) ⟺ y ≥ 2 ∧ y = z + 1 — check pointwise.
+        let f = parse_formula("exists x. x'' = y & x' = z").unwrap();
+        let qf = NatSucc.quantifier_eliminate(&f).unwrap();
+        for y in 0u64..6 {
+            for z in 0u64..6 {
+                let brute = (0u64..10).any(|x| x + 2 == y && x + 1 == z);
+                let inst = fq_logic::transform::simplify(&fq_logic::substitute(
+                    &fq_logic::substitute(&qf, "y", &Term::Nat(y)),
+                    "z",
+                    &Term::Nat(z),
+                ));
+                assert_eq!(eval_ground(&inst).unwrap(), brute, "y={y}, z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_order_symbols() {
+        assert!(NatSucc.decide(&parse_formula("exists x. x < 1").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Linear terms over integer coefficients.
+
+use fq_logic::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear term `Σ cᵢ·xᵢ + k` with `i128` coefficients.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct LinTerm {
+    /// Variable coefficients; zero coefficients are never stored.
+    coeffs: BTreeMap<String, i128>,
+    /// The constant part.
+    pub constant: i128,
+}
+
+impl LinTerm {
+    /// The constant term `k`.
+    pub fn constant(k: i128) -> Self {
+        LinTerm {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
+    }
+
+    /// The variable term `1·v`.
+    pub fn var(v: impl Into<String>) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v.into(), 1);
+        LinTerm { coeffs, constant: 0 }
+    }
+
+    /// The coefficient of a variable (0 if absent).
+    pub fn coeff(&self, v: &str) -> i128 {
+        self.coeffs.get(v).copied().unwrap_or(0)
+    }
+
+    /// Iterate over (variable, coefficient) pairs.
+    pub fn coeffs(&self) -> impl Iterator<Item = (&str, i128)> {
+        self.coeffs.iter().map(|(v, c)| (v.as_str(), *c))
+    }
+
+    /// Whether the term mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Whether the term mentions the variable.
+    pub fn mentions(&self, v: &str) -> bool {
+        self.coeffs.contains_key(v)
+    }
+
+    /// Term addition.
+    pub fn add(&self, other: &LinTerm) -> LinTerm {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let e = out.coeffs.entry(v.clone()).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.coeffs.remove(v);
+            }
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// Term subtraction.
+    pub fn sub(&self, other: &LinTerm) -> LinTerm {
+        self.add(&other.scale(-1))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, k: i128) -> LinTerm {
+        if k == 0 {
+            return LinTerm::constant(0);
+        }
+        LinTerm {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Drop the variable `v` from the term (used after isolating it).
+    pub fn without(&self, v: &str) -> LinTerm {
+        let mut out = self.clone();
+        out.coeffs.remove(v);
+        out
+    }
+
+    /// Substitute `replacement` for the variable `v`.
+    pub fn subst(&self, v: &str, replacement: &LinTerm) -> LinTerm {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        self.without(v).add(&replacement.scale(c))
+    }
+
+    /// Evaluate under an assignment; `None` if a variable is unbound.
+    pub fn eval(&self, env: &BTreeMap<String, i128>) -> Option<i128> {
+        let mut total = self.constant;
+        for (v, c) in &self.coeffs {
+            total += c * env.get(v)?;
+        }
+        Some(total)
+    }
+
+    /// Convert an `fq-logic` term over the Presburger signature
+    /// (`Nat`, `Var`, `+`, `-`, `succ`, and `*` by a constant) into a
+    /// linear term. Returns `None` for non-linear or foreign terms.
+    pub fn from_term(t: &Term) -> Option<LinTerm> {
+        match t {
+            Term::Var(v) => Some(LinTerm::var(v.clone())),
+            Term::Nat(n) => Some(LinTerm::constant(*n as i128)),
+            Term::Str(_) => None,
+            Term::App(f, args) => match (f.as_str(), args.as_slice()) {
+                ("+", [a, b]) => Some(LinTerm::from_term(a)?.add(&LinTerm::from_term(b)?)),
+                ("-", [a, b]) => Some(LinTerm::from_term(a)?.sub(&LinTerm::from_term(b)?)),
+                ("succ", [a]) => Some(LinTerm::from_term(a)?.add(&LinTerm::constant(1))),
+                ("*", [a, b]) => {
+                    let la = LinTerm::from_term(a)?;
+                    let lb = LinTerm::from_term(b)?;
+                    if la.is_constant() {
+                        Some(lb.scale(la.constant))
+                    } else if lb.is_constant() {
+                        Some(la.scale(lb.constant))
+                    } else {
+                        None // non-linear
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Convert back to an `fq-logic` term pair `(lhs, rhs)` such that the
+    /// linear term equals `lhs − rhs` with both sides free of negative
+    /// coefficients (suitable for printing over ℕ).
+    pub fn to_term_sides(&self) -> (Term, Term) {
+        let mut pos: Vec<Term> = Vec::new();
+        let mut neg: Vec<Term> = Vec::new();
+        for (v, c) in &self.coeffs {
+            let (target, mag) = if *c > 0 { (&mut pos, *c) } else { (&mut neg, -c) };
+            let base = Term::var(v.clone());
+            target.push(if mag == 1 {
+                base
+            } else {
+                Term::app2("*", Term::Nat(mag as u64), base)
+            });
+        }
+        if self.constant > 0 {
+            pos.push(Term::Nat(self.constant as u64));
+        } else if self.constant < 0 {
+            neg.push(Term::Nat((-self.constant) as u64));
+        }
+        let side = |mut ts: Vec<Term>| -> Term {
+            if ts.is_empty() {
+                Term::Nat(0)
+            } else {
+                let first = ts.remove(0);
+                ts.into_iter().fold(first, |acc, t| Term::app2("+", acc, t))
+            }
+        };
+        (side(pos), side(neg))
+    }
+}
+
+impl fmt::Display for LinTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.coeffs {
+            if first {
+                if *c == 1 {
+                    write!(f, "{v}")?;
+                } else if *c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_term;
+
+    fn lt(s: &str) -> LinTerm {
+        LinTerm::from_term(&parse_term(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_linear_terms() {
+        let t = lt("2 * x + y + 3");
+        assert_eq!(t.coeff("x"), 2);
+        assert_eq!(t.coeff("y"), 1);
+        assert_eq!(t.constant, 3);
+    }
+
+    #[test]
+    fn succ_adds_one() {
+        let t = lt("x''");
+        assert_eq!(t.coeff("x"), 1);
+        assert_eq!(t.constant, 2);
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        let t = lt("x + y - x");
+        assert_eq!(t.coeff("x"), 0);
+        assert!(!t.mentions("x"));
+        assert_eq!(t.coeff("y"), 1);
+    }
+
+    #[test]
+    fn rejects_nonlinear() {
+        assert!(LinTerm::from_term(&parse_term("x * y").unwrap()).is_none());
+    }
+
+    #[test]
+    fn constant_times_var_is_linear() {
+        let t = lt("x * 3");
+        assert_eq!(t.coeff("x"), 3);
+    }
+
+    #[test]
+    fn substitution() {
+        let t = lt("2 * x + y");
+        let r = t.subst("x", &lt("z + 1"));
+        assert_eq!(r.coeff("z"), 2);
+        assert_eq!(r.coeff("y"), 1);
+        assert_eq!(r.constant, 2);
+        assert!(!r.mentions("x"));
+    }
+
+    #[test]
+    fn eval_under_assignment() {
+        let t = lt("2 * x + y + 1");
+        let env: BTreeMap<String, i128> = [("x".into(), 3), ("y".into(), 4)].into();
+        assert_eq!(t.eval(&env), Some(11));
+        let partial: BTreeMap<String, i128> = [("x".into(), 3)].into();
+        assert_eq!(t.eval(&partial), None);
+    }
+
+    #[test]
+    fn to_term_sides_splits_signs() {
+        let t = lt("x - y - 2");
+        let (l, r) = t.to_term_sides();
+        assert_eq!(l.to_string(), "x");
+        assert_eq!(r.to_string(), "(y + 2)");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(lt("2 * x + y + 3").to_string(), "2x + y + 3");
+        assert_eq!(lt("0 - x").to_string(), "-x");
+        assert_eq!(LinTerm::constant(-5).to_string(), "-5");
+    }
+
+    #[test]
+    fn scale_by_zero_is_zero() {
+        assert_eq!(lt("x + 1").scale(0), LinTerm::constant(0));
+    }
+}

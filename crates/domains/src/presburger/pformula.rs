@@ -1,0 +1,413 @@
+//! Internal Presburger formula representation.
+//!
+//! Atoms are normalized to three shapes over [`LinTerm`]s:
+//! `0 < t`, `t = 0`, and `d ∣ t` — the exact atom set Cooper's elimination
+//! works with. Conversion from the surface syntax optionally *relativizes*
+//! quantifiers to ℕ (`∃x φ ↦ ∃x (0 ≤ x ∧ φ)`), which is how the ℕ-domains
+//! of Section 2 are decided by an integer procedure.
+
+use super::linear::LinTerm;
+use crate::domain::DomainError;
+use fq_logic::transform::nnf;
+use fq_logic::{Formula, Term};
+use std::collections::BTreeMap;
+
+/// A normalized Presburger atom.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PAtom {
+    /// `0 < t`.
+    Pos(LinTerm),
+    /// `t = 0`.
+    Zero(LinTerm),
+    /// `d ∣ t` with `d ≥ 1`.
+    Div(u64, LinTerm),
+}
+
+impl PAtom {
+    /// Evaluate a ground atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom mentions variables.
+    pub fn eval_ground(&self) -> bool {
+        match self {
+            PAtom::Pos(t) => {
+                assert!(t.is_constant(), "eval_ground on non-ground atom");
+                t.constant > 0
+            }
+            PAtom::Zero(t) => {
+                assert!(t.is_constant(), "eval_ground on non-ground atom");
+                t.constant == 0
+            }
+            PAtom::Div(d, t) => {
+                assert!(t.is_constant(), "eval_ground on non-ground atom");
+                t.constant.rem_euclid(*d as i128) == 0
+            }
+        }
+    }
+
+    /// Evaluate under an integer assignment; `None` if a variable is
+    /// unbound.
+    pub fn eval(&self, env: &BTreeMap<String, i128>) -> Option<bool> {
+        match self {
+            PAtom::Pos(t) => Some(t.eval(env)? > 0),
+            PAtom::Zero(t) => Some(t.eval(env)? == 0),
+            PAtom::Div(d, t) => Some(t.eval(env)?.rem_euclid(*d as i128) == 0),
+        }
+    }
+
+    /// Whether the atom mentions the variable.
+    pub fn mentions(&self, v: &str) -> bool {
+        self.term().mentions(v)
+    }
+
+    /// The underlying linear term.
+    pub fn term(&self) -> &LinTerm {
+        match self {
+            PAtom::Pos(t) | PAtom::Zero(t) | PAtom::Div(_, t) => t,
+        }
+    }
+
+    /// Substitute a linear term for a variable.
+    pub fn subst(&self, v: &str, r: &LinTerm) -> PAtom {
+        match self {
+            PAtom::Pos(t) => PAtom::Pos(t.subst(v, r)),
+            PAtom::Zero(t) => PAtom::Zero(t.subst(v, r)),
+            PAtom::Div(d, t) => PAtom::Div(*d, t.subst(v, r)),
+        }
+    }
+
+    /// Render back into surface syntax.
+    pub fn to_logic(&self) -> Formula {
+        match self {
+            PAtom::Pos(t) => {
+                let (l, r) = t.to_term_sides();
+                // 0 < l - r  ⟺  r < l
+                Formula::lt(r, l)
+            }
+            PAtom::Zero(t) => {
+                let (l, r) = t.to_term_sides();
+                Formula::eq(l, r)
+            }
+            PAtom::Div(d, t) => {
+                let (l, r) = t.to_term_sides();
+                // d | l - r, rendered as the predicate div(d, l, r).
+                Formula::pred("div", vec![Term::Nat(*d), l, r])
+            }
+        }
+    }
+}
+
+/// A Presburger formula. `Not` is unrestricted here; the Cooper module
+/// normalizes negations away (keeping only negated divisibility literals).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PFormula {
+    True,
+    False,
+    Atom(PAtom),
+    Not(Box<PFormula>),
+    And(Vec<PFormula>),
+    Or(Vec<PFormula>),
+    Exists(String, Box<PFormula>),
+    Forall(String, Box<PFormula>),
+}
+
+impl PFormula {
+    /// Smart conjunction.
+    pub fn and(fs: impl IntoIterator<Item = PFormula>) -> PFormula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                PFormula::True => {}
+                PFormula::False => return PFormula::False,
+                PFormula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PFormula::True,
+            1 => out.pop().expect("len checked"),
+            _ => PFormula::And(out),
+        }
+    }
+
+    /// Smart disjunction.
+    pub fn or(fs: impl IntoIterator<Item = PFormula>) -> PFormula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                PFormula::False => {}
+                PFormula::True => return PFormula::True,
+                PFormula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PFormula::False,
+            1 => out.pop().expect("len checked"),
+            _ => PFormula::Or(out),
+        }
+    }
+
+    /// Smart negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: PFormula) -> PFormula {
+        match f {
+            PFormula::True => PFormula::False,
+            PFormula::False => PFormula::True,
+            PFormula::Not(inner) => *inner,
+            other => PFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// Whether the formula contains quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            PFormula::True | PFormula::False | PFormula::Atom(_) => true,
+            PFormula::Not(f) => f.is_quantifier_free(),
+            PFormula::And(fs) | PFormula::Or(fs) => fs.iter().all(|f| f.is_quantifier_free()),
+            PFormula::Exists(..) | PFormula::Forall(..) => false,
+        }
+    }
+
+    /// Evaluate under an integer assignment (quantifier-free only).
+    pub fn eval(&self, env: &BTreeMap<String, i128>) -> Option<bool> {
+        match self {
+            PFormula::True => Some(true),
+            PFormula::False => Some(false),
+            PFormula::Atom(a) => a.eval(env),
+            PFormula::Not(f) => f.eval(env).map(|b| !b),
+            PFormula::And(fs) => {
+                for f in fs {
+                    if !f.eval(env)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            PFormula::Or(fs) => {
+                for f in fs {
+                    if f.eval(env)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            PFormula::Exists(..) | PFormula::Forall(..) => None,
+        }
+    }
+
+    /// Evaluate a ground quantifier-free formula.
+    pub fn eval_ground(&self) -> bool {
+        self.eval(&BTreeMap::new())
+            .expect("eval_ground requires a ground quantifier-free formula")
+    }
+
+    /// Render back into surface syntax.
+    pub fn to_logic(&self) -> Formula {
+        match self {
+            PFormula::True => Formula::True,
+            PFormula::False => Formula::False,
+            PFormula::Atom(a) => a.to_logic(),
+            PFormula::Not(f) => Formula::not(f.to_logic()),
+            PFormula::And(fs) => Formula::and(fs.iter().map(|f| f.to_logic())),
+            PFormula::Or(fs) => Formula::or(fs.iter().map(|f| f.to_logic())),
+            PFormula::Exists(v, f) => Formula::exists(v.clone(), f.to_logic()),
+            PFormula::Forall(v, f) => Formula::forall(v.clone(), f.to_logic()),
+        }
+    }
+}
+
+/// Convert a surface formula over the Presburger signature into a
+/// [`PFormula`]. When `relativize_to_nat` is set, every quantifier is
+/// guarded by `0 ≤ x`, interpreting the formula over ℕ inside the integer
+/// procedure.
+pub fn from_logic(f: &Formula, relativize_to_nat: bool) -> Result<PFormula, DomainError> {
+    // NNF first so only atoms are negated; conversion keeps those negations.
+    convert(&nnf(f), relativize_to_nat)
+}
+
+fn convert(f: &Formula, rel: bool) -> Result<PFormula, DomainError> {
+    match f {
+        Formula::True => Ok(PFormula::True),
+        Formula::False => Ok(PFormula::False),
+        Formula::Eq(a, b) => {
+            let la = lin(a)?;
+            let lb = lin(b)?;
+            Ok(PFormula::Atom(PAtom::Zero(la.sub(&lb))))
+        }
+        Formula::Pred(name, args) => convert_pred(name, args),
+        Formula::Not(inner) => Ok(PFormula::not(convert(inner, rel)?)),
+        Formula::And(fs) => {
+            let parts: Result<Vec<_>, _> = fs.iter().map(|g| convert(g, rel)).collect();
+            Ok(PFormula::and(parts?))
+        }
+        Formula::Or(fs) => {
+            let parts: Result<Vec<_>, _> = fs.iter().map(|g| convert(g, rel)).collect();
+            Ok(PFormula::or(parts?))
+        }
+        Formula::Implies(a, b) => Ok(PFormula::or([
+            PFormula::not(convert(a, rel)?),
+            convert(b, rel)?,
+        ])),
+        Formula::Iff(a, b) => {
+            let ca = convert(a, rel)?;
+            let cb = convert(b, rel)?;
+            Ok(PFormula::or([
+                PFormula::and([ca.clone(), cb.clone()]),
+                PFormula::and([PFormula::not(ca), PFormula::not(cb)]),
+            ]))
+        }
+        Formula::Exists(v, body) => {
+            let inner = convert(body, rel)?;
+            let guarded = if rel {
+                PFormula::and([nonneg(v), inner])
+            } else {
+                inner
+            };
+            Ok(PFormula::Exists(v.clone(), Box::new(guarded)))
+        }
+        Formula::Forall(v, body) => {
+            let inner = convert(body, rel)?;
+            let guarded = if rel {
+                PFormula::or([PFormula::not(nonneg(v)), inner])
+            } else {
+                inner
+            };
+            Ok(PFormula::Forall(v.clone(), Box::new(guarded)))
+        }
+    }
+}
+
+/// `0 ≤ v`, i.e. `0 < v + 1`.
+fn nonneg(v: &str) -> PFormula {
+    PFormula::Atom(PAtom::Pos(LinTerm::var(v).add(&LinTerm::constant(1))))
+}
+
+fn convert_pred(name: &str, args: &[Term]) -> Result<PFormula, DomainError> {
+    match (name, args) {
+        ("<", [a, b]) => Ok(PFormula::Atom(PAtom::Pos(lin(b)?.sub(&lin(a)?)))),
+        ("<=", [a, b]) => Ok(PFormula::Atom(PAtom::Pos(
+            lin(b)?.sub(&lin(a)?).add(&LinTerm::constant(1)),
+        ))),
+        (">", [a, b]) => Ok(PFormula::Atom(PAtom::Pos(lin(a)?.sub(&lin(b)?)))),
+        (">=", [a, b]) => Ok(PFormula::Atom(PAtom::Pos(
+            lin(a)?.sub(&lin(b)?).add(&LinTerm::constant(1)),
+        ))),
+        ("div", [Term::Nat(d), a, b]) if *d >= 1 => {
+            Ok(PFormula::Atom(PAtom::Div(*d, lin(a)?.sub(&lin(b)?))))
+        }
+        _ => Err(DomainError::UnsupportedSymbol {
+            symbol: format!("{name}/{}", args.len()),
+        }),
+    }
+}
+
+fn lin(t: &Term) -> Result<LinTerm, DomainError> {
+    LinTerm::from_term(t).ok_or_else(|| DomainError::UnsupportedSymbol {
+        symbol: t.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn conv(s: &str) -> PFormula {
+        from_logic(&parse_formula(s).unwrap(), false).unwrap()
+    }
+
+    #[test]
+    fn converts_comparisons() {
+        let f = conv("x < y");
+        match f {
+            PFormula::Atom(PAtom::Pos(t)) => {
+                assert_eq!(t.coeff("y"), 1);
+                assert_eq!(t.coeff("x"), -1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_is_lt_plus_one() {
+        match conv("x <= y") {
+            PFormula::Atom(PAtom::Pos(t)) => assert_eq!(t.constant, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_becomes_zero_atom() {
+        match conv("x + 1 = y") {
+            PFormula::Atom(PAtom::Zero(t)) => {
+                assert_eq!(t.coeff("x"), 1);
+                assert_eq!(t.coeff("y"), -1);
+                assert_eq!(t.constant, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relativization_guards_quantifiers() {
+        let f = from_logic(&parse_formula("exists x. x < 0").unwrap(), true).unwrap();
+        match f {
+            PFormula::Exists(_, body) => match *body {
+                PFormula::And(parts) => assert_eq!(parts.len(), 2),
+                other => panic!("expected guard conjunction, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_evaluation() {
+        assert!(conv("1 < 2").eval_ground());
+        assert!(!conv("2 < 1").eval_ground());
+        assert!(conv("div(3, 6, 0)").eval_ground());
+        assert!(!conv("div(3, 7, 0)").eval_ground());
+    }
+
+    #[test]
+    fn eval_under_assignment() {
+        let f = conv("x < y & div(2, x, 0)");
+        let env: BTreeMap<String, i128> = [("x".into(), 2), ("y".into(), 5)].into();
+        assert_eq!(f.eval(&env), Some(true));
+        let env2: BTreeMap<String, i128> = [("x".into(), 3), ("y".into(), 5)].into();
+        assert_eq!(f.eval(&env2), Some(false));
+    }
+
+    #[test]
+    fn negative_divisibility_eval() {
+        // -4 ≡ 0 (mod 2), -3 ≢ 0 (mod 2) with euclidean remainder.
+        let even = PAtom::Div(2, LinTerm::constant(-4));
+        assert!(even.eval_ground());
+        let odd = PAtom::Div(2, LinTerm::constant(-3));
+        assert!(!odd.eval_ground());
+    }
+
+    #[test]
+    fn rejects_multiplication_of_variables() {
+        assert!(from_logic(&parse_formula("x * y = 1").unwrap(), false).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_predicate() {
+        assert!(from_logic(&parse_formula("P(x)").unwrap(), false).is_err());
+    }
+
+    #[test]
+    fn to_logic_round_trip_semantics() {
+        // Convert, render back, convert again: same evaluation.
+        let f = conv("x < y | x = y + 2 | div(3, x, 1)");
+        let back = from_logic(&f.to_logic(), false).unwrap();
+        for x in -3i128..3 {
+            for y in -3i128..3 {
+                let env: BTreeMap<String, i128> = [("x".into(), x), ("y".into(), y)].into();
+                assert_eq!(f.eval(&env), back.eval(&env), "x={x}, y={y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Ground evaluation of Reach-theory atoms and quantifier-free formulas.
+//!
+//! Every Reach symbol is recursive (Fact A.1: "Domain T is recursive"):
+//! sorts by classification, `B_w` by padded-prefix comparison, `D_i`/`E_i`
+//! by `i`-step bounded simulation of the decoded machine.
+
+use super::rterm::{RAtom, RFormula, RTerm};
+use crate::domain::DomainError;
+use fq_turing::decode_machine;
+use fq_turing::sym::{classify, Sort};
+use fq_turing::trace::{has_at_least_traces, has_exactly_traces};
+
+/// Evaluate a ground term to its string value.
+pub fn eval_term(t: &RTerm) -> Result<String, DomainError> {
+    match t {
+        RTerm::Lit(s) => Ok(s.clone()),
+        RTerm::Var(v) | RTerm::WOf(v) | RTerm::MOf(v) => Err(DomainError::NotASentence {
+            free: vec![v.clone()],
+        }),
+    }
+}
+
+/// `B_w(s)`: `s` is a word and `w` is a prefix of `s·&^ω`.
+pub fn padded_prefix(w: &str, s: &str) -> bool {
+    if classify(s) != Sort::Word {
+        return false;
+    }
+    let sb = s.as_bytes();
+    w.bytes()
+        .enumerate()
+        .all(|(k, wc)| sb.get(k).copied().unwrap_or(b'&') == wc)
+}
+
+/// `D_i(m, u)` on strings: `m` decodes to a machine, `u` is a word, and
+/// the machine has at least `i` traces in `u`.
+pub fn d_holds(i: usize, m: &str, u: &str) -> bool {
+    if classify(u) != Sort::Word {
+        return false;
+    }
+    match decode_machine(m) {
+        Some(machine) => has_at_least_traces(&machine, u, i),
+        None => false,
+    }
+}
+
+/// `E_i(m, u)` on strings.
+pub fn e_holds(i: usize, m: &str, u: &str) -> bool {
+    if classify(u) != Sort::Word {
+        return false;
+    }
+    match decode_machine(m) {
+        Some(machine) => has_exactly_traces(&machine, u, i),
+        None => false,
+    }
+}
+
+/// Evaluate a ground atom.
+pub fn eval_atom(a: &RAtom) -> Result<bool, DomainError> {
+    match a {
+        RAtom::IsSort(sort, t) => Ok(classify(&eval_term(t)?) == *sort),
+        RAtom::Prefix(w, t) => Ok(padded_prefix(w, &eval_term(t)?)),
+        RAtom::AtLeast(i, m, u) => Ok(d_holds(*i, &eval_term(m)?, &eval_term(u)?)),
+        RAtom::Exact(i, m, u) => Ok(e_holds(*i, &eval_term(m)?, &eval_term(u)?)),
+        RAtom::Eq(x, y) => Ok(eval_term(x)? == eval_term(y)?),
+    }
+}
+
+/// Evaluate a ground quantifier-free formula.
+pub fn eval_formula(f: &RFormula) -> Result<bool, DomainError> {
+    match f {
+        RFormula::True => Ok(true),
+        RFormula::False => Ok(false),
+        RFormula::Atom(a) => eval_atom(a),
+        RFormula::Not(g) => Ok(!eval_formula(g)?),
+        RFormula::And(gs) => {
+            for g in gs {
+                if !eval_formula(g)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        RFormula::Or(gs) => {
+            for g in gs {
+                if eval_formula(g)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        RFormula::Exists(..) | RFormula::Forall(..) => Err(DomainError::BudgetExhausted {
+            detail: "eval_formula requires a quantifier-free formula".into(),
+        }),
+    }
+}
+
+/// Fold ground subformulas and deduplicate — the Reach analogue of the
+/// Presburger `psimplify`.
+pub fn rsimplify(f: &RFormula) -> RFormula {
+    match f {
+        RFormula::True | RFormula::False => f.clone(),
+        RFormula::Atom(a) => match eval_atom(a) {
+            Ok(true) => RFormula::True,
+            Ok(false) => RFormula::False,
+            Err(_) => {
+                // Non-ground: local structural folds.
+                match a {
+                    RAtom::Eq(x, y) if x == y => RFormula::True,
+                    _ => f.clone(),
+                }
+            }
+        },
+        RFormula::Not(g) => RFormula::not(rsimplify(g)),
+        RFormula::And(gs) => {
+            let mut seen: std::collections::BTreeSet<RFormula> = Default::default();
+            for g in gs {
+                match rsimplify(g) {
+                    RFormula::True => {}
+                    RFormula::False => return RFormula::False,
+                    RFormula::And(inner) => seen.extend(inner),
+                    other => {
+                        seen.insert(other);
+                    }
+                }
+            }
+            // Complementary literal pairs.
+            for g in &seen {
+                if seen.contains(&RFormula::not(g.clone())) {
+                    return RFormula::False;
+                }
+            }
+            RFormula::and(seen)
+        }
+        RFormula::Or(gs) => {
+            let mut seen: std::collections::BTreeSet<RFormula> = Default::default();
+            for g in gs {
+                match rsimplify(g) {
+                    RFormula::False => {}
+                    RFormula::True => return RFormula::True,
+                    RFormula::Or(inner) => seen.extend(inner),
+                    other => {
+                        seen.insert(other);
+                    }
+                }
+            }
+            for g in &seen {
+                if seen.contains(&RFormula::not(g.clone())) {
+                    return RFormula::True;
+                }
+            }
+            RFormula::or(seen)
+        }
+        RFormula::Exists(v, g) => {
+            let body = rsimplify(g);
+            match body {
+                RFormula::True => RFormula::True,
+                RFormula::False => RFormula::False,
+                other if !other.mentions(v) => other,
+                other => RFormula::Exists(v.clone(), Box::new(other)),
+            }
+        }
+        RFormula::Forall(v, g) => {
+            let body = rsimplify(g);
+            match body {
+                RFormula::True => RFormula::True,
+                RFormula::False => RFormula::False,
+                other if !other.mentions(v) => other,
+                other => RFormula::Forall(v.clone(), Box::new(other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_turing::builders;
+    use fq_turing::encode::encode_machine;
+    use fq_turing::trace::trace_string;
+
+    #[test]
+    fn padded_prefix_semantics() {
+        assert!(padded_prefix("11&", "11"));
+        assert!(padded_prefix("11&", "11&1"));
+        assert!(!padded_prefix("11&", "111"));
+        assert!(padded_prefix("", ""));
+        assert!(padded_prefix("&&", ""));
+        // Non-words never satisfy B.
+        assert!(!padded_prefix("1", "1*1&1*1&1&11*"));
+    }
+
+    #[test]
+    fn d_and_e_on_strings() {
+        let m = encode_machine(&builders::scan_right_halt_on_blank());
+        // Halts on "11" after 2 steps: 3 traces.
+        assert!(d_holds(3, &m, "11"));
+        assert!(!d_holds(4, &m, "11"));
+        assert!(e_holds(3, &m, "11"));
+        assert!(!e_holds(2, &m, "11"));
+        // Invalid machine string.
+        assert!(!d_holds(1, "11", "11"));
+        // Non-word second argument.
+        assert!(!d_holds(1, &m, &m));
+    }
+
+    #[test]
+    fn eval_atom_ground() {
+        let m = builders::looper();
+        let enc = encode_machine(&m);
+        let tr = trace_string(&m, "1", 2).unwrap();
+        assert!(eval_atom(&RAtom::IsSort(Sort::Trace, RTerm::Lit(tr.clone()))).unwrap());
+        assert!(eval_atom(&RAtom::Eq(
+            RTerm::m_of(RTerm::Lit(tr.clone())),
+            RTerm::Lit(enc)
+        ))
+        .unwrap());
+        assert!(eval_atom(&RAtom::Eq(
+            RTerm::w_of(RTerm::Lit(tr)),
+            RTerm::Lit("1".into())
+        ))
+        .unwrap());
+    }
+
+    #[test]
+    fn eval_formula_rejects_free_vars() {
+        let f = RFormula::Atom(RAtom::Eq(RTerm::Var("x".into()), RTerm::Lit("".into())));
+        assert!(eval_formula(&f).is_err());
+    }
+
+    #[test]
+    fn rsimplify_folds_ground() {
+        let f = RFormula::and([
+            RFormula::Atom(RAtom::Eq(RTerm::Lit("1".into()), RTerm::Lit("1".into()))),
+            RFormula::Atom(RAtom::Eq(RTerm::Var("x".into()), RTerm::Lit("".into()))),
+        ]);
+        let s = rsimplify(&f);
+        assert_eq!(
+            s,
+            RFormula::Atom(RAtom::Eq(RTerm::Var("x".into()), RTerm::Lit("".into())))
+        );
+    }
+
+    #[test]
+    fn rsimplify_detects_complementary() {
+        let a = RFormula::Atom(RAtom::Eq(RTerm::Var("x".into()), RTerm::Lit("".into())));
+        let f = RFormula::and([a.clone(), RFormula::not(a)]);
+        assert_eq!(rsimplify(&f), RFormula::False);
+    }
+
+    #[test]
+    fn reflexive_equality_folds() {
+        let f = RFormula::Atom(RAtom::Eq(RTerm::Var("x".into()), RTerm::Var("x".into())));
+        assert_eq!(rsimplify(&f), RFormula::True);
+    }
+}

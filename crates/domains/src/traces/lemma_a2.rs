@@ -1,0 +1,202 @@
+//! Lemma A.2: satisfiability of `D`/`E` constraint systems.
+//!
+//! Given constant words with demanded trace counts,
+//!
+//! > `(∃x)(D_{i₁}(x, v₁) ∧ … ∧ D_{i_k}(x, v_k) ∧ E_{j₁}(x, u₁) ∧ … ∧
+//! > E_{j_l}(x, u_l))`
+//!
+//! "is true in the Reach Theory of Traces iff for no pair r, q … (1)
+//! iᵣ > j_q and the prefixes of vᵣ and u_q of length j_q coincide; (2)
+//! jᵣ > j_q and the prefixes of uᵣ and u_q of length j_q coincide."
+//!
+//! [`DESystem::satisfiable`] implements the arithmetic condition directly (with the
+//! *padded* prefixes, which makes it correct for words shorter than the
+//! indices too — the lemma's length hypothesis becomes unnecessary);
+//! [`DESystem::witness`] produces the explicit finite-automaton machine via
+//! `fq_turing::builders::trie_machine`, and the `fq-domains` property
+//! tests check the two agree.
+
+use fq_turing::builders::{trie_machine, TrieSpec};
+use fq_turing::Machine;
+
+/// A `D`/`E` system over constant words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DESystem {
+    /// `(v, i)`: at least `i` traces in `v` (`D_i(x, v)`).
+    pub at_least: Vec<(String, usize)>,
+    /// `(u, j)`: exactly `j` traces in `u` (`E_j(x, u)`).
+    pub exactly: Vec<(String, usize)>,
+}
+
+impl DESystem {
+    /// The padded character of `w` at position `k` (`&` beyond the end).
+    fn padded(w: &str, k: usize) -> u8 {
+        w.as_bytes().get(k).copied().unwrap_or(b'&')
+    }
+
+    /// Padded prefixes of length `n` coincide.
+    fn prefixes_coincide(a: &str, b: &str, n: usize) -> bool {
+        (0..n).all(|k| Self::padded(a, k) == Self::padded(b, k))
+    }
+
+    /// The paper's satisfiability criterion.
+    pub fn satisfiable(&self) -> bool {
+        // E_0 is never satisfiable: there is always at least one trace.
+        if self.exactly.iter().any(|(_, j)| *j == 0) {
+            return false;
+        }
+        // Condition (1): i_r > j_q with coinciding j_q-prefixes of v_r, u_q.
+        for (v, i) in &self.at_least {
+            for (u, j) in &self.exactly {
+                if i > j && Self::prefixes_coincide(v, u, *j) {
+                    return false;
+                }
+            }
+        }
+        // Condition (2): j_r > j_q with coinciding j_q-prefixes of u_r, u_q.
+        for (ur, jr) in &self.exactly {
+            for (uq, jq) in &self.exactly {
+                if jr > jq && Self::prefixes_coincide(ur, uq, *jq) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Construct the witness machine (the lemma's explicit construction),
+    /// or `None` if the system is unsatisfiable.
+    pub fn witness(&self) -> Option<Machine> {
+        let spec = TrieSpec {
+            at_least: self.at_least.clone(),
+            exactly: self.exactly.clone(),
+        };
+        trie_machine(&spec).ok()
+    }
+
+    /// Whether the system mentions no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.at_least.is_empty() && self.exactly.is_empty()
+    }
+
+    /// The largest index mentioned, or 0.
+    pub fn max_index(&self) -> usize {
+        self.at_least
+            .iter()
+            .chain(self.exactly.iter())
+            .map(|(_, i)| *i)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_turing::trace::{has_at_least_traces, has_exactly_traces};
+
+    fn sys(at_least: &[(&str, usize)], exactly: &[(&str, usize)]) -> DESystem {
+        DESystem {
+            at_least: at_least.iter().map(|(w, i)| (w.to_string(), *i)).collect(),
+            exactly: exactly.iter().map(|(w, i)| (w.to_string(), *i)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_system_is_satisfiable() {
+        let s = sys(&[], &[]);
+        assert!(s.satisfiable());
+        assert!(s.witness().is_some());
+    }
+
+    #[test]
+    fn paper_condition_1_detected() {
+        // i = 5 > j = 3 with coinciding 3-prefixes.
+        let s = sys(&[("111111", 5)], &[("111&&&", 3)]);
+        assert!(!s.satisfiable());
+        assert!(s.witness().is_none());
+    }
+
+    #[test]
+    fn paper_condition_2_detected() {
+        let s = sys(&[], &[("111111", 5), ("111&&&", 3)]);
+        assert!(!s.satisfiable());
+        assert!(s.witness().is_none());
+    }
+
+    #[test]
+    fn diverging_prefixes_are_fine() {
+        let s = sys(&[("1&&&&&", 6)], &[("&11111", 4), ("11&&&&", 3)]);
+        assert!(s.satisfiable());
+        let m = s.witness().expect("witness must exist");
+        assert!(has_at_least_traces(&m, "1&&&&&", 6));
+        assert!(has_exactly_traces(&m, "&11111", 4));
+        assert!(has_exactly_traces(&m, "11&&&&", 3));
+    }
+
+    #[test]
+    fn e_zero_unsatisfiable() {
+        let s = sys(&[], &[("11", 0)]);
+        assert!(!s.satisfiable());
+        assert!(s.witness().is_none());
+    }
+
+    #[test]
+    fn equal_exact_indices_on_same_prefix_ok() {
+        // E_3(x, u) twice with the same 3-prefix is consistent.
+        let s = sys(&[], &[("111111", 3), ("1111&&", 3)]);
+        assert!(s.satisfiable());
+        let m = s.witness().unwrap();
+        assert!(has_exactly_traces(&m, "111111", 3));
+        assert!(has_exactly_traces(&m, "1111&&", 3));
+    }
+
+    #[test]
+    fn at_least_below_exact_is_consistent() {
+        // D_2 and E_4 on the same word: 4 ≥ 2, fine.
+        let s = sys(&[("1111", 2)], &[("1111", 4)]);
+        assert!(s.satisfiable());
+        let m = s.witness().unwrap();
+        assert!(has_at_least_traces(&m, "1111", 2));
+        assert!(has_exactly_traces(&m, "1111", 4));
+    }
+
+    #[test]
+    fn criterion_agrees_with_builder_on_short_words() {
+        // Short words exercise the padded-prefix handling.
+        let cases = [
+            sys(&[("1", 4)], &[("1&&", 4)]),  // D_4 and E_4, same padded prefix
+            sys(&[("1", 5)], &[("1&&", 4)]),  // D_5 > E_4, coinciding: unsat
+            sys(&[], &[("1", 2), ("1&", 2)]), // same padded prefixes, equal j
+        ];
+        for (idx, s) in cases.iter().enumerate() {
+            assert_eq!(
+                s.satisfiable(),
+                s.witness().is_some(),
+                "case {idx}: criterion and builder disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_satisfies_every_constraint() {
+        let s = sys(
+            &[("11&1", 3), ("&&&&", 2)],
+            &[("1&11", 3), ("&1&1", 2)],
+        );
+        assert!(s.satisfiable());
+        let m = s.witness().unwrap();
+        for (v, i) in &s.at_least {
+            assert!(has_at_least_traces(&m, v, *i), "D_{i}({v})");
+        }
+        for (u, j) in &s.exactly {
+            assert!(has_exactly_traces(&m, u, *j), "E_{j}({u})");
+        }
+    }
+
+    #[test]
+    fn max_index() {
+        assert_eq!(sys(&[("1", 7)], &[("&", 3)]).max_index(), 7);
+        assert_eq!(sys(&[], &[]).max_index(), 0);
+    }
+}

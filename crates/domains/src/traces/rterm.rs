@@ -1,0 +1,550 @@
+//! Terms, atoms, and formulas of the **Reach Theory of Traces**.
+//!
+//! The Appendix extends the trace domain's signature so that quantifier
+//! elimination goes through: four sort predicates `M, W, T, O`, the prefix
+//! predicates `B_w`, the trace-counting predicates `D_i` ("at least i
+//! different traces") and `E_i` ("exactly i"), and the two unary functions
+//! `w(·)` and `m(·)` extracting a trace's input word and machine (both ε
+//! on non-traces). All are recursive and first-order expressible in the
+//! original signature; conversely, the original ternary predicate is
+//! definable: `P(x, y, z) ⟺ T(z) ∧ m(z) = x ∧ w(z) = y`.
+
+use crate::domain::DomainError;
+use fq_turing::sym::Sort;
+use fq_turing::trace::validate_trace;
+use fq_logic::{Formula, Term};
+
+/// A term of the Reach theory. The smart constructors [`RTerm::w_of`] and
+/// [`RTerm::m_of`] collapse nested applications ("because of the
+/// definition of the only two functions, any nested term always equals
+/// ε") and fold ground arguments.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RTerm {
+    /// A variable ranging over the whole domain (all four sorts).
+    Var(String),
+    /// A string constant over the alphabet `{1, &, *, #}`.
+    Lit(String),
+    /// `w(t)` — the input word of a trace, ε otherwise.
+    WOf(String),
+    /// `m(t)` — the machine of a trace, ε otherwise.
+    MOf(String),
+}
+
+impl RTerm {
+    /// `w(t)`, with nested-application collapse and ground folding.
+    pub fn w_of(t: RTerm) -> RTerm {
+        match t {
+            RTerm::Var(v) => RTerm::WOf(v),
+            RTerm::Lit(s) => RTerm::Lit(ground_w(&s)),
+            // w(w(y)) = w(m(y)) = ε: the inner value is never a trace.
+            RTerm::WOf(_) | RTerm::MOf(_) => RTerm::Lit(String::new()),
+        }
+    }
+
+    /// `m(t)`, with nested-application collapse and ground folding.
+    pub fn m_of(t: RTerm) -> RTerm {
+        match t {
+            RTerm::Var(v) => RTerm::MOf(v),
+            RTerm::Lit(s) => RTerm::Lit(ground_m(&s)),
+            RTerm::WOf(_) | RTerm::MOf(_) => RTerm::Lit(String::new()),
+        }
+    }
+
+    /// The variable this term depends on, if any.
+    pub fn var(&self) -> Option<&str> {
+        match self {
+            RTerm::Var(v) | RTerm::WOf(v) | RTerm::MOf(v) => Some(v),
+            RTerm::Lit(_) => None,
+        }
+    }
+
+    /// Whether the term mentions the variable.
+    pub fn mentions(&self, var: &str) -> bool {
+        self.var() == Some(var)
+    }
+
+    /// Substitute `replacement` for the variable `var`.
+    pub fn subst(&self, var: &str, replacement: &RTerm) -> RTerm {
+        match self {
+            RTerm::Var(v) if v == var => replacement.clone(),
+            RTerm::WOf(v) if v == var => RTerm::w_of(replacement.clone()),
+            RTerm::MOf(v) if v == var => RTerm::m_of(replacement.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Ground value, if constant.
+    pub fn value(&self) -> Option<&str> {
+        match self {
+            RTerm::Lit(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render as an `fq-logic` term.
+    pub fn to_term(&self) -> Term {
+        match self {
+            RTerm::Var(v) => Term::var(v.clone()),
+            RTerm::Lit(s) => Term::Str(s.clone()),
+            RTerm::WOf(v) => Term::app1("w", Term::var(v.clone())),
+            RTerm::MOf(v) => Term::app1("m", Term::var(v.clone())),
+        }
+    }
+}
+
+/// Ground `w(s)`.
+pub fn ground_w(s: &str) -> String {
+    validate_trace(s).map(|i| i.word).unwrap_or_default()
+}
+
+/// Ground `m(s)`.
+pub fn ground_m(s: &str) -> String {
+    validate_trace(s).map(|i| i.machine_str).unwrap_or_default()
+}
+
+/// An atom of the Reach theory.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RAtom {
+    /// Sort membership `M(t)`, `W(t)`, `T(t)`, `O(t)`.
+    IsSort(Sort, RTerm),
+    /// `B_w(t)`: `t` is an input word and `w` is a prefix of `t·&^ω`.
+    /// The subscript is always a constant word over `{1, &}`.
+    Prefix(String, RTerm),
+    /// `D_i(t, u)`: machine `t` has at least `i` different traces in
+    /// word `u`.
+    AtLeast(usize, RTerm, RTerm),
+    /// `E_i(t, u)`: machine `t` has exactly `i` different traces in `u`.
+    Exact(usize, RTerm, RTerm),
+    /// Equality of domain elements.
+    Eq(RTerm, RTerm),
+}
+
+impl RAtom {
+    /// Whether the atom mentions the variable.
+    pub fn mentions(&self, var: &str) -> bool {
+        match self {
+            RAtom::IsSort(_, t) | RAtom::Prefix(_, t) => t.mentions(var),
+            RAtom::AtLeast(_, a, b) | RAtom::Exact(_, a, b) | RAtom::Eq(a, b) => {
+                a.mentions(var) || b.mentions(var)
+            }
+        }
+    }
+
+    /// Substitute a term for a variable.
+    pub fn subst(&self, var: &str, r: &RTerm) -> RAtom {
+        match self {
+            RAtom::IsSort(s, t) => RAtom::IsSort(*s, t.subst(var, r)),
+            RAtom::Prefix(w, t) => RAtom::Prefix(w.clone(), t.subst(var, r)),
+            RAtom::AtLeast(i, a, b) => RAtom::AtLeast(*i, a.subst(var, r), b.subst(var, r)),
+            RAtom::Exact(i, a, b) => RAtom::Exact(*i, a.subst(var, r), b.subst(var, r)),
+            RAtom::Eq(a, b) => RAtom::Eq(a.subst(var, r), b.subst(var, r)),
+        }
+    }
+}
+
+/// A formula of the Reach theory.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RFormula {
+    True,
+    False,
+    Atom(RAtom),
+    Not(Box<RFormula>),
+    And(Vec<RFormula>),
+    Or(Vec<RFormula>),
+    Exists(String, Box<RFormula>),
+    Forall(String, Box<RFormula>),
+}
+
+impl RFormula {
+    /// Smart conjunction.
+    pub fn and(fs: impl IntoIterator<Item = RFormula>) -> RFormula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                RFormula::True => {}
+                RFormula::False => return RFormula::False,
+                RFormula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => RFormula::True,
+            1 => out.pop().expect("len checked"),
+            _ => RFormula::And(out),
+        }
+    }
+
+    /// Smart disjunction.
+    pub fn or(fs: impl IntoIterator<Item = RFormula>) -> RFormula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                RFormula::False => {}
+                RFormula::True => return RFormula::True,
+                RFormula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => RFormula::False,
+            1 => out.pop().expect("len checked"),
+            _ => RFormula::Or(out),
+        }
+    }
+
+    /// Smart negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: RFormula) -> RFormula {
+        match f {
+            RFormula::True => RFormula::False,
+            RFormula::False => RFormula::True,
+            RFormula::Not(inner) => *inner,
+            other => RFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// Whether the formula is quantifier-free.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            RFormula::True | RFormula::False | RFormula::Atom(_) => true,
+            RFormula::Not(f) => f.is_quantifier_free(),
+            RFormula::And(fs) | RFormula::Or(fs) => fs.iter().all(|f| f.is_quantifier_free()),
+            RFormula::Exists(..) | RFormula::Forall(..) => false,
+        }
+    }
+
+    /// Whether the formula mentions the variable freely.
+    pub fn mentions(&self, var: &str) -> bool {
+        match self {
+            RFormula::True | RFormula::False => false,
+            RFormula::Atom(a) => a.mentions(var),
+            RFormula::Not(f) => f.mentions(var),
+            RFormula::And(fs) | RFormula::Or(fs) => fs.iter().any(|f| f.mentions(var)),
+            RFormula::Exists(v, f) | RFormula::Forall(v, f) => v != var && f.mentions(var),
+        }
+    }
+
+    /// Substitute a term for a free variable.
+    pub fn subst(&self, var: &str, r: &RTerm) -> RFormula {
+        match self {
+            RFormula::True | RFormula::False => self.clone(),
+            RFormula::Atom(a) => RFormula::Atom(a.subst(var, r)),
+            RFormula::Not(f) => RFormula::not(f.subst(var, r)),
+            RFormula::And(fs) => RFormula::and(fs.iter().map(|f| f.subst(var, r))),
+            RFormula::Or(fs) => RFormula::or(fs.iter().map(|f| f.subst(var, r))),
+            RFormula::Exists(v, f) | RFormula::Forall(v, f) => {
+                let is_exists = matches!(self, RFormula::Exists(..));
+                if v == var {
+                    return self.clone();
+                }
+                // Reach terms never introduce new variables besides the
+                // replaced one's, and callers use fresh replacement vars;
+                // keep it simple and assert no capture.
+                debug_assert!(r.var() != Some(v.as_str()), "capture in RFormula::subst");
+                let body = f.subst(var, r);
+                if is_exists {
+                    RFormula::Exists(v.clone(), Box::new(body))
+                } else {
+                    RFormula::Forall(v.clone(), Box::new(body))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RTerm::Var(v) => write!(f, "{v}"),
+            RTerm::Lit(s) => write!(f, "\"{s}\""),
+            RTerm::WOf(v) => write!(f, "w({v})"),
+            RTerm::MOf(v) => write!(f, "m({v})"),
+        }
+    }
+}
+
+impl std::fmt::Display for RAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RAtom::IsSort(s, t) => {
+                let name = match s {
+                    Sort::Machine => "M",
+                    Sort::Word => "W",
+                    Sort::Trace => "T",
+                    Sort::Other => "O",
+                };
+                write!(f, "{name}({t})")
+            }
+            RAtom::Prefix(w, t) => write!(f, "B_\"{w}\"({t})"),
+            RAtom::AtLeast(i, a, b) => write!(f, "D_{i}({a}, {b})"),
+            RAtom::Exact(i, a, b) => write!(f, "E_{i}({a}, {b})"),
+            RAtom::Eq(a, b) => write!(f, "{a} = {b}"),
+        }
+    }
+}
+
+impl std::fmt::Display for RFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RFormula::True => write!(f, "true"),
+            RFormula::False => write!(f, "false"),
+            RFormula::Atom(a) => write!(f, "{a}"),
+            RFormula::Not(g) => write!(f, "!({g})"),
+            RFormula::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            RFormula::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            RFormula::Exists(v, g) => write!(f, "exists {v}. {g}"),
+            RFormula::Forall(v, g) => write!(f, "forall {v}. {g}"),
+        }
+    }
+}
+
+/// Check that a `B_w` subscript is a word over `{1, &}`.
+pub fn check_word_subscript(w: &str) -> Result<(), DomainError> {
+    if w.chars().all(|c| matches!(c, '1' | '&')) {
+        Ok(())
+    } else {
+        Err(DomainError::SortMismatch {
+            detail: format!("B-subscript \"{w}\" is not a word over {{1, &}}"),
+        })
+    }
+}
+
+/// Convert an `fq-logic` formula over the trace signature into an
+/// [`RFormula`].
+///
+/// Accepted symbols: the ternary predicate `P(machine, word, trace)`;
+/// sort predicates `M/W/T/O` (unary); `B(word-literal, t)`;
+/// `D(i, t, u)` and `E(i, t, u)` with a numeral first argument;
+/// functions `w(t)`, `m(t)`; string literals; equality.
+pub fn from_logic(f: &Formula) -> Result<RFormula, DomainError> {
+    match f {
+        Formula::True => Ok(RFormula::True),
+        Formula::False => Ok(RFormula::False),
+        Formula::Eq(a, b) => Ok(RFormula::Atom(RAtom::Eq(conv_term(a)?, conv_term(b)?))),
+        Formula::Pred(name, args) => conv_pred(name, args),
+        Formula::Not(g) => Ok(RFormula::not(from_logic(g)?)),
+        Formula::And(gs) => {
+            let parts: Result<Vec<_>, _> = gs.iter().map(from_logic).collect();
+            Ok(RFormula::and(parts?))
+        }
+        Formula::Or(gs) => {
+            let parts: Result<Vec<_>, _> = gs.iter().map(from_logic).collect();
+            Ok(RFormula::or(parts?))
+        }
+        Formula::Implies(a, b) => Ok(RFormula::or([
+            RFormula::not(from_logic(a)?),
+            from_logic(b)?,
+        ])),
+        Formula::Iff(a, b) => {
+            let ca = from_logic(a)?;
+            let cb = from_logic(b)?;
+            Ok(RFormula::or([
+                RFormula::and([ca.clone(), cb.clone()]),
+                RFormula::and([RFormula::not(ca), RFormula::not(cb)]),
+            ]))
+        }
+        Formula::Exists(v, g) => Ok(RFormula::Exists(v.clone(), Box::new(from_logic(g)?))),
+        Formula::Forall(v, g) => Ok(RFormula::Forall(v.clone(), Box::new(from_logic(g)?))),
+    }
+}
+
+fn conv_pred(name: &str, args: &[Term]) -> Result<RFormula, DomainError> {
+    let sort = match name {
+        "M" => Some(Sort::Machine),
+        "W" => Some(Sort::Word),
+        "T" => Some(Sort::Trace),
+        "O" => Some(Sort::Other),
+        _ => None,
+    };
+    if let Some(s) = sort {
+        if args.len() != 1 {
+            return Err(DomainError::UnsupportedSymbol {
+                symbol: format!("{name}/{}", args.len()),
+            });
+        }
+        return Ok(RFormula::Atom(RAtom::IsSort(s, conv_term(&args[0])?)));
+    }
+    match (name, args) {
+        ("P", [m, w, p]) => {
+            // P(x, y, z) ⟺ T(z) ∧ m(z) = x ∧ w(z) = y.
+            let m = conv_term(m)?;
+            let w = conv_term(w)?;
+            let p = conv_term(p)?;
+            Ok(RFormula::and([
+                RFormula::Atom(RAtom::IsSort(Sort::Trace, p.clone())),
+                RFormula::Atom(RAtom::Eq(RTerm::m_of(p.clone()), m)),
+                RFormula::Atom(RAtom::Eq(RTerm::w_of(p), w)),
+            ]))
+        }
+        ("B", [Term::Str(w), t]) => {
+            check_word_subscript(w)?;
+            Ok(RFormula::Atom(RAtom::Prefix(w.clone(), conv_term(t)?)))
+        }
+        ("D", [Term::Nat(i), t, u]) => Ok(RFormula::Atom(RAtom::AtLeast(
+            *i as usize,
+            conv_term(t)?,
+            conv_term(u)?,
+        ))),
+        ("E", [Term::Nat(i), t, u]) => Ok(RFormula::Atom(RAtom::Exact(
+            *i as usize,
+            conv_term(t)?,
+            conv_term(u)?,
+        ))),
+        _ => Err(DomainError::UnsupportedSymbol {
+            symbol: format!("{name}/{}", args.len()),
+        }),
+    }
+}
+
+fn conv_term(t: &Term) -> Result<RTerm, DomainError> {
+    match t {
+        Term::Var(v) => Ok(RTerm::Var(v.clone())),
+        Term::Str(s) => {
+            if fq_turing::sym::in_domain_alphabet(s) {
+                Ok(RTerm::Lit(s.clone()))
+            } else {
+                Err(DomainError::SortMismatch {
+                    detail: format!("\"{s}\" is not over the trace alphabet {{1,&,*,#}}"),
+                })
+            }
+        }
+        Term::App(f, args) => match (f.as_str(), args.as_slice()) {
+            ("w", [inner]) => Ok(RTerm::w_of(conv_term(inner)?)),
+            ("m", [inner]) => Ok(RTerm::m_of(conv_term(inner)?)),
+            _ => Err(DomainError::UnsupportedSymbol {
+                symbol: format!("{f}/{}", args.len()),
+            }),
+        },
+        Term::Nat(_) => Err(DomainError::SortMismatch {
+            detail: format!("numeral {t} has no interpretation in the trace domain"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+    use fq_turing::builders;
+    use fq_turing::encode::encode_machine;
+    use fq_turing::trace::trace_string;
+
+    #[test]
+    fn nested_functions_collapse() {
+        let t = RTerm::w_of(RTerm::w_of(RTerm::Var("x".into())));
+        assert_eq!(t, RTerm::Lit(String::new()));
+        let t2 = RTerm::m_of(RTerm::w_of(RTerm::Var("x".into())));
+        assert_eq!(t2, RTerm::Lit(String::new()));
+    }
+
+    #[test]
+    fn ground_w_and_m_fold() {
+        let m = builders::scan_right_halt_on_blank();
+        let tr = trace_string(&m, "11", 2).unwrap();
+        assert_eq!(RTerm::w_of(RTerm::Lit(tr.clone())), RTerm::Lit("11".into()));
+        assert_eq!(
+            RTerm::m_of(RTerm::Lit(tr)),
+            RTerm::Lit(encode_machine(&m))
+        );
+        // Non-traces map to ε.
+        assert_eq!(RTerm::w_of(RTerm::Lit("11".into())), RTerm::Lit(String::new()));
+    }
+
+    #[test]
+    fn p_translates_to_reach_signature() {
+        let f = parse_formula("P(x, y, z)").unwrap();
+        let r = from_logic(&f).unwrap();
+        match r {
+            RFormula::And(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(
+                    parts[0],
+                    RFormula::Atom(RAtom::IsSort(Sort::Trace, _))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conversion_accepts_reach_predicates() {
+        for s in [
+            "M(x) | W(x) | T(x) | O(x)",
+            "B(\"11&\", x)",
+            "D(3, x, y) & E(2, m(z), \"1\")",
+            "w(z) = \"11\"",
+        ] {
+            assert!(from_logic(&parse_formula(s).unwrap()).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn conversion_rejects_foreign_symbols() {
+        assert!(from_logic(&parse_formula("x < y").unwrap()).is_err());
+        assert!(from_logic(&parse_formula("x = 3").unwrap()).is_err());
+        assert!(from_logic(&parse_formula("B(\"1*\", x)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn substitution_folds_ground_functions() {
+        let a = RAtom::Eq(RTerm::WOf("z".into()), RTerm::Var("y".into()));
+        let m = builders::looper();
+        let tr = trace_string(&m, "1&", 1).unwrap();
+        let s = a.subst("z", &RTerm::Lit(tr));
+        assert_eq!(
+            s,
+            RAtom::Eq(RTerm::Lit("1&".into()), RTerm::Var("y".into()))
+        );
+    }
+
+    #[test]
+    fn mentions_tracks_function_arguments() {
+        let a = RAtom::AtLeast(2, RTerm::MOf("x".into()), RTerm::Lit("1".into()));
+        assert!(a.mentions("x"));
+        assert!(!a.mentions("y"));
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let a = RFormula::Exists(
+            "x".into(),
+            Box::new(RFormula::and([
+                RFormula::Atom(RAtom::IsSort(Sort::Trace, RTerm::Var("x".into()))),
+                RFormula::Atom(RAtom::Eq(RTerm::WOf("x".into()), RTerm::Lit("11".into()))),
+                RFormula::Atom(RAtom::AtLeast(3, RTerm::MOf("x".into()), RTerm::Lit("1".into()))),
+            ])),
+        );
+        assert_eq!(
+            a.to_string(),
+            "exists x. (T(x) & w(x) = \"11\" & D_3(m(x), \"1\"))"
+        );
+    }
+
+    #[test]
+    fn smart_constructors_behave() {
+        assert_eq!(RFormula::and([RFormula::True, RFormula::True]), RFormula::True);
+        assert_eq!(
+            RFormula::or([RFormula::False, RFormula::True]),
+            RFormula::True
+        );
+        assert_eq!(RFormula::not(RFormula::True), RFormula::False);
+    }
+}

@@ -1,0 +1,229 @@
+//! The domain of input words with length-lexicographic order.
+//!
+//! Section 2.2 closes: "the same ideas can be carried out for many other
+//! domains, say, for strings (words in a finite alphabet) with
+//! lexicographical ordering." This module makes that remark concrete: the
+//! domain ⟨{1,&}*, ⊑⟩ with the length-lex order is *isomorphic* to
+//! ⟨ℕ, <⟩ via the canonical enumeration index, so its theory is decided by
+//! translating through the isomorphism into Presburger arithmetic — and
+//! the Theorem 2.2 finitization syntax transfers verbatim.
+
+use crate::domain::{require_sentence, DecidableTheory, Domain, DomainError};
+use crate::presburger::Presburger;
+use fq_logic::{Formula, Term};
+
+/// The domain ⟨{1,&}*, ⊑⟩: words ordered by length, then lexicographically
+/// (`1` before `&`). The order predicate is written `llex` in formulas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WordsLlex;
+
+impl WordsLlex {
+    /// The enumeration index of a word — the isomorphism with ℕ.
+    pub fn index(word: &str) -> Option<u64> {
+        if !word.chars().all(|c| matches!(c, '1' | '&')) {
+            return None;
+        }
+        let n = word.len() as u32;
+        // Words shorter than n: 2^n − 1; then the binary offset (1 = 0).
+        let shorter = (1u64 << n) - 1;
+        let offset = word
+            .chars()
+            .fold(0u64, |acc, c| acc * 2 + if c == '1' { 0 } else { 1 });
+        Some(shorter + offset)
+    }
+
+    /// The word at an enumeration index — the inverse isomorphism.
+    pub fn word_at(mut index: u64) -> String {
+        let mut len = 0u32;
+        while index >= (1u64 << len) {
+            index -= 1u64 << len;
+            len += 1;
+        }
+        let mut out = vec!['1'; len as usize];
+        for i in (0..len as usize).rev() {
+            if index % 2 == 1 {
+                out[i] = '&';
+            }
+            index /= 2;
+        }
+        out.into_iter().collect()
+    }
+
+    /// The length-lex order itself.
+    pub fn llex_lt(a: &str, b: &str) -> bool {
+        let rank = |c: char| if c == '1' { 0u8 } else { 1 };
+        a.len() < b.len()
+            || (a.len() == b.len() && a.chars().map(rank).lt(b.chars().map(rank)))
+    }
+
+    /// Translate a formula over this domain (equality, `llex`, word
+    /// literals) into a Presburger formula via the isomorphism.
+    pub fn translate(&self, f: &Formula) -> Result<Formula, DomainError> {
+        fn term(t: &Term) -> Result<Term, DomainError> {
+            match t {
+                Term::Var(v) => Ok(Term::var(v.clone())),
+                Term::Str(s) => WordsLlex::index(s)
+                    .map(Term::Nat)
+                    .ok_or_else(|| DomainError::SortMismatch {
+                        detail: format!("\"{s}\" is not a word over {{1,&}}"),
+                    }),
+                other => Err(DomainError::UnsupportedSymbol {
+                    symbol: other.to_string(),
+                }),
+            }
+        }
+        match f {
+            Formula::True | Formula::False => Ok(f.clone()),
+            Formula::Eq(a, b) => Ok(Formula::eq(term(a)?, term(b)?)),
+            Formula::Pred(name, args) if name == "llex" && args.len() == 2 => {
+                Ok(Formula::lt(term(&args[0])?, term(&args[1])?))
+            }
+            Formula::Pred(name, args) => Err(DomainError::UnsupportedSymbol {
+                symbol: format!("{name}/{}", args.len()),
+            }),
+            Formula::Not(g) => Ok(Formula::not(self.translate(g)?)),
+            Formula::And(gs) => {
+                let parts: Result<Vec<_>, _> = gs.iter().map(|g| self.translate(g)).collect();
+                Ok(Formula::and(parts?))
+            }
+            Formula::Or(gs) => {
+                let parts: Result<Vec<_>, _> = gs.iter().map(|g| self.translate(g)).collect();
+                Ok(Formula::or(parts?))
+            }
+            Formula::Implies(a, b) => Ok(Formula::implies(self.translate(a)?, self.translate(b)?)),
+            Formula::Iff(a, b) => Ok(Formula::iff(self.translate(a)?, self.translate(b)?)),
+            Formula::Exists(v, g) => Ok(Formula::exists(v.clone(), self.translate(g)?)),
+            Formula::Forall(v, g) => Ok(Formula::forall(v.clone(), self.translate(g)?)),
+        }
+    }
+}
+
+impl Domain for WordsLlex {
+    type Elem = String;
+
+    fn name(&self) -> String {
+        "⟨{1,&}*, ⊑⟩ (length-lex words)".to_string()
+    }
+
+    fn enumerate(&self, n: usize) -> Vec<String> {
+        (0..n as u64).map(Self::word_at).collect()
+    }
+
+    fn elem_term(&self, e: &String) -> Term {
+        Term::Str(e.clone())
+    }
+
+    fn parse_elem(&self, t: &Term) -> Option<String> {
+        match t {
+            Term::Str(s) if s.chars().all(|c| matches!(c, '1' | '&')) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl DecidableTheory for WordsLlex {
+    fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        require_sentence(sentence)?;
+        Presburger.decide(&self.translate(sentence)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn decide(s: &str) -> bool {
+        WordsLlex.decide(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn index_matches_enumeration_order() {
+        let words = WordsLlex.enumerate(64);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(WordsLlex::index(w), Some(i as u64), "{w}");
+            assert_eq!(WordsLlex::word_at(i as u64), *w);
+        }
+        // And the order predicate agrees with the indices.
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                assert_eq!(WordsLlex::llex_lt(a, b), i < j, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_rejects_foreign_strings() {
+        assert_eq!(WordsLlex::index("1*1"), None);
+        assert_eq!(WordsLlex::index("abc"), None);
+    }
+
+    #[test]
+    fn the_order_is_discrete_with_least_element() {
+        // ε is the least word.
+        assert!(decide("forall x. x = \"\" | llex(\"\", x)"));
+        // No maximum.
+        assert!(decide("forall x. exists y. llex(x, y)"));
+        // Discreteness: "1" is the immediate successor of ε.
+        assert!(decide("forall x. !(llex(\"\", x) & llex(x, \"1\"))"));
+    }
+
+    #[test]
+    fn constants_translate_correctly() {
+        assert!(decide("llex(\"\", \"1\")"));
+        assert!(decide("llex(\"1\", \"&\")"));
+        assert!(decide("llex(\"&\", \"11\")"));
+        assert!(!decide("llex(\"&\", \"1\")"));
+        // Length dominates: "&&" before "111".
+        assert!(decide("llex(\"&&\", \"111\")"));
+    }
+
+    #[test]
+    fn quantifier_alternation() {
+        // Between any word and its index+2 word there is exactly one word.
+        assert!(decide(
+            "forall x. exists y. llex(x, y) & forall z. llex(x, z) -> y = z | llex(y, z)"
+        ));
+    }
+
+    #[test]
+    fn finitization_syntax_transfers() {
+        // Theorem 2.2 over this extension-of-⟨N,<⟩-up-to-isomorphism:
+        // "llex(x, "11")" is finite — its translation is equivalent to its
+        // finitization in Presburger.
+        let phi = parse_formula("llex(x, \"11\")").unwrap();
+        let translated = WordsLlex.translate(&phi).unwrap();
+        let fin = crate::presburger::Presburger;
+        let finitized = {
+            // Inline Theorem 2.2 shape: φ ∧ ∃m∀x(φ → x < m).
+            let bound = Formula::exists(
+                "m",
+                Formula::forall(
+                    "x",
+                    Formula::implies(
+                        translated.clone(),
+                        Formula::lt(Term::var("x"), Term::var("m")),
+                    ),
+                ),
+            );
+            Formula::and([translated.clone(), bound])
+        };
+        assert!(fin.equivalent(&translated, &finitized).unwrap());
+    }
+
+    #[test]
+    fn rejects_foreign_symbols() {
+        assert!(WordsLlex.decide(&parse_formula("exists x. x < 1").unwrap()).is_err());
+        assert!(WordsLlex
+            .decide(&parse_formula("exists x. x = \"1*\"").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn domain_round_trip() {
+        for w in ["", "1", "&", "1&1&", "&&&&&"] {
+            let e = w.to_string();
+            assert_eq!(WordsLlex.parse_elem(&WordsLlex.elem_term(&e)), Some(e));
+        }
+    }
+}

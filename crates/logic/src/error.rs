@@ -1,0 +1,66 @@
+//! Error types for the logic kernel.
+
+use std::fmt;
+
+/// Errors produced by parsing, signature checking, or evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicError {
+    /// A lexical error at the given byte offset.
+    Lex { offset: usize, message: String },
+    /// A parse error at the given byte offset.
+    Parse { offset: usize, message: String },
+    /// A symbol was used with the wrong arity or kind.
+    Signature { symbol: String, message: String },
+    /// Evaluation failed (unknown symbol, undefined function value, …).
+    Eval { message: String },
+}
+
+impl LogicError {
+    pub(crate) fn lex(offset: usize, message: impl Into<String>) -> Self {
+        LogicError::Lex {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        LogicError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Construct an evaluation error.
+    pub fn eval(message: impl Into<String>) -> Self {
+        LogicError::Eval {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a signature error.
+    pub fn signature(symbol: impl Into<String>, message: impl Into<String>) -> Self {
+        LogicError::Signature {
+            symbol: symbol.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            LogicError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LogicError::Signature { symbol, message } => {
+                write!(f, "signature error for `{symbol}`: {message}")
+            }
+            LogicError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}

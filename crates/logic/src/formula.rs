@@ -1,0 +1,602 @@
+//! First-order formulas.
+//!
+//! Conjunction and disjunction are n-ary: the quantifier-elimination
+//! procedures of `fq-domains` constantly split and re-assemble conjunct
+//! lists, and flat lists keep that code close to the paper's notation.
+//! The smart constructors [`Formula::and`] and [`Formula::or`] flatten and
+//! absorb neutral/absorbing elements, so `and([])` is `True` and
+//! `or([])` is `False`.
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order formula.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The true constant.
+    True,
+    /// The false constant.
+    False,
+    /// An applied predicate — a database relation symbol or a domain
+    /// predicate (e.g. the paper's ternary `P` over the trace domain).
+    Pred(String, Vec<Term>),
+    /// Equality, available in every domain considered by the paper.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction.
+    And(Vec<Formula>),
+    /// n-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(String, Box<Formula>),
+    /// Universal quantification.
+    Forall(String, Box<Formula>),
+}
+
+impl Formula {
+    /// Smart conjunction: flattens nested `And`s, drops `True`, and
+    /// collapses to `False` if any conjunct is `False`.
+    pub fn and(conjuncts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for c in conjuncts {
+            match c {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Smart disjunction: flattens nested `Or`s, drops `False`, and
+    /// collapses to `True` if any disjunct is `True`.
+    pub fn or(disjuncts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for d in disjuncts {
+            match d {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Smart negation: folds constants and double negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Bi-implication `a <-> b`.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Existential quantification over one variable.
+    pub fn exists(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    /// Existential closure over several variables (innermost last).
+    pub fn exists_many<I, S>(vars: I, body: Formula) -> Formula
+    where
+        I: IntoIterator<Item = S>,
+        I::IntoIter: DoubleEndedIterator,
+        S: Into<String>,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Formula::exists(v, acc))
+    }
+
+    /// Universal quantification over one variable.
+    pub fn forall(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    /// Universal closure over several variables (innermost last).
+    pub fn forall_many<I, S>(vars: I, body: Formula) -> Formula
+    where
+        I: IntoIterator<Item = S>,
+        I::IntoIter: DoubleEndedIterator,
+        S: Into<String>,
+    {
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Formula::forall(v, acc))
+    }
+
+    /// The atom `a = b`.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// The literal `a != b`.
+    pub fn neq(a: Term, b: Term) -> Formula {
+        Formula::not(Formula::Eq(a, b))
+    }
+
+    /// The atom `a < b`, represented as the binary predicate `<`.
+    pub fn lt(a: Term, b: Term) -> Formula {
+        Formula::Pred("<".into(), vec![a, b])
+    }
+
+    /// An applied predicate.
+    pub fn pred(name: impl Into<String>, args: Vec<Term>) -> Formula {
+        Formula::Pred(name.into(), args)
+    }
+
+    /// Free variables of the formula, in sorted order.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(_, args) => {
+                for t in args {
+                    for v in t.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    for v in t.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                bound.push(v.clone());
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// All variables (free and bound) mentioned anywhere in the formula.
+    pub fn all_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Pred(_, args) => {
+                for t in args {
+                    t.collect_vars(&mut out);
+                }
+            }
+            Formula::Eq(a, b) => {
+                a.collect_vars(&mut out);
+                b.collect_vars(&mut out);
+            }
+            Formula::Exists(v, _) | Formula::Forall(v, _) => {
+                out.insert(v.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Whether the formula is a *sentence* (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Whether the formula is quantifier-free.
+    pub fn is_quantifier_free(&self) -> bool {
+        let mut qf = true;
+        self.visit(&mut |f| {
+            if matches!(f, Formula::Exists(..) | Formula::Forall(..)) {
+                qf = false;
+            }
+        });
+        qf
+    }
+
+    /// Quantifier depth (maximum nesting of quantifiers), the measure used
+    /// by the extended-active-domain syntax of Theorem 2.7.
+    pub fn quantifier_depth(&self) -> u32 {
+        match self {
+            Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_depth).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Size of the formula (number of AST nodes, counting term nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 1,
+            Formula::Pred(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            Formula::Eq(a, b) => 1 + a.size() + b.size(),
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Pre-order traversal calling `f` on every subformula.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => {}
+            Formula::Not(inner) => inner.visit(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit(f);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => inner.visit(f),
+        }
+    }
+
+    /// All predicate names used in the formula (database relations plus
+    /// domain predicates), in sorted order.
+    pub fn predicate_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Pred(name, _) = f {
+                out.insert(name.clone());
+            }
+        });
+        out
+    }
+
+    /// All named constants (nullary applications) used in the formula.
+    pub fn named_constants(&self) -> BTreeSet<String> {
+        fn walk_term(t: &Term, out: &mut BTreeSet<String>) {
+            if let Term::App(name, args) = t {
+                if args.is_empty() {
+                    out.insert(name.clone());
+                }
+                for a in args {
+                    walk_term(a, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Pred(_, args) => {
+                for t in args {
+                    walk_term(t, &mut out);
+                }
+            }
+            Formula::Eq(a, b) => {
+                walk_term(a, &mut out);
+                walk_term(b, &mut out);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// All literal constants (numbers and strings) occurring in the formula.
+    pub fn literal_constants(&self) -> (BTreeSet<u64>, BTreeSet<String>) {
+        fn walk_term(t: &Term, nats: &mut BTreeSet<u64>, strs: &mut BTreeSet<String>) {
+            match t {
+                Term::Nat(n) => {
+                    nats.insert(*n);
+                }
+                Term::Str(s) => {
+                    strs.insert(s.clone());
+                }
+                Term::App(_, args) => {
+                    for a in args {
+                        walk_term(a, nats, strs);
+                    }
+                }
+                Term::Var(_) => {}
+            }
+        }
+        let mut nats = BTreeSet::new();
+        let mut strs = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Pred(_, args) => {
+                for t in args {
+                    walk_term(t, &mut nats, &mut strs);
+                }
+            }
+            Formula::Eq(a, b) => {
+                walk_term(a, &mut nats, &mut strs);
+                walk_term(b, &mut nats, &mut strs);
+            }
+            _ => {}
+        });
+        (nats, strs)
+    }
+
+    /// Rewrite every atom via `f`, keeping the connective structure.
+    pub fn map_atoms(&self, f: &mut impl FnMut(&Formula) -> Formula) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => f(self),
+            Formula::Not(inner) => Formula::not(inner.map_atoms(f)),
+            Formula::And(fs) => Formula::and(fs.iter().map(|g| g.map_atoms(f))),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|g| g.map_atoms(f))),
+            Formula::Implies(a, b) => Formula::implies(a.map_atoms(f), b.map_atoms(f)),
+            Formula::Iff(a, b) => Formula::iff(a.map_atoms(f), b.map_atoms(f)),
+            Formula::Exists(v, inner) => Formula::exists(v.clone(), inner.map_atoms(f)),
+            Formula::Forall(v, inner) => Formula::forall(v.clone(), inner.map_atoms(f)),
+        }
+    }
+}
+
+/// Precedence levels for printing.
+fn prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(_) => 3,
+        Formula::And(_) => 4,
+        Formula::Not(_) => 5,
+        Formula::Exists(..) | Formula::Forall(..) => 0,
+        _ => 6,
+    }
+}
+
+fn fmt_at(f: &Formula, parent: u8, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let p = prec(f);
+    let need_parens = p < parent;
+    if need_parens {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::True => write!(out, "true")?,
+        Formula::False => write!(out, "false")?,
+        Formula::Pred(name, args) => {
+            if args.len() == 2 && matches!(name.as_str(), "<" | "<=" | ">" | ">=") {
+                write!(out, "{} {} {}", args[0], name, args[1])?;
+            } else {
+                write!(out, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ", ")?;
+                    }
+                    write!(out, "{a}")?;
+                }
+                write!(out, ")")?;
+            }
+        }
+        Formula::Eq(a, b) => write!(out, "{a} = {b}")?,
+        Formula::Not(inner) => {
+            // Special-case `!(a = b)` as `a != b`.
+            if let Formula::Eq(a, b) = inner.as_ref() {
+                write!(out, "{a} != {b}")?;
+            } else {
+                write!(out, "!")?;
+                fmt_at(inner, 5, out)?;
+            }
+        }
+        Formula::And(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " & ")?;
+                }
+                fmt_at(g, 5, out)?;
+            }
+        }
+        Formula::Or(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " | ")?;
+                }
+                fmt_at(g, 4, out)?;
+            }
+        }
+        Formula::Implies(a, b) => {
+            fmt_at(a, 3, out)?;
+            write!(out, " -> ")?;
+            fmt_at(b, 2, out)?;
+        }
+        Formula::Iff(a, b) => {
+            // `<->` parses left-associatively; parenthesize a nested Iff on
+            // the right so printing round-trips.
+            fmt_at(a, 1, out)?;
+            write!(out, " <-> ")?;
+            fmt_at(b, 2, out)?;
+        }
+        Formula::Exists(v, inner) => {
+            write!(out, "exists {v}. ")?;
+            fmt_at(inner, 0, out)?;
+        }
+        Formula::Forall(v, inner) => {
+            write!(out, "forall {v}. ")?;
+            fmt_at(inner, 0, out)?;
+        }
+    }
+    if need_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_at(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn smart_and_flattens_and_absorbs() {
+        let a = Formula::eq(v("x"), v("y"));
+        assert_eq!(Formula::and([Formula::True, a.clone()]), a);
+        assert_eq!(Formula::and([Formula::False, a.clone()]), Formula::False);
+        assert_eq!(Formula::and(Vec::<Formula>::new()), Formula::True);
+        let nested = Formula::and([Formula::and([a.clone(), a.clone()]), a.clone()]);
+        assert_eq!(nested, Formula::And(vec![a.clone(), a.clone(), a]));
+    }
+
+    #[test]
+    fn smart_or_flattens_and_absorbs() {
+        let a = Formula::eq(v("x"), v("y"));
+        assert_eq!(Formula::or([Formula::False, a.clone()]), a);
+        assert_eq!(Formula::or([Formula::True, a.clone()]), Formula::True);
+        assert_eq!(Formula::or(Vec::<Formula>::new()), Formula::False);
+    }
+
+    #[test]
+    fn smart_not_folds() {
+        let a = Formula::eq(v("x"), v("y"));
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // exists y. F(x, y)  — only x is free.
+        let f = Formula::exists("y", Formula::pred("F", vec![v("x"), v("y")]));
+        let fv = f.free_vars();
+        assert!(fv.contains("x"));
+        assert!(!fv.contains("y"));
+    }
+
+    #[test]
+    fn shadowing_inner_binder() {
+        // F(x) & exists x. G(x): x is still free (from the first conjunct).
+        let f = Formula::and([
+            Formula::pred("F", vec![v("x")]),
+            Formula::exists("x", Formula::pred("G", vec![v("x")])),
+        ]);
+        assert!(f.free_vars().contains("x"));
+    }
+
+    #[test]
+    fn quantifier_depth_counts_nesting() {
+        let f = Formula::exists(
+            "x",
+            Formula::and([
+                Formula::exists("y", Formula::eq(v("x"), v("y"))),
+                Formula::eq(v("x"), v("x")),
+            ]),
+        );
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn sentence_detection() {
+        let f = Formula::exists("x", Formula::eq(v("x"), Term::Nat(0)));
+        assert!(f.is_sentence());
+        let g = Formula::eq(v("x"), Term::Nat(0));
+        assert!(!g.is_sentence());
+    }
+
+    #[test]
+    fn display_infix_comparison() {
+        let f = Formula::lt(v("x"), Term::Nat(5));
+        assert_eq!(f.to_string(), "x < 5");
+    }
+
+    #[test]
+    fn display_neq_sugar() {
+        let f = Formula::neq(v("x"), v("y"));
+        assert_eq!(f.to_string(), "x != y");
+    }
+
+    #[test]
+    fn named_constants_collected() {
+        let f = Formula::pred("P", vec![Term::named("c"), v("x")]);
+        assert!(f.named_constants().contains("c"));
+    }
+
+    #[test]
+    fn literal_constants_collected() {
+        let f = Formula::and([
+            Formula::eq(v("x"), Term::Nat(42)),
+            Formula::eq(v("y"), Term::Str("1&".into())),
+        ]);
+        let (nats, strs) = f.literal_constants();
+        assert!(nats.contains(&42));
+        assert!(strs.contains("1&"));
+    }
+
+    #[test]
+    fn map_atoms_rewrites_leaves() {
+        let f = Formula::not(Formula::eq(v("x"), v("y")));
+        let g = f.map_atoms(&mut |atom| match atom {
+            Formula::Eq(a, b) => Formula::eq(b.clone(), a.clone()),
+            other => other.clone(),
+        });
+        assert_eq!(g, Formula::not(Formula::eq(v("y"), v("x"))));
+    }
+
+    #[test]
+    fn exists_many_order() {
+        let f = Formula::exists_many(["x", "y"], Formula::eq(v("x"), v("y")));
+        // Outermost binder is x.
+        match f {
+            Formula::Exists(ref v1, ref inner) => {
+                assert_eq!(v1, "x");
+                assert!(matches!(inner.as_ref(), Formula::Exists(v2, _) if v2 == "y"));
+            }
+            _ => panic!("expected Exists"),
+        }
+    }
+
+    #[test]
+    fn is_quantifier_free() {
+        assert!(Formula::eq(v("x"), v("y")).is_quantifier_free());
+        assert!(!Formula::exists("x", Formula::True).is_quantifier_free());
+    }
+}

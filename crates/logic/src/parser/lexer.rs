@@ -1,0 +1,293 @@
+//! Lexer for the concrete formula syntax.
+
+use crate::error::LogicError;
+
+/// A lexical token with its byte offset in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// The kinds of token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Nat(u64),
+    /// A double-quoted string literal (trace-alphabet constants).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+    EqSym,
+    NeqSym,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Prime,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Nat(n) => format!("number `{n}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::DArrow => "`<->`".into(),
+            TokenKind::EqSym => "`=`".into(),
+            TokenKind::NeqSym => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Prime => "`'`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize the whole input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LogicError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token { kind: TokenKind::Amp, offset: start });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '\'' => {
+                tokens.push(Token { kind: TokenKind::Prime, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::EqSym, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NeqSym, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::DArrow, offset: start });
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LogicError::lex(start, "unterminated string literal"));
+                }
+                let s = &input[content_start..i];
+                tokens.push(Token {
+                    kind: TokenKind::Str(s.to_string()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: u64 = text
+                    .parse()
+                    .map_err(|_| LogicError::lex(start, format!("number too large: {text}")))?;
+                tokens.push(Token { kind: TokenKind::Nat(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LogicError::lex(start, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x = y"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::EqSym,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("-> <-> <= >= != <"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::DArrow,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::NeqSym,
+                TokenKind::Lt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal_with_trace_alphabet() {
+        assert_eq!(
+            kinds("\"11&*#\""),
+            vec![TokenKind::Str("11&*#".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn empty_string_literal() {
+        assert_eq!(kinds("\"\""), vec![TokenKind::Str(String::new()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn numbers_and_primes() {
+        assert_eq!(
+            kinds("0' 12''"),
+            vec![
+                TokenKind::Nat(0),
+                TokenKind::Prime,
+                TokenKind::Nat(12),
+                TokenKind::Prime,
+                TokenKind::Prime,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(tokenize("x @ y").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

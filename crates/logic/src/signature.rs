@@ -1,0 +1,260 @@
+//! Signatures: which predicate/function symbols exist and with what arity.
+//!
+//! The paper distinguishes *domain* symbols (fixed, possibly infinite
+//! relations such as `<` or the ternary trace predicate `P`) from *database*
+//! symbols (the scheme's finite relations, e.g. the father–son relation `F`).
+//! A [`Signature`] records both, so that formulas can be checked for
+//! well-formedness before they are evaluated or transformed.
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use crate::term::Term;
+use std::collections::BTreeMap;
+
+/// What kind of symbol a name denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A fixed domain predicate (e.g. `<`, or the trace predicate `P`).
+    DomainPredicate,
+    /// A domain function (e.g. `succ`, `+`, or the trace functions `w`, `m`).
+    DomainFunction,
+    /// A finite database relation from the scheme.
+    DatabaseRelation,
+    /// A named constant from the scheme (Theorem 3.1's `c`).
+    SchemeConstant,
+}
+
+/// A signature: symbol names with kinds and arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature {
+    symbols: BTreeMap<String, (SymbolKind, usize)>,
+}
+
+impl Signature {
+    /// An empty signature (equality is always implicitly available).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a symbol. Returns an error on conflicting redeclaration.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        kind: SymbolKind,
+        arity: usize,
+    ) -> Result<(), LogicError> {
+        let name = name.into();
+        if kind == SymbolKind::SchemeConstant && arity != 0 {
+            return Err(LogicError::signature(&name, "scheme constants are nullary"));
+        }
+        match self.symbols.get(&name) {
+            Some(existing) if *existing != (kind, arity) => Err(LogicError::signature(
+                &name,
+                format!(
+                    "redeclared with different kind/arity (was {:?}/{}, now {:?}/{})",
+                    existing.0, existing.1, kind, arity
+                ),
+            )),
+            _ => {
+                self.symbols.insert(name, (kind, arity));
+                Ok(())
+            }
+        }
+    }
+
+    /// Fluent variant of [`Self::declare`] that panics on conflict; intended
+    /// for building signatures from literals.
+    pub fn with(mut self, name: &str, kind: SymbolKind, arity: usize) -> Self {
+        self.declare(name, kind, arity).expect("conflicting declaration");
+        self
+    }
+
+    /// Look up a symbol.
+    pub fn get(&self, name: &str) -> Option<(SymbolKind, usize)> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterate over all declared symbols.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SymbolKind, usize)> {
+        self.symbols.iter().map(|(n, (k, a))| (n.as_str(), *k, *a))
+    }
+
+    /// Names of all database relations in the signature.
+    pub fn database_relations(&self) -> Vec<(&str, usize)> {
+        self.iter()
+            .filter(|(_, k, _)| *k == SymbolKind::DatabaseRelation)
+            .map(|(n, _, a)| (n, a))
+            .collect()
+    }
+
+    /// Check that every symbol used in the formula is declared with the
+    /// right kind and arity. Built-in comparison predicates (`<`, `<=`,
+    /// `>`, `>=`) and arithmetic functions (`+`, `-`, `*`, `succ`) are
+    /// accepted when declared; equality is always allowed.
+    pub fn check(&self, formula: &Formula) -> Result<(), LogicError> {
+        let mut result = Ok(());
+        formula.visit(&mut |f| {
+            if result.is_err() {
+                return;
+            }
+            match f {
+                Formula::Pred(name, args) => {
+                    match self.get(name) {
+                        Some((SymbolKind::DomainPredicate | SymbolKind::DatabaseRelation, arity)) => {
+                            if args.len() != arity {
+                                result = Err(LogicError::signature(
+                                    name,
+                                    format!("expected {arity} arguments, got {}", args.len()),
+                                ));
+                                return;
+                            }
+                        }
+                        Some((kind, _)) => {
+                            result = Err(LogicError::signature(
+                                name,
+                                format!("used as a predicate but declared as {kind:?}"),
+                            ));
+                            return;
+                        }
+                        None => {
+                            result = Err(LogicError::signature(name, "undeclared predicate"));
+                            return;
+                        }
+                    }
+                    for t in args {
+                        if let Err(e) = self.check_term(t) {
+                            result = Err(e);
+                            return;
+                        }
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Err(e) = self.check_term(t) {
+                            result = Err(e);
+                            return;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+        result
+    }
+
+    fn check_term(&self, term: &Term) -> Result<(), LogicError> {
+        match term {
+            Term::Var(_) | Term::Nat(_) | Term::Str(_) => Ok(()),
+            Term::App(name, args) => {
+                match self.get(name) {
+                    Some((SymbolKind::DomainFunction, arity)) => {
+                        if args.len() != arity {
+                            return Err(LogicError::signature(
+                                name,
+                                format!("expected {arity} arguments, got {}", args.len()),
+                            ));
+                        }
+                    }
+                    Some((SymbolKind::SchemeConstant, _)) => {
+                        if !args.is_empty() {
+                            return Err(LogicError::signature(
+                                name,
+                                "scheme constant applied to arguments",
+                            ));
+                        }
+                    }
+                    Some((kind, _)) => {
+                        return Err(LogicError::signature(
+                            name,
+                            format!("used as a function but declared as {kind:?}"),
+                        ));
+                    }
+                    None => {
+                        return Err(LogicError::signature(name, "undeclared function symbol"));
+                    }
+                }
+                for a in args {
+                    self.check_term(a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn fathers_sig() -> Signature {
+        Signature::new().with("F", SymbolKind::DatabaseRelation, 2)
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let sig = fathers_sig();
+        let f = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
+        assert!(sig.check(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let sig = fathers_sig();
+        let f = parse_formula("F(x)").unwrap();
+        assert!(sig.check(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let sig = fathers_sig();
+        let f = parse_formula("G(x, y)").unwrap();
+        assert!(sig.check(&f).is_err());
+    }
+
+    #[test]
+    fn scheme_constant_usage() {
+        let sig = Signature::new()
+            .with("P", SymbolKind::DomainPredicate, 3)
+            .with("c", SymbolKind::SchemeConstant, 0);
+        let f = parse_formula("P(x, c, y)").unwrap();
+        assert!(sig.check(&f).is_ok());
+    }
+
+    #[test]
+    fn scheme_constant_must_be_nullary() {
+        let mut sig = Signature::new();
+        assert!(sig.declare("c", SymbolKind::SchemeConstant, 1).is_err());
+    }
+
+    #[test]
+    fn predicate_used_as_function_rejected() {
+        let sig = Signature::new().with("F", SymbolKind::DatabaseRelation, 2);
+        let f = parse_formula("F(x, y) = z").unwrap();
+        assert!(sig.check(&f).is_err());
+    }
+
+    #[test]
+    fn conflicting_redeclaration_rejected() {
+        let mut sig = Signature::new();
+        sig.declare("R", SymbolKind::DatabaseRelation, 2).unwrap();
+        assert!(sig.declare("R", SymbolKind::DatabaseRelation, 3).is_err());
+        // Identical redeclaration is fine.
+        assert!(sig.declare("R", SymbolKind::DatabaseRelation, 2).is_ok());
+    }
+
+    #[test]
+    fn equality_always_allowed() {
+        let sig = Signature::new();
+        let f = parse_formula("x = y").unwrap();
+        assert!(sig.check(&f).is_ok());
+    }
+
+    #[test]
+    fn database_relations_listing() {
+        let sig = Signature::new()
+            .with("F", SymbolKind::DatabaseRelation, 2)
+            .with("<", SymbolKind::DomainPredicate, 2);
+        assert_eq!(sig.database_relations(), vec![("F", 2)]);
+    }
+}

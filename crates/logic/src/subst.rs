@@ -1,0 +1,311 @@
+//! Capture-avoiding substitution and fresh-variable generation.
+//!
+//! Theorem 3.1 of the paper substitutes a fresh variable `z` for the scheme
+//! constant `c` ("the operation [z/c] of substituting the variable z for the
+//! constant symbol c"); [`substitute_const`] implements exactly that, while
+//! [`substitute`] is the usual term-for-variable substitution used by every
+//! quantifier-elimination procedure.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use std::collections::BTreeSet;
+
+/// Produce a variable name based on `base` that does not occur in `taken`.
+pub fn fresh_var(base: &str, taken: &BTreeSet<String>) -> String {
+    if !taken.contains(base) {
+        return base.to_string();
+    }
+    for i in 0.. {
+        let cand = format!("{base}_{i}");
+        if !taken.contains(&cand) {
+            return cand;
+        }
+    }
+    unreachable!("the loop above always returns")
+}
+
+/// Capture-avoiding substitution of `replacement` for free occurrences of
+/// `var` in `formula`. Bound variables that would capture a variable of the
+/// replacement term are renamed first.
+pub fn substitute(formula: &Formula, var: &str, replacement: &Term) -> Formula {
+    let repl_vars = replacement.vars();
+    subst_inner(formula, var, replacement, &repl_vars)
+}
+
+fn subst_inner(
+    formula: &Formula,
+    var: &str,
+    replacement: &Term,
+    repl_vars: &BTreeSet<String>,
+) -> Formula {
+    match formula {
+        Formula::True | Formula::False => formula.clone(),
+        Formula::Pred(name, args) => Formula::Pred(
+            name.clone(),
+            args.iter().map(|t| t.subst_var(var, replacement)).collect(),
+        ),
+        Formula::Eq(a, b) => Formula::Eq(a.subst_var(var, replacement), b.subst_var(var, replacement)),
+        Formula::Not(f) => Formula::Not(Box::new(subst_inner(f, var, replacement, repl_vars))),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|f| subst_inner(f, var, replacement, repl_vars))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|f| subst_inner(f, var, replacement, repl_vars))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::implies(
+            subst_inner(a, var, replacement, repl_vars),
+            subst_inner(b, var, replacement, repl_vars),
+        ),
+        Formula::Iff(a, b) => Formula::iff(
+            subst_inner(a, var, replacement, repl_vars),
+            subst_inner(b, var, replacement, repl_vars),
+        ),
+        Formula::Exists(v, body) | Formula::Forall(v, body) => {
+            let is_exists = matches!(formula, Formula::Exists(..));
+            if v == var {
+                // The substituted variable is shadowed here.
+                return formula.clone();
+            }
+            let (v2, body2) = if repl_vars.contains(v) {
+                // Rename the binder to avoid capture.
+                let mut taken: BTreeSet<String> = body.all_vars();
+                taken.extend(repl_vars.iter().cloned());
+                taken.insert(var.to_string());
+                let fresh = fresh_var(v, &taken);
+                let renamed = substitute(body, v, &Term::Var(fresh.clone()));
+                (fresh, renamed)
+            } else {
+                (v.clone(), body.as_ref().clone())
+            };
+            let new_body = subst_inner(&body2, var, replacement, repl_vars);
+            if is_exists {
+                Formula::exists(v2, new_body)
+            } else {
+                Formula::forall(v2, new_body)
+            }
+        }
+    }
+}
+
+/// Replace every occurrence of the named constant `c` (a nullary
+/// application) with the given term — the paper's `[z/c]` operation.
+///
+/// The caller is responsible for choosing a replacement variable that is not
+/// bound anywhere in the formula (Theorem 3.1 picks "a variable, say z, not
+/// used in the formulas").
+pub fn substitute_const(formula: &Formula, constant: &str, replacement: &Term) -> Formula {
+    fn in_term(t: &Term, constant: &str, replacement: &Term) -> Term {
+        match t {
+            Term::App(name, args) if name == constant && args.is_empty() => replacement.clone(),
+            Term::App(name, args) => Term::App(
+                name.clone(),
+                args.iter().map(|a| in_term(a, constant, replacement)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    formula.map_atoms(&mut |atom| match atom {
+        Formula::Pred(name, args) => Formula::Pred(
+            name.clone(),
+            args.iter().map(|t| in_term(t, constant, replacement)).collect(),
+        ),
+        Formula::Eq(a, b) => Formula::Eq(
+            in_term(a, constant, replacement),
+            in_term(b, constant, replacement),
+        ),
+        other => other.clone(),
+    })
+}
+
+/// Convert free variables whose names appear in `constants` into named
+/// constants (nullary applications).
+///
+/// The concrete syntax cannot distinguish the scheme constant `c` of
+/// Theorem 3.1 from a variable named `c`; after parsing, this pass applies
+/// the scheme's declaration. Bound occurrences are left untouched.
+pub fn bind_constants(formula: &Formula, constants: &BTreeSet<String>) -> Formula {
+    fn in_term(t: &Term, constants: &BTreeSet<String>, bound: &[String]) -> Term {
+        match t {
+            Term::Var(v) if constants.contains(v) && !bound.iter().any(|b| b == v) => {
+                Term::named(v.clone())
+            }
+            Term::App(name, args) => Term::App(
+                name.clone(),
+                args.iter().map(|a| in_term(a, constants, bound)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn walk(f: &Formula, constants: &BTreeSet<String>, bound: &mut Vec<String>) -> Formula {
+        match f {
+            Formula::True | Formula::False => f.clone(),
+            Formula::Pred(name, args) => Formula::Pred(
+                name.clone(),
+                args.iter().map(|t| in_term(t, constants, bound)).collect(),
+            ),
+            Formula::Eq(a, b) => Formula::Eq(
+                in_term(a, constants, bound),
+                in_term(b, constants, bound),
+            ),
+            Formula::Not(inner) => Formula::Not(Box::new(walk(inner, constants, bound))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| walk(g, constants, bound)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| walk(g, constants, bound)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::implies(walk(a, constants, bound), walk(b, constants, bound))
+            }
+            Formula::Iff(a, b) => {
+                Formula::iff(walk(a, constants, bound), walk(b, constants, bound))
+            }
+            Formula::Exists(v, body) | Formula::Forall(v, body) => {
+                let is_exists = matches!(f, Formula::Exists(..));
+                bound.push(v.clone());
+                let new_body = walk(body, constants, bound);
+                bound.pop();
+                if is_exists {
+                    Formula::exists(v.clone(), new_body)
+                } else {
+                    Formula::forall(v.clone(), new_body)
+                }
+            }
+        }
+    }
+    walk(formula, constants, &mut Vec::new())
+}
+
+/// Rename all bound variables so that they are pairwise distinct and
+/// distinct from every free variable (a "Barendregt convention" pass).
+pub fn rename_bound(formula: &Formula) -> Formula {
+    let mut taken = formula.free_vars();
+    rename_inner(formula, &mut taken)
+}
+
+fn rename_inner(formula: &Formula, taken: &mut BTreeSet<String>) -> Formula {
+    match formula {
+        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => formula.clone(),
+        Formula::Not(f) => Formula::Not(Box::new(rename_inner(f, taken))),
+        Formula::And(fs) => Formula::And(fs.iter().map(|f| rename_inner(f, taken)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|f| rename_inner(f, taken)).collect()),
+        Formula::Implies(a, b) => {
+            Formula::implies(rename_inner(a, taken), rename_inner(b, taken))
+        }
+        Formula::Iff(a, b) => Formula::iff(rename_inner(a, taken), rename_inner(b, taken)),
+        Formula::Exists(v, body) | Formula::Forall(v, body) => {
+            let is_exists = matches!(formula, Formula::Exists(..));
+            let fresh = fresh_var(v, taken);
+            taken.insert(fresh.clone());
+            let body2 = if fresh == *v {
+                body.as_ref().clone()
+            } else {
+                substitute(body, v, &Term::Var(fresh.clone()))
+            };
+            let new_body = rename_inner(&body2, taken);
+            if is_exists {
+                Formula::exists(fresh, new_body)
+            } else {
+                Formula::forall(fresh, new_body)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn substitute_free_occurrence() {
+        let f = parse_formula("P(x) & exists y. Q(x, y)").unwrap();
+        let g = substitute(&f, "x", &Term::Nat(3));
+        assert_eq!(g, parse_formula("P(3) & exists y. Q(3, y)").unwrap());
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let f = parse_formula("exists x. P(x)").unwrap();
+        let g = substitute(&f, "x", &Term::Nat(3));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn substitute_avoids_capture() {
+        // Substituting y for x under a binder for y must rename the binder.
+        let f = parse_formula("exists y. P(x, y)").unwrap();
+        let g = substitute(&f, "x", &Term::var("y"));
+        match g {
+            Formula::Exists(v, body) => {
+                assert_ne!(v, "y", "binder must be renamed");
+                // The substituted free y is present; bound var differs.
+                assert!(body.free_vars().contains("y"));
+            }
+            _ => panic!("expected Exists"),
+        }
+    }
+
+    fn consts(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn substitute_const_is_papers_z_for_c() {
+        // The formula M(x) = P(M, c, x) of Theorem 3.1: parse, declare `c`
+        // a scheme constant, then apply [z/c].
+        let f = bind_constants(&parse_formula("P(m0, c, x)").unwrap(), &consts(&["c"]));
+        assert_eq!(f.free_vars(), consts(&["m0", "x"]));
+        let g = substitute_const(&f, "c", &Term::var("z"));
+        assert_eq!(g, parse_formula("P(m0, z, x)").unwrap());
+    }
+
+    #[test]
+    fn substitute_const_ignores_applied_symbol() {
+        // `c(x)` is a unary application, not the constant `c`.
+        let f = bind_constants(&parse_formula("P(c(x), c)").unwrap(), &consts(&["c"]));
+        let g = substitute_const(&f, "c", &Term::Nat(0));
+        assert_eq!(g, parse_formula("P(c(x), 0)").unwrap());
+    }
+
+    #[test]
+    fn bind_constants_respects_binders() {
+        // `exists c. P(c)` — the bound c stays a variable.
+        let f = bind_constants(
+            &parse_formula("P(c) & exists c. Q(c)").unwrap(),
+            &consts(&["c"]),
+        );
+        assert_eq!(f, {
+            let q = parse_formula("exists c. Q(c)").unwrap();
+            Formula::and([Formula::pred("P", vec![Term::named("c")]), q])
+        });
+    }
+
+    #[test]
+    fn rename_bound_distinct() {
+        let f = parse_formula("(exists x. P(x)) & exists x. Q(x)").unwrap();
+        let g = rename_bound(&f);
+        let mut binders = Vec::new();
+        g.visit(&mut |sub| {
+            if let Formula::Exists(v, _) = sub {
+                binders.push(v.clone());
+            }
+        });
+        assert_eq!(binders.len(), 2);
+        assert_ne!(binders[0], binders[1]);
+    }
+
+    #[test]
+    fn rename_bound_preserves_free() {
+        let f = parse_formula("P(x) & exists x. Q(x)").unwrap();
+        let g = rename_bound(&f);
+        assert!(g.free_vars().contains("x"));
+    }
+
+    #[test]
+    fn fresh_var_avoids_taken() {
+        let taken: BTreeSet<String> = ["x".to_string(), "x_0".to_string()].into();
+        assert_eq!(fresh_var("x", &taken), "x_1");
+        assert_eq!(fresh_var("y", &taken), "y");
+    }
+}

@@ -1,0 +1,217 @@
+//! First-order terms.
+//!
+//! Terms are built from variables, two kinds of literal constants (natural
+//! numbers for the numeric domains of Section 2 of the paper, strings over
+//! the trace alphabet for the domain **T** of Section 3), and function
+//! applications. A nullary application such as `App("c", [])` is a *named
+//! constant* — this is how the database scheme "one constant symbol c" of
+//! Theorem 3.1 is represented.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// A natural-number literal (domains of Section 2).
+    Nat(u64),
+    /// A string literal over the trace alphabet `{1, &, *, #}`
+    /// (domain **T** of Section 3). The empty string is the paper's ε.
+    Str(String),
+    /// Function application; nullary applications are named constants.
+    App(String, Vec<Term>),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Convenience constructor for a named constant (nullary application).
+    pub fn named(name: impl Into<String>) -> Self {
+        Term::App(name.into(), Vec::new())
+    }
+
+    /// Convenience constructor for a unary application.
+    pub fn app1(name: impl Into<String>, arg: Term) -> Self {
+        Term::App(name.into(), vec![arg])
+    }
+
+    /// Convenience constructor for a binary application.
+    pub fn app2(name: impl Into<String>, a: Term, b: Term) -> Self {
+        Term::App(name.into(), vec![a, b])
+    }
+
+    /// The successor term `t'` of the domain N′ (Section 2.2).
+    pub fn succ(self) -> Self {
+        Term::app1("succ", self)
+    }
+
+    /// Iterated successor: `t` followed by `n` primes.
+    pub fn succ_n(self, n: u64) -> Self {
+        (0..n).fold(self, |t, _| t.succ())
+    }
+
+    /// All variables occurring in the term, in sorted order.
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Nat(_) | Term::Str(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the term contains the given variable.
+    pub fn contains_var(&self, name: &str) -> bool {
+        match self {
+            Term::Var(v) => v == name,
+            Term::Nat(_) | Term::Str(_) => false,
+            Term::App(_, args) => args.iter().any(|a| a.contains_var(name)),
+        }
+    }
+
+    /// Whether the term is *ground* (contains no variables).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Nat(_) | Term::Str(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Replace every occurrence of variable `var` with `replacement`.
+    ///
+    /// Terms have no binders, so this substitution cannot capture.
+    pub fn subst_var(&self, var: &str, replacement: &Term) -> Term {
+        match self {
+            Term::Var(v) if v == var => replacement.clone(),
+            Term::Var(_) | Term::Nat(_) | Term::Str(_) => self.clone(),
+            Term::App(f, args) => Term::App(
+                f.clone(),
+                args.iter().map(|a| a.subst_var(var, replacement)).collect(),
+            ),
+        }
+    }
+
+    /// The size of the term (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Nat(_) | Term::Str(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Nat(n) => write!(f, "{n}"),
+            Term::Str(s) => write!(f, "\"{s}\""),
+            Term::App(name, args) => match (name.as_str(), args.as_slice()) {
+                ("succ", [t]) => {
+                    // Postfix prime, parenthesizing compound arguments.
+                    match t {
+                        Term::Var(_) | Term::Nat(_) | Term::Str(_) => write!(f, "{t}'"),
+                        Term::App(n, _) if n == "succ" => write!(f, "{t}'"),
+                        _ => write!(f, "({t})'"),
+                    }
+                }
+                ("+", [a, b]) => write!(f, "({a} + {b})"),
+                ("-", [a, b]) => write!(f, "({a} - {b})"),
+                ("*", [a, b]) => write!(f, "({a} * {b})"),
+                (_, []) => write!(f, "{name}"),
+                _ => {
+                    write!(f, "{name}(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_of_nested_term() {
+        let t = Term::app2("+", Term::var("x"), Term::app1("succ", Term::var("y")));
+        let vs = t.vars();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.contains("x") && vs.contains("y"));
+    }
+
+    #[test]
+    fn ground_terms() {
+        assert!(Term::Nat(3).is_ground());
+        assert!(Term::Str("1&1".into()).is_ground());
+        assert!(Term::named("c").is_ground());
+        assert!(!Term::var("x").is_ground());
+        assert!(!Term::app1("succ", Term::var("x")).is_ground());
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let t = Term::app2("+", Term::var("x"), Term::var("x"));
+        let r = t.subst_var("x", &Term::Nat(7));
+        assert_eq!(r, Term::app2("+", Term::Nat(7), Term::Nat(7)));
+    }
+
+    #[test]
+    fn substitution_leaves_other_vars() {
+        let t = Term::app2("+", Term::var("x"), Term::var("y"));
+        let r = t.subst_var("z", &Term::Nat(7));
+        assert_eq!(r, t);
+    }
+
+    #[test]
+    fn display_successor_chain() {
+        let t = Term::var("x").succ_n(3);
+        assert_eq!(t.to_string(), "x'''");
+    }
+
+    #[test]
+    fn display_named_constant() {
+        assert_eq!(Term::named("c").to_string(), "c");
+    }
+
+    #[test]
+    fn display_string_literal() {
+        assert_eq!(Term::Str("11&*".into()).to_string(), "\"11&*\"");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let t = Term::app2("+", Term::var("x"), Term::Nat(1));
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn contains_var_deep() {
+        let t = Term::app1("f", Term::app1("g", Term::var("deep")));
+        assert!(t.contains_var("deep"));
+        assert!(!t.contains_var("shallow"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Disjunctive normal form of quantifier-free formulas.
+//!
+//! The Appendix's quantifier eliminations all begin: "we may assume that ψ
+//! is a conjunction of atomic formulas and their negations" — justified by
+//! distributing ∃ over a DNF. [`dnf_conjunctions`] produces exactly those
+//! conjunctions as lists of [`Literal`]s.
+
+use crate::formula::Formula;
+use crate::transform::nnf::nnf;
+
+/// A literal: an atom or its negation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// `true` for a positive literal.
+    pub positive: bool,
+    /// The underlying atom (`Pred`, `Eq`, `True`, or `False`).
+    pub atom: Formula,
+}
+
+impl Literal {
+    /// Positive literal.
+    pub fn pos(atom: Formula) -> Self {
+        Literal { positive: true, atom }
+    }
+
+    /// Negative literal.
+    pub fn neg(atom: Formula) -> Self {
+        Literal { positive: false, atom }
+    }
+
+    /// Back to a formula.
+    pub fn to_formula(&self) -> Formula {
+        if self.positive {
+            self.atom.clone()
+        } else {
+            Formula::not(self.atom.clone())
+        }
+    }
+}
+
+/// Convert a quantifier-free formula to DNF (as a formula).
+///
+/// # Panics
+///
+/// Panics if the input contains quantifiers; use [`crate::transform::prenex`]
+/// first.
+pub fn dnf(f: &Formula) -> Formula {
+    Formula::or(
+        dnf_conjunctions(f)
+            .into_iter()
+            .map(|c| Formula::and(c.into_iter().map(|l| l.to_formula()))),
+    )
+}
+
+/// Convert a quantifier-free formula to a list of conjunctions of literals.
+/// Trivially false conjuncts (containing `False` positively or `True`
+/// negatively) are dropped; trivially true literals are removed from their
+/// conjunctions.
+///
+/// # Panics
+///
+/// Panics if the input contains quantifiers.
+pub fn dnf_conjunctions(f: &Formula) -> Vec<Vec<Literal>> {
+    let n = nnf(f);
+    let raw = walk(&n);
+    let mut out = Vec::with_capacity(raw.len());
+    'conj: for conj in raw {
+        let mut cleaned = Vec::with_capacity(conj.len());
+        for lit in conj {
+            match (&lit.atom, lit.positive) {
+                (Formula::True, true) | (Formula::False, false) => {}
+                (Formula::True, false) | (Formula::False, true) => continue 'conj,
+                _ => cleaned.push(lit),
+            }
+        }
+        out.push(cleaned);
+    }
+    out
+}
+
+/// A piece of a variable-directed DNF: a literal mentioning the variable
+/// or an opaque subformula that does not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnfPiece {
+    Lit(Literal),
+    Opaque(Formula),
+}
+
+/// DNF of a quantifier-free formula **with respect to one variable**:
+/// maximal subformulas not mentioning `var` are kept opaque instead of
+/// being distributed, which keeps the quantifier-elimination procedures
+/// from exploding on large variable-free residues. The input is brought
+/// to NNF internally.
+pub fn dnf_conjunctions_wrt(f: &Formula, var: &str) -> Vec<Vec<DnfPiece>> {
+    fn mentions(f: &Formula, var: &str) -> bool {
+        f.free_vars().contains(var)
+    }
+    fn walk_wrt(f: &Formula, var: &str) -> Vec<Vec<DnfPiece>> {
+        if !mentions(f, var) {
+            return vec![vec![DnfPiece::Opaque(f.clone())]];
+        }
+        match f {
+            Formula::Pred(..) | Formula::Eq(..) => {
+                vec![vec![DnfPiece::Lit(Literal::pos(f.clone()))]]
+            }
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::Pred(..) | Formula::Eq(..) => {
+                    vec![vec![DnfPiece::Lit(Literal::neg(inner.as_ref().clone()))]]
+                }
+                _ => panic!("dnf_conjunctions_wrt: input not in NNF"),
+            },
+            Formula::Or(fs) => fs.iter().flat_map(|g| walk_wrt(g, var)).collect(),
+            Formula::And(fs) => {
+                let mut acc: Vec<Vec<DnfPiece>> = vec![vec![]];
+                for g in fs {
+                    let gs = walk_wrt(g, var);
+                    let mut next = Vec::with_capacity(acc.len() * gs.len());
+                    for a in &acc {
+                        for b in &gs {
+                            let mut c = a.clone();
+                            c.extend(b.iter().cloned());
+                            next.push(c);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Formula::True => vec![vec![]],
+            Formula::False => vec![],
+            Formula::Implies(..) | Formula::Iff(..) => unreachable!("nnf removes -> and <->"),
+            Formula::Exists(..) | Formula::Forall(..) => {
+                panic!("dnf_conjunctions_wrt: input contains quantifiers")
+            }
+        }
+    }
+    walk_wrt(&nnf(f), var)
+}
+
+fn walk(f: &Formula) -> Vec<Vec<Literal>> {
+    match f {
+        Formula::True => vec![vec![]],
+        Formula::False => vec![],
+        Formula::Pred(..) | Formula::Eq(..) => vec![vec![Literal::pos(f.clone())]],
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Pred(..) | Formula::Eq(..) => vec![vec![Literal::neg(inner.as_ref().clone())]],
+            Formula::True => vec![],
+            Formula::False => vec![vec![]],
+            _ => panic!("dnf: input not in NNF (negation of non-atom)"),
+        },
+        Formula::Or(fs) => fs.iter().flat_map(walk).collect(),
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Literal>> = vec![vec![]];
+            for g in fs {
+                let gs = walk(g);
+                let mut next = Vec::with_capacity(acc.len() * gs.len());
+                for a in &acc {
+                    for b in &gs {
+                        let mut c = a.clone();
+                        c.extend(b.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("nnf removes -> and <->")
+        }
+        Formula::Exists(..) | Formula::Forall(..) => {
+            panic!("dnf: input contains quantifiers; prenex first")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_sentence, NatInterpretation};
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn distributes_and_over_or() {
+        let f = parse_formula("(P() | Q()) & R()").unwrap();
+        let cs = dnf_conjunctions(&f);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].len(), 2);
+    }
+
+    #[test]
+    fn handles_negations() {
+        let f = parse_formula("!(P() & Q())").unwrap();
+        let cs = dnf_conjunctions(&f);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.len() == 1 && !c[0].positive));
+    }
+
+    #[test]
+    fn true_yields_single_empty_conjunction() {
+        assert_eq!(dnf_conjunctions(&Formula::True), vec![Vec::<Literal>::new()]);
+    }
+
+    #[test]
+    fn false_yields_no_conjunctions() {
+        assert!(dnf_conjunctions(&Formula::False).is_empty());
+    }
+
+    #[test]
+    fn dnf_preserves_semantics() {
+        let universe: Vec<u64> = (0..3).collect();
+        let sentences = [
+            "(0 < 1 | 1 < 0) & !(2 < 1)",
+            "!(0 = 1 & 1 = 1) | (0 < 2 <-> 1 < 2)",
+            "0 = 0 -> (1 = 2 | 2 = 2)",
+        ];
+        for s in sentences {
+            let f = parse_formula(s).unwrap();
+            let g = dnf(&f);
+            let a = eval_sentence(&NatInterpretation, &universe, &f).unwrap();
+            let b = eval_sentence(&NatInterpretation, &universe, &g).unwrap();
+            assert_eq!(a, b, "dnf changed semantics of `{s}`");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantifiers")]
+    fn panics_on_quantifier() {
+        let f = parse_formula("exists x. P(x)").unwrap();
+        let _ = dnf_conjunctions(&f);
+    }
+
+    #[test]
+    fn exponential_case_size() {
+        // (a1|b1)&(a2|b2)&(a3|b3) has 8 conjunctions.
+        let f = parse_formula("(a1() | b1()) & (a2() | b2()) & (a3() | b3())").unwrap();
+        assert_eq!(dnf_conjunctions(&f).len(), 8);
+    }
+}

@@ -1,0 +1,18 @@
+//! Standard formula transformations.
+//!
+//! The quantifier-elimination procedures of `fq-domains` all follow the same
+//! recipe the paper uses in its Appendix: reduce to eliminating a single
+//! existential over a quantifier-free body, push the body into disjunctive
+//! normal form ("because the existential quantifier can be distributed to a
+//! disjunction"), and treat each conjunction of literals separately. The
+//! transforms here provide those steps generically.
+
+mod dnf;
+mod nnf;
+mod prenex;
+mod simplify;
+
+pub use dnf::{dnf, dnf_conjunctions, dnf_conjunctions_wrt, DnfPiece, Literal};
+pub use nnf::{is_nnf, nnf};
+pub use prenex::{prenex, PrenexFormula, Quantifier};
+pub use simplify::simplify;

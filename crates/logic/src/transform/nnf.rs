@@ -1,0 +1,119 @@
+//! Negation normal form.
+
+use crate::formula::Formula;
+
+/// Convert to negation normal form: negations are pushed down to atoms,
+/// and `->`/`<->` are expanded away.
+pub fn nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => f.clone(),
+        Formula::Not(inner) => nnf_neg(inner),
+        Formula::And(fs) => Formula::and(fs.iter().map(nnf)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(nnf)),
+        Formula::Implies(a, b) => Formula::or([nnf_neg(a), nnf(b)]),
+        Formula::Iff(a, b) => {
+            // (a & b) | (!a & !b)
+            Formula::or([
+                Formula::and([nnf(a), nnf(b)]),
+                Formula::and([nnf_neg(a), nnf_neg(b)]),
+            ])
+        }
+        Formula::Exists(v, body) => Formula::exists(v.clone(), nnf(body)),
+        Formula::Forall(v, body) => Formula::forall(v.clone(), nnf(body)),
+    }
+}
+
+/// NNF of the negation of `f`.
+fn nnf_neg(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Pred(..) | Formula::Eq(..) => Formula::Not(Box::new(f.clone())),
+        Formula::Not(inner) => nnf(inner),
+        Formula::And(fs) => Formula::or(fs.iter().map(nnf_neg)),
+        Formula::Or(fs) => Formula::and(fs.iter().map(nnf_neg)),
+        Formula::Implies(a, b) => Formula::and([nnf(a), nnf_neg(b)]),
+        Formula::Iff(a, b) => {
+            // (a & !b) | (!a & b)
+            Formula::or([
+                Formula::and([nnf(a), nnf_neg(b)]),
+                Formula::and([nnf_neg(a), nnf(b)]),
+            ])
+        }
+        Formula::Exists(v, body) => Formula::forall(v.clone(), nnf_neg(body)),
+        Formula::Forall(v, body) => Formula::exists(v.clone(), nnf_neg(body)),
+    }
+}
+
+/// Whether a formula is in negation normal form.
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => true,
+        Formula::Not(inner) => matches!(inner.as_ref(), Formula::Pred(..) | Formula::Eq(..)),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_nnf),
+        Formula::Implies(..) | Formula::Iff(..) => false,
+        Formula::Exists(_, body) | Formula::Forall(_, body) => is_nnf(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_sentence, NatInterpretation};
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn pushes_negation_through_quantifiers() {
+        let f = parse_formula("!(exists x. P(x))").unwrap();
+        let g = nnf(&f);
+        assert_eq!(g, parse_formula("forall x. !P(x)").unwrap());
+    }
+
+    #[test]
+    fn de_morgan() {
+        let f = parse_formula("!(P() & Q())").unwrap();
+        assert_eq!(nnf(&f), parse_formula("!P() | !Q()").unwrap());
+    }
+
+    #[test]
+    fn expands_implication() {
+        let f = parse_formula("P() -> Q()").unwrap();
+        assert_eq!(nnf(&f), parse_formula("!P() | Q()").unwrap());
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let f = parse_formula("!!P()").unwrap();
+        assert_eq!(nnf(&f), parse_formula("P()").unwrap());
+    }
+
+    #[test]
+    fn result_is_nnf() {
+        let samples = [
+            "!(P() <-> Q())",
+            "!(forall x. P(x) -> exists y. Q(y))",
+            "!(x = y | !(y = z))",
+        ];
+        for s in samples {
+            let f = parse_formula(s).unwrap();
+            assert!(is_nnf(&nnf(&f)), "nnf of `{s}` not in NNF");
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_over_small_universe() {
+        let universe: Vec<u64> = (0..4).collect();
+        let sentences = [
+            "!(exists x. forall y. x <= y -> x = y)",
+            "forall x. !(x < 2 <-> x < 3)",
+            "!(forall x. exists y. x < y)",
+        ];
+        for s in sentences {
+            let f = parse_formula(s).unwrap();
+            let g = nnf(&f);
+            let a = eval_sentence(&NatInterpretation, &universe, &f).unwrap();
+            let b = eval_sentence(&NatInterpretation, &universe, &g).unwrap();
+            assert_eq!(a, b, "semantics changed for `{s}`");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Prenex normal form.
+
+use crate::formula::Formula;
+use crate::subst::rename_bound;
+use crate::transform::nnf::nnf;
+
+/// A quantifier kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantifier {
+    Exists,
+    Forall,
+}
+
+/// A formula in prenex normal form: a quantifier prefix over a
+/// quantifier-free matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrenexFormula {
+    /// Outermost quantifier first.
+    pub prefix: Vec<(Quantifier, String)>,
+    /// Quantifier-free matrix in NNF.
+    pub matrix: Formula,
+}
+
+impl PrenexFormula {
+    /// Reassemble the ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, (q, v)| match q {
+                Quantifier::Exists => Formula::exists(v.clone(), acc),
+                Quantifier::Forall => Formula::forall(v.clone(), acc),
+            })
+    }
+
+    /// Number of quantifier alternations in the prefix.
+    pub fn alternations(&self) -> usize {
+        self.prefix
+            .windows(2)
+            .filter(|w| w[0].0 != w[1].0)
+            .count()
+    }
+}
+
+/// Convert a formula to prenex normal form. The input is first brought to
+/// NNF with all bound variables renamed apart, after which quantifiers can
+/// be hoisted without capture.
+pub fn prenex(f: &Formula) -> PrenexFormula {
+    let prepared = rename_bound(&nnf(f));
+    let mut prefix = Vec::new();
+    let matrix = hoist(&prepared, &mut prefix);
+    PrenexFormula { prefix, matrix }
+}
+
+fn hoist(f: &Formula, prefix: &mut Vec<(Quantifier, String)>) -> Formula {
+    match f {
+        Formula::Exists(v, body) => {
+            prefix.push((Quantifier::Exists, v.clone()));
+            hoist(body, prefix)
+        }
+        Formula::Forall(v, body) => {
+            prefix.push((Quantifier::Forall, v.clone()));
+            hoist(body, prefix)
+        }
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| hoist(g, prefix)).collect::<Vec<_>>()),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| hoist(g, prefix)).collect::<Vec<_>>()),
+        // NNF input: no Implies/Iff remain; negations wrap atoms only.
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_sentence, NatInterpretation};
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn already_prenex() {
+        let f = parse_formula("exists x. forall y. x <= y").unwrap();
+        let p = prenex(&f);
+        assert_eq!(p.prefix.len(), 2);
+        assert_eq!(p.prefix[0].0, Quantifier::Exists);
+        assert_eq!(p.prefix[1].0, Quantifier::Forall);
+        assert!(p.matrix.is_quantifier_free());
+    }
+
+    #[test]
+    fn hoists_from_conjunction() {
+        let f = parse_formula("(exists x. P(x)) & exists y. Q(y)").unwrap();
+        let p = prenex(&f);
+        assert_eq!(p.prefix.len(), 2);
+        assert!(p.matrix.is_quantifier_free());
+    }
+
+    #[test]
+    fn renames_clashing_binders() {
+        let f = parse_formula("(exists x. P(x)) & exists x. Q(x)").unwrap();
+        let p = prenex(&f);
+        let names: Vec<_> = p.prefix.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn negation_flips_quantifier() {
+        let f = parse_formula("!(forall x. P(x))").unwrap();
+        let p = prenex(&f);
+        assert_eq!(p.prefix, vec![(Quantifier::Exists, "x".to_string())]);
+    }
+
+    #[test]
+    fn to_formula_round_trip_semantics() {
+        let universe: Vec<u64> = (0..4).collect();
+        let sentences = [
+            "(exists x. forall y. y <= x) & forall z. z < 4",
+            "!(forall x. exists y. x < y) | exists w. w = 0",
+            "forall x. (exists y. x < y) -> x < 3",
+        ];
+        for s in sentences {
+            let f = parse_formula(s).unwrap();
+            let p = prenex(&f).to_formula();
+            let a = eval_sentence(&NatInterpretation, &universe, &f).unwrap();
+            let b = eval_sentence(&NatInterpretation, &universe, &p).unwrap();
+            assert_eq!(a, b, "prenex changed semantics of `{s}`");
+        }
+    }
+
+    #[test]
+    fn alternation_count() {
+        let f = parse_formula("exists x. forall y. exists z. x < y & y < z").unwrap();
+        assert_eq!(prenex(&f).alternations(), 2);
+    }
+}

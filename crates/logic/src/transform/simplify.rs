@@ -1,0 +1,249 @@
+//! Constant folding and local simplification.
+
+use crate::formula::Formula;
+use crate::term::Term;
+
+/// Simplify a formula:
+///
+/// * folds boolean constants through all connectives and quantifiers;
+/// * evaluates ground equalities and comparisons between literals;
+/// * removes duplicate conjuncts/disjuncts and syntactic tautologies
+///   (`t = t`) and contradictions (`t != t`);
+/// * drops quantifiers whose body does not mention the bound variable.
+///
+/// Simplification is semantics-preserving over every structure (all rules
+/// are valid first-order equivalences); it does *not* attempt any
+/// domain-specific reasoning.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Pred(name, args) => simplify_pred(name, args),
+        Formula::Eq(a, b) => simplify_eq(a, b),
+        Formula::Not(inner) => Formula::not(simplify(inner)),
+        Formula::And(fs) => {
+            let mut seen = Vec::new();
+            for g in fs {
+                let s = simplify(g);
+                match s {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => {
+                        for h in inner {
+                            if !seen.contains(&h) {
+                                seen.push(h);
+                            }
+                        }
+                    }
+                    other => {
+                        if !seen.contains(&other) {
+                            seen.push(other);
+                        }
+                    }
+                }
+            }
+            // Detect complementary literal pairs.
+            for g in &seen {
+                if seen.contains(&Formula::not(g.clone())) {
+                    return Formula::False;
+                }
+            }
+            Formula::and(seen)
+        }
+        Formula::Or(fs) => {
+            let mut seen = Vec::new();
+            for g in fs {
+                let s = simplify(g);
+                match s {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => {
+                        for h in inner {
+                            if !seen.contains(&h) {
+                                seen.push(h);
+                            }
+                        }
+                    }
+                    other => {
+                        if !seen.contains(&other) {
+                            seen.push(other);
+                        }
+                    }
+                }
+            }
+            for g in &seen {
+                if seen.contains(&Formula::not(g.clone())) {
+                    return Formula::True;
+                }
+            }
+            Formula::or(seen)
+        }
+        Formula::Implies(a, b) => {
+            let sa = simplify(a);
+            let sb = simplify(b);
+            match (&sa, &sb) {
+                (Formula::True, _) => sb,
+                (Formula::False, _) => Formula::True,
+                (_, Formula::True) => Formula::True,
+                (_, Formula::False) => Formula::not(sa),
+                _ if sa == sb => Formula::True,
+                _ => Formula::implies(sa, sb),
+            }
+        }
+        Formula::Iff(a, b) => {
+            let sa = simplify(a);
+            let sb = simplify(b);
+            match (&sa, &sb) {
+                (Formula::True, _) => sb,
+                (_, Formula::True) => sa,
+                (Formula::False, _) => Formula::not(sb),
+                (_, Formula::False) => Formula::not(sa),
+                _ if sa == sb => Formula::True,
+                _ => Formula::iff(sa, sb),
+            }
+        }
+        Formula::Exists(v, body) => {
+            let sb = simplify(body);
+            match sb {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                other if !other.free_vars().contains(v) => other,
+                other => Formula::exists(v.clone(), other),
+            }
+        }
+        Formula::Forall(v, body) => {
+            let sb = simplify(body);
+            match sb {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                other if !other.free_vars().contains(v) => other,
+                other => Formula::forall(v.clone(), other),
+            }
+        }
+    }
+}
+
+fn simplify_eq(a: &Term, b: &Term) -> Formula {
+    if a == b {
+        return Formula::True;
+    }
+    match (a, b) {
+        (Term::Nat(x), Term::Nat(y)) => {
+            if x == y {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        (Term::Str(x), Term::Str(y)) => {
+            if x == y {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        // Literals of different kinds denote distinct sorts in every domain
+        // of the paper (numbers vs words); leave them symbolic to stay
+        // domain-agnostic.
+        _ => Formula::Eq(a.clone(), b.clone()),
+    }
+}
+
+fn simplify_pred(name: &str, args: &[Term]) -> Formula {
+    if args.len() == 2 {
+        if let (Term::Nat(x), Term::Nat(y)) = (&args[0], &args[1]) {
+            let value = match name {
+                "<" => Some(x < y),
+                "<=" => Some(x <= y),
+                ">" => Some(x > y),
+                ">=" => Some(x >= y),
+                _ => None,
+            };
+            if let Some(v) = value {
+                return if v { Formula::True } else { Formula::False };
+            }
+        }
+    }
+    Formula::Pred(name.to_string(), args.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn simp(s: &str) -> Formula {
+        simplify(&parse_formula(s).unwrap())
+    }
+
+    #[test]
+    fn folds_ground_comparisons() {
+        assert_eq!(simp("1 < 2"), Formula::True);
+        assert_eq!(simp("2 < 1"), Formula::False);
+        assert_eq!(simp("3 = 3"), Formula::True);
+        assert_eq!(simp("3 = 4"), Formula::False);
+    }
+
+    #[test]
+    fn reflexive_equality_is_true() {
+        assert_eq!(simp("x = x"), Formula::True);
+        assert_eq!(simp("x != x"), Formula::False);
+    }
+
+    #[test]
+    fn and_with_false_collapses() {
+        assert_eq!(simp("P(x) & 1 = 2"), Formula::False);
+    }
+
+    #[test]
+    fn or_with_true_collapses() {
+        assert_eq!(simp("P(x) | 1 = 1"), Formula::True);
+    }
+
+    #[test]
+    fn duplicate_conjuncts_removed() {
+        assert_eq!(simp("P(x) & P(x)"), parse_formula("P(x)").unwrap());
+    }
+
+    #[test]
+    fn complementary_literals_detected() {
+        assert_eq!(simp("P(x) & !P(x)"), Formula::False);
+        assert_eq!(simp("P(x) | !P(x)"), Formula::True);
+    }
+
+    #[test]
+    fn vacuous_quantifier_dropped() {
+        assert_eq!(simp("exists x. P(y)"), parse_formula("P(y)").unwrap());
+    }
+
+    #[test]
+    fn quantifier_over_constant_body() {
+        assert_eq!(simp("forall x. 1 = 1"), Formula::True);
+        assert_eq!(simp("exists x. 1 = 2"), Formula::False);
+    }
+
+    #[test]
+    fn implication_folding() {
+        assert_eq!(simp("1 = 1 -> P(x)"), parse_formula("P(x)").unwrap());
+        assert_eq!(simp("1 = 2 -> P(x)"), Formula::True);
+        assert_eq!(simp("P(x) -> P(x)"), Formula::True);
+    }
+
+    #[test]
+    fn iff_folding() {
+        assert_eq!(simp("P(x) <-> 1 = 1"), parse_formula("P(x)").unwrap());
+        assert_eq!(simp("P(x) <-> P(x)"), Formula::True);
+    }
+
+    #[test]
+    fn distinct_string_literals_fold() {
+        assert_eq!(simp("\"1\" = \"1\""), Formula::True);
+        assert_eq!(simp("\"1\" = \"&\""), Formula::False);
+    }
+
+    #[test]
+    fn mixed_literal_kinds_left_symbolic() {
+        // 0 vs "" — kept symbolic on purpose (sorts are domain-specific).
+        let f = simp("0 = \"\"");
+        assert!(matches!(f, Formula::Eq(..)));
+    }
+}

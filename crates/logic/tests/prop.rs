@@ -1,0 +1,176 @@
+//! Property-based tests for the logic kernel: printer/parser round-trip and
+//! semantics preservation of the normal-form transforms over bounded models.
+
+use fq_logic::eval::{eval_sentence, NatInterpretation};
+use fq_logic::transform::{dnf, nnf, prenex, simplify};
+use fq_logic::{parse_formula, Formula, Term};
+use proptest::prelude::*;
+
+/// Random terms over variables x, y, z and small numerals.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Term::var),
+        (0u64..5).prop_map(Term::Nat),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app2("+", a, b)),
+            inner.prop_map(Term::succ),
+        ]
+    })
+}
+
+/// Random quantifier-free formulas over arithmetic atoms.
+fn arb_qf() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        (arb_term(), arb_term()).prop_map(|(a, b)| Formula::eq(a, b)),
+        (arb_term(), arb_term()).prop_map(|(a, b)| Formula::lt(a, b)),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Random formulas with quantifiers, closed over {x, y, z}.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_qf().prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("x"), Just("y"), Just("z")], inner.clone())
+                .prop_map(|(v, b)| Formula::exists(v, b)),
+            (prop_oneof![Just("x"), Just("y"), Just("z")], inner.clone())
+                .prop_map(|(v, b)| Formula::forall(v, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Close a formula by existentially quantifying its free variables.
+fn close(f: Formula) -> Formula {
+    let fv: Vec<String> = f.free_vars().into_iter().collect();
+    Formula::exists_many(fv, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(f in arb_formula()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula()) {
+        let sentence = close(f);
+        let universe: Vec<u64> = (0..3).collect();
+        let before = eval_sentence(&NatInterpretation, &universe, &sentence).unwrap();
+        let after = eval_sentence(&NatInterpretation, &universe, &nnf(&sentence)).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn prenex_preserves_semantics(f in arb_formula()) {
+        let sentence = close(f);
+        let universe: Vec<u64> = (0..3).collect();
+        let before = eval_sentence(&NatInterpretation, &universe, &sentence).unwrap();
+        let p = prenex(&sentence);
+        prop_assert!(p.matrix.is_quantifier_free());
+        let after = eval_sentence(&NatInterpretation, &universe, &p.to_formula()).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn dnf_preserves_semantics(f in arb_qf()) {
+        let sentence = close(f);
+        // Closing a QF formula adds quantifiers; take the matrix instead.
+        let qf = prenex(&sentence).matrix;
+        let universe: Vec<u64> = (0..3).collect();
+        let d = dnf(&qf);
+        prop_assert!(d.is_quantifier_free());
+        // Compare under every assignment of the (here: closed, so none)
+        // free variables; matrix free vars are checked via solutions.
+        let vars: Vec<String> = qf.free_vars().into_iter().collect();
+        let before = fq_logic::eval::solutions(&NatInterpretation, &universe, &vars, &qf).unwrap();
+        let after = fq_logic::eval::solutions(&NatInterpretation, &universe, &vars, &d).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(f in arb_formula()) {
+        let sentence = close(f);
+        let universe: Vec<u64> = (0..3).collect();
+        let before = eval_sentence(&NatInterpretation, &universe, &sentence).unwrap();
+        let after = eval_sentence(&NatInterpretation, &universe, &simplify(&sentence)).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn simplify_never_grows(f in arb_formula()) {
+        prop_assert!(simplify(&f).size() <= f.size());
+    }
+
+    #[test]
+    fn substitution_then_eval_agrees(f in arb_qf(), n in 0u64..3) {
+        // eval(f[x := n]) == eval(f) with x bound to n.
+        let universe: Vec<u64> = (0..3).collect();
+        let vars: Vec<String> = f.free_vars().into_iter().filter(|v| v != "x").collect();
+        let substituted = fq_logic::substitute(&f, "x", &Term::Nat(n));
+        let lhs = fq_logic::eval::solutions(&NatInterpretation, &universe, &vars, &substituted);
+        // Bind x via an equality conjunct instead.
+        let bound = Formula::and([f.clone(), Formula::eq(Term::var("x"), Term::Nat(n))]);
+        let rhs = fq_logic::eval::solutions(&NatInterpretation, &universe, &vars, &{
+            Formula::exists("x", bound)
+        });
+        prop_assert_eq!(lhs.unwrap(), rhs.unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser must never panic: arbitrary input yields Ok or a
+    /// structured error.
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = parse_formula(&input);
+    }
+
+    /// Inputs over the token alphabet specifically (more likely to reach
+    /// deep parser states).
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        input in "[a-z0-9 ()!&|<>=+*'\\.\"\\-]{0,60}"
+    ) {
+        let _ = parse_formula(&input);
+    }
+
+    /// Lexer offsets are within bounds on arbitrary input.
+    #[test]
+    fn lexer_error_offsets_in_bounds(input in ".{0,60}") {
+        match fq_logic::parser::tokenize(&input) {
+            Ok(tokens) => {
+                for t in &tokens {
+                    prop_assert!(t.offset <= input.len());
+                }
+            }
+            Err(fq_logic::LogicError::Lex { offset, .. }) => {
+                prop_assert!(offset <= input.len());
+            }
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # fq-relational — the relational database layer
+//!
+//! The paper's setting (Section 1): a *database scheme* fixes relation
+//! names and arities; a *database state* is a finite collection of finite
+//! relations over an infinite domain; queries are first-order formulas
+//! over the domain signature plus the scheme's relations.
+//!
+//! This crate provides:
+//!
+//! * [`schema`]/[`state`] — schemes, states, scheme constants, and the
+//!   *active domain* (constants used in the query plus elements stored in
+//!   the relations);
+//! * [`translate`] — the Section 1.1 reduction of a query in a fixed
+//!   state to a *pure domain* formula ("we can replace each occurrence of
+//!   `R(x, y)` with `((x=a₁ ∧ y=b₁) ∨ … ∨ (x=a_r ∧ y=b_r))`");
+//! * [`active_eval`] — active-domain evaluation of queries (the semantics
+//!   under which domain-independent queries are answered);
+//! * [`safe_range`] — the classic syntactic *safe-range* test, the
+//!   standard effective syntax for domain-independent queries
+//!   (Ullman; Van Gelder & Topor);
+//! * [`algebra`] — a relational algebra with an evaluator, plus the
+//!   compilation of safe-range queries into it (Codd's theorem);
+//!
+//! The Section 1.1 enumerate-and-ask query-answering algorithm lives in
+//! `fq-core` (it needs the decision procedures of `fq-domains`).
+//!
+//! ```
+//! use fq_relational::{Schema, State, Value, is_safe_range};
+//! use fq_relational::active_eval::{eval_query, NoOps};
+//! use fq_logic::parse_formula;
+//!
+//! let schema = Schema::new().with_relation("F", 2);
+//! let state = State::new(schema.clone())
+//!     .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+//!     .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)]);
+//!
+//! let m = parse_formula("exists y z. y != z & F(x, y) & F(x, z)")?;
+//! assert!(is_safe_range(&schema, &m));
+//! let ans = eval_query(&state, &NoOps, &m, &["x".to_string()])?;
+//! assert_eq!(ans, vec![vec![Value::Nat(1)]]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod active_eval;
+pub mod algebra;
+pub mod safe_range;
+pub mod schema;
+pub mod state;
+pub mod translate;
+
+pub use active_eval::eval_query;
+pub use algebra::{AlgebraExpr, Relation};
+pub use safe_range::is_safe_range;
+pub use schema::Schema;
+pub use state::{State, Value};
+pub use translate::translate_to_domain_formula;

@@ -1,0 +1,316 @@
+//! The *safe-range* (range-restriction) test — the classic effective
+//! syntax for domain-independent queries.
+//!
+//! Section 1.4: "Ullman in \[Ull82\] (and somewhat more clearly in \[Ull88\])
+//! shows that a recursive syntax for domain-independent queries exists."
+//! This module implements the standard check: convert to safe-range
+//! normal form (no `∀`, no `→`/`↔`, negation only over atoms or
+//! subformulas), then compute the set `rr(φ)` of *range-restricted*
+//! variables; the formula is safe-range iff the computation never fails
+//! and `rr(φ)` equals the free variables.
+//!
+//! Only database relation atoms and equalities with constants restrict
+//! ranges; infinite domain predicates (such as `<` or the trace predicate
+//! `P`) do **not** — precisely why the safety problem is interesting over
+//! richer domains.
+
+use crate::schema::Schema;
+use fq_logic::Formula;
+use std::collections::BTreeSet;
+
+/// Why a formula failed the safe-range test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotSafeRange {
+    /// An existential variable is not range-restricted in its scope.
+    UnrestrictedQuantifier { var: String },
+    /// The final range-restricted set misses some free variables.
+    UnrestrictedFree { vars: Vec<String> },
+}
+
+impl std::fmt::Display for NotSafeRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotSafeRange::UnrestrictedQuantifier { var } => {
+                write!(f, "quantified variable `{var}` is not range-restricted")
+            }
+            NotSafeRange::UnrestrictedFree { vars } => {
+                write!(f, "free variables {vars:?} are not range-restricted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NotSafeRange {}
+
+/// Safe-range normal form: expand `→`/`↔`, replace `∀x φ` by `¬∃x ¬φ`,
+/// and push negations through `∧`/`∨` by De Morgan so that `¬` appears
+/// only in front of atoms and existential subformulas.
+pub fn srnf(f: &Formula) -> Formula {
+    srnf_signed(f, true)
+}
+
+fn srnf_signed(f: &Formula, sign: bool) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) => {
+            if sign {
+                f.clone()
+            } else {
+                Formula::not(f.clone())
+            }
+        }
+        Formula::Not(g) => srnf_signed(g, !sign),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| srnf_signed(g, sign));
+            if sign {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| srnf_signed(g, sign));
+            if sign {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            let expanded = Formula::or([Formula::not(a.as_ref().clone()), b.as_ref().clone()]);
+            srnf_signed(&expanded, sign)
+        }
+        Formula::Iff(a, b) => {
+            let expanded = Formula::or([
+                Formula::and([a.as_ref().clone(), b.as_ref().clone()]),
+                Formula::and([
+                    Formula::not(a.as_ref().clone()),
+                    Formula::not(b.as_ref().clone()),
+                ]),
+            ]);
+            srnf_signed(&expanded, sign)
+        }
+        Formula::Exists(v, g) => {
+            let inner = Formula::exists(v.clone(), srnf_signed(g, true));
+            if sign {
+                inner
+            } else {
+                Formula::not(inner)
+            }
+        }
+        Formula::Forall(v, g) => {
+            // ∀x φ ⟺ ¬∃x ¬φ; under a negative sign this is ∃x ¬φ.
+            let inner = Formula::exists(v.clone(), srnf_signed(g, false));
+            if sign {
+                Formula::not(inner)
+            } else {
+                inner
+            }
+        }
+    }
+}
+
+/// The range-restricted variables of an SRNF formula, or the reason the
+/// computation fails.
+pub fn range_restricted(
+    schema: &Schema,
+    f: &Formula,
+) -> Result<BTreeSet<String>, NotSafeRange> {
+    match f {
+        Formula::True | Formula::False => Ok(BTreeSet::new()),
+        Formula::Pred(name, args) => {
+            if schema.arity(name).is_some() {
+                // A finite database relation bounds its variable arguments.
+                let mut out = BTreeSet::new();
+                for t in args {
+                    if let fq_logic::Term::Var(v) = t {
+                        out.insert(v.clone());
+                    }
+                }
+                Ok(out)
+            } else {
+                // An infinite domain predicate bounds nothing.
+                Ok(BTreeSet::new())
+            }
+        }
+        Formula::Eq(a, b) => {
+            let mut out = BTreeSet::new();
+            match (a, b) {
+                (fq_logic::Term::Var(v), t) | (t, fq_logic::Term::Var(v)) if t.is_ground() => {
+                    out.insert(v.clone());
+                }
+                _ => {}
+            }
+            Ok(out)
+        }
+        Formula::Not(g) => {
+            // The subformula must itself be well-formed, but contributes
+            // no restricted variables.
+            range_restricted(schema, g)?;
+            Ok(BTreeSet::new())
+        }
+        Formula::And(gs) => {
+            let mut out = BTreeSet::new();
+            for g in gs {
+                out.extend(range_restricted(schema, g)?);
+            }
+            // Propagate through equality conjuncts: x = y with y
+            // restricted restricts x.
+            loop {
+                let mut changed = false;
+                for g in gs {
+                    if let Formula::Eq(fq_logic::Term::Var(x), fq_logic::Term::Var(y)) = g {
+                        if out.contains(x) && out.insert(y.clone()) {
+                            changed = true;
+                        }
+                        if out.contains(y) && out.insert(x.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            Ok(out)
+        }
+        Formula::Or(gs) => {
+            let mut iter = gs.iter();
+            let mut out = match iter.next() {
+                Some(g) => range_restricted(schema, g)?,
+                None => return Ok(BTreeSet::new()),
+            };
+            for g in iter {
+                let r = range_restricted(schema, g)?;
+                out = out.intersection(&r).cloned().collect();
+            }
+            Ok(out)
+        }
+        Formula::Exists(v, g) => {
+            let inner = range_restricted(schema, g)?;
+            if !inner.contains(v) {
+                return Err(NotSafeRange::UnrestrictedQuantifier { var: v.clone() });
+            }
+            let mut out = inner;
+            out.remove(v);
+            Ok(out)
+        }
+        Formula::Forall(..) | Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("srnf removes ∀, →, ↔")
+        }
+    }
+}
+
+/// Whether a query is safe-range with respect to a scheme.
+pub fn is_safe_range(schema: &Schema, query: &Formula) -> bool {
+    check_safe_range(schema, query).is_ok()
+}
+
+/// Safe-range check with a diagnostic.
+pub fn check_safe_range(schema: &Schema, query: &Formula) -> Result<(), NotSafeRange> {
+    let normal = srnf(query);
+    let rr = range_restricted(schema, &normal)?;
+    let free = normal.free_vars();
+    let missing: Vec<String> = free.difference(&rr).cloned().collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(NotSafeRange::UnrestrictedFree { vars: missing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn fathers() -> Schema {
+        Schema::new().with_relation("F", 2)
+    }
+
+    fn safe(s: &str) -> bool {
+        is_safe_range(&fathers(), &parse_formula(s).unwrap())
+    }
+
+    #[test]
+    fn papers_queries_are_safe_range() {
+        // M(x) and G(x, z) from Section 1.
+        assert!(safe("exists y z. y != z & F(x, y) & F(x, z)"));
+        assert!(safe("exists y. F(x, y) & F(y, z)"));
+    }
+
+    #[test]
+    fn negated_relation_is_unsafe() {
+        // ¬F(x, y) may have an infinite answer.
+        assert!(!safe("!F(x, y)"));
+    }
+
+    #[test]
+    fn papers_unsafe_disjunction() {
+        // M(x) ∨ G(x, z): z is unrestricted in the first disjunct — the
+        // paper's example of a formula that "may give an infinite answer".
+        assert!(!safe(
+            "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))"
+        ));
+    }
+
+    #[test]
+    fn equality_with_constant_restricts() {
+        assert!(safe("x = 5"));
+        assert!(!safe("x = y"));
+        assert!(safe("x = 5 & y = x"));
+    }
+
+    #[test]
+    fn equality_propagation_through_conjunction() {
+        assert!(safe("F(x, y) & z = y"));
+        assert!(safe("F(x, y) & z = y & w = z"));
+        assert!(!safe("F(x, y) & z = w"));
+    }
+
+    #[test]
+    fn disjunction_needs_both_sides() {
+        assert!(safe("F(x, y) | (x = 1 & y = 2)"));
+        assert!(!safe("F(x, y) | x = 1"));
+    }
+
+    #[test]
+    fn quantifier_over_unrestricted_var_fails() {
+        let err = check_safe_range(&fathers(), &parse_formula("exists y. x = x & y != 0").unwrap());
+        assert!(matches!(
+            err,
+            Err(NotSafeRange::UnrestrictedQuantifier { .. })
+        ));
+    }
+
+    #[test]
+    fn forall_is_rewritten() {
+        // ∀y (F(x,y) → y = 0): safe-range? SRNF: ¬∃y ¬(¬F ∨ y=0) =
+        // ¬∃y (F(x,y) ∧ y ≠ 0) — the ∃y body restricts y via F. But x is
+        // only under negation: not restricted. Conjoin a range for x.
+        assert!(safe("(exists y. F(x, y)) & forall y. F(x, y) -> y = 3"));
+        assert!(!safe("forall y. F(x, y) -> y = 3"));
+    }
+
+    #[test]
+    fn domain_predicates_do_not_restrict() {
+        assert!(!safe("x < 5"));
+        assert!(safe("F(x, y) & x < 5"));
+        assert!(!safe("P(m0, w0, p)"));
+    }
+
+    #[test]
+    fn safe_negation_inside_conjunction() {
+        assert!(safe("F(x, y) & !F(y, x)"));
+    }
+
+    #[test]
+    fn constants_in_relation_atoms() {
+        assert!(safe("F(1, y)"));
+    }
+
+    #[test]
+    fn boolean_sentences_are_safe() {
+        assert!(safe("exists x y. F(x, y)"));
+        assert!(safe("true"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Database schemes.
+//!
+//! "Names of the relations and their arities (numbers of argument places)
+//! are fixed and called a database scheme." Schemes may also declare
+//! scheme constants — Theorem 3.1 works with "a database scheme that
+//! consists of one constant symbol c".
+
+use fq_logic::{Signature, SymbolKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A database scheme: relation names with arities, plus scheme constants.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    relations: BTreeMap<String, usize>,
+    constants: Vec<String>,
+}
+
+impl Schema {
+    /// The empty scheme.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation is redeclared with a different arity.
+    pub fn with_relation(mut self, name: impl Into<String>, arity: usize) -> Self {
+        let name = name.into();
+        if let Some(prev) = self.relations.insert(name.clone(), arity) {
+            assert_eq!(prev, arity, "relation `{name}` redeclared with different arity");
+        }
+        self
+    }
+
+    /// Add a scheme constant.
+    pub fn with_constant(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        if !self.constants.contains(&name) {
+            self.constants.push(name);
+        }
+        self
+    }
+
+    /// Arity of a relation.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).copied()
+    }
+
+    /// Iterate over relations as `(name, arity)`.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.relations.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// The scheme constants.
+    pub fn constants(&self) -> &[String] {
+        &self.constants
+    }
+
+    /// Extend a domain signature with this scheme's symbols.
+    pub fn extend_signature(&self, mut sig: Signature) -> Signature {
+        for (name, arity) in &self.relations {
+            sig = sig.with(name, SymbolKind::DatabaseRelation, *arity);
+        }
+        for c in &self.constants {
+            sig = sig.with(c, SymbolKind::SchemeConstant, 0);
+        }
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fathers_sons_scheme() {
+        let s = Schema::new().with_relation("F", 2);
+        assert_eq!(s.arity("F"), Some(2));
+        assert_eq!(s.arity("G"), None);
+    }
+
+    #[test]
+    fn theorem_3_1_scheme() {
+        let s = Schema::new().with_constant("c");
+        assert_eq!(s.constants(), &["c".to_string()]);
+        assert_eq!(s.relations().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn conflicting_arity_panics() {
+        let _ = Schema::new().with_relation("R", 2).with_relation("R", 3);
+    }
+
+    #[test]
+    fn idempotent_redeclaration() {
+        let s = Schema::new()
+            .with_relation("R", 2)
+            .with_relation("R", 2)
+            .with_constant("c")
+            .with_constant("c");
+        assert_eq!(s.relations().count(), 1);
+        assert_eq!(s.constants().len(), 1);
+    }
+
+    #[test]
+    fn signature_extension() {
+        let s = Schema::new().with_relation("F", 2).with_constant("c");
+        let sig = s.extend_signature(Signature::new());
+        assert_eq!(sig.get("F"), Some((SymbolKind::DatabaseRelation, 2)));
+        assert_eq!(sig.get("c"), Some((SymbolKind::SchemeConstant, 0)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Schema::new().with_relation("F", 2).with_constant("c");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,273 @@
+//! Database states and the active domain.
+
+use crate::schema::Schema;
+use fq_logic::{Formula, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A domain element stored in a database: a natural number (numeric
+/// domains of Section 2) or a string over the trace alphabet (domain
+/// **T** of Section 3).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    Nat(u64),
+    Str(String),
+}
+
+impl Value {
+    /// The ground term denoting this value.
+    pub fn to_term(&self) -> Term {
+        match self {
+            Value::Nat(n) => Term::Nat(*n),
+            Value::Str(s) => Term::Str(s.clone()),
+        }
+    }
+
+    /// Parse a ground term.
+    pub fn from_term(t: &Term) -> Option<Value> {
+        match t {
+            Term::Nat(n) => Some(Value::Nat(*n)),
+            Term::Str(s) => Some(Value::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Nat(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+/// A tuple of values.
+pub type Tuple = Vec<Value>;
+
+/// A database state: finite relations plus values for scheme constants.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct State {
+    schema: Schema,
+    relations: BTreeMap<String, BTreeSet<Tuple>>,
+    constants: BTreeMap<String, Value>,
+}
+
+impl State {
+    /// The empty state of a scheme.
+    pub fn new(schema: Schema) -> Self {
+        let mut relations = BTreeMap::new();
+        for (name, _) in schema.relations() {
+            relations.insert(name.to_string(), BTreeSet::new());
+        }
+        State {
+            schema,
+            relations,
+            constants: BTreeMap::new(),
+        }
+    }
+
+    /// The scheme of the state.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation is not in the scheme or the tuple has the
+    /// wrong arity.
+    pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) {
+        let tuple = tuple.into();
+        let arity = self
+            .schema
+            .arity(relation)
+            .unwrap_or_else(|| panic!("relation `{relation}` not in the scheme"));
+        assert_eq!(tuple.len(), arity, "tuple arity mismatch for `{relation}`");
+        self.relations
+            .get_mut(relation)
+            .expect("initialized in new()")
+            .insert(tuple);
+    }
+
+    /// Fluent insertion.
+    pub fn with_tuple(mut self, relation: &str, tuple: impl Into<Tuple>) -> Self {
+        self.insert(relation, tuple);
+        self
+    }
+
+    /// Set the value of a scheme constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant is not declared in the scheme.
+    pub fn set_constant(&mut self, name: &str, value: impl Into<Value>) {
+        assert!(
+            self.schema.constants().iter().any(|c| c == name),
+            "constant `{name}` not in the scheme"
+        );
+        self.constants.insert(name.to_string(), value.into());
+    }
+
+    /// Fluent constant assignment.
+    pub fn with_constant(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.set_constant(name, value);
+        self
+    }
+
+    /// The value of a scheme constant.
+    pub fn constant(&self, name: &str) -> Option<&Value> {
+        self.constants.get(name)
+    }
+
+    /// The tuples of a relation (empty for undeclared names).
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(relation).into_iter().flatten()
+    }
+
+    /// Whether a tuple is present.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.relations
+            .get(relation)
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Total number of stored tuples.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// The **active domain of the state**: every value stored in a
+    /// relation or assigned to a scheme constant.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for rel in self.relations.values() {
+            for tuple in rel {
+                out.extend(tuple.iter().cloned());
+            }
+        }
+        out.extend(self.constants.values().cloned());
+        out
+    }
+
+    /// The active domain of a *query in this state*: the state's active
+    /// domain plus all constants used in the formula ("the set of all
+    /// constants used in the querying formula and/or elements contained
+    /// in the database relations").
+    pub fn query_active_domain(&self, query: &Formula) -> BTreeSet<Value> {
+        let mut out = self.active_domain();
+        let (nats, strs) = query.literal_constants();
+        out.extend(nats.into_iter().map(Value::Nat));
+        out.extend(strs.into_iter().map(Value::Str));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_logic::parse_formula;
+
+    fn fathers() -> State {
+        let schema = Schema::new().with_relation("F", 2);
+        State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let s = fathers();
+        assert!(s.contains("F", &vec![Value::Nat(1), Value::Nat(2)]));
+        assert!(!s.contains("F", &vec![Value::Nat(2), Value::Nat(1)]));
+        assert_eq!(s.size(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut s = fathers();
+        s.insert("F", vec![Value::Nat(1), Value::Nat(2)]);
+        assert_eq!(s.size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the scheme")]
+    fn unknown_relation_panics() {
+        let mut s = fathers();
+        s.insert("G", vec![Value::Nat(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut s = fathers();
+        s.insert("F", vec![Value::Nat(1)]);
+    }
+
+    #[test]
+    fn active_domain_collects_everything() {
+        let schema = Schema::new().with_relation("F", 2).with_constant("c");
+        let s = State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_constant("c", 9u64);
+        let ad = s.active_domain();
+        assert_eq!(
+            ad.into_iter().collect::<Vec<_>>(),
+            vec![Value::Nat(1), Value::Nat(2), Value::Nat(9)]
+        );
+    }
+
+    #[test]
+    fn query_active_domain_adds_formula_constants() {
+        let s = fathers();
+        let q = parse_formula("F(x, 7) | x = \"1&\"").unwrap();
+        let ad = s.query_active_domain(&q);
+        assert!(ad.contains(&Value::Nat(7)));
+        assert!(ad.contains(&Value::Str("1&".into())));
+        assert!(ad.contains(&Value::Nat(1)));
+    }
+
+    #[test]
+    fn constants_in_state() {
+        let schema = Schema::new().with_constant("c");
+        let s = State::new(schema).with_constant("c", "11");
+        assert_eq!(s.constant("c"), Some(&Value::Str("11".into())));
+        assert_eq!(s.constant("d"), None);
+    }
+
+    #[test]
+    fn string_values() {
+        let schema = Schema::new().with_relation("R", 1);
+        let s = State::new(schema).with_tuple("R", vec![Value::Str("1&1".into())]);
+        assert!(s.contains("R", &vec![Value::Str("1&1".into())]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = fathers();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: State = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn value_term_round_trip() {
+        for v in [Value::Nat(5), Value::Str("1*".into())] {
+            assert_eq!(Value::from_term(&v.to_term()), Some(v));
+        }
+        assert_eq!(Value::from_term(&Term::var("x")), None);
+    }
+}

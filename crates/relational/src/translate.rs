@@ -1,0 +1,130 @@
+//! The Section 1.1 reduction: a query in a fixed state becomes a pure
+//! domain formula.
+//!
+//! "Since we have constants, and the state is a finite collection of
+//! finite relations, the formula F(x) can be translated into a pure
+//! domain formula F′(x) (this technique was used in [AGSS86, GSSS86]).
+//! For example, if a binary database relation R consists of the pairs
+//! (a₁,b₁), …, (a_r,b_r), we can replace each occurrence of R(x, y) with
+//! ((x=a₁ ∧ y=b₁) ∨ … ∨ (x=a_r ∧ y=b_r))."
+//!
+//! Scheme constants are replaced by their state values at the same time.
+
+use crate::state::State;
+use fq_logic::{Formula, Term};
+
+/// Translate a query into an equivalent pure-domain formula with respect
+/// to the given state. Relation atoms become disjunctions of equality
+/// conjunctions; scheme constants become value literals. Domain predicates
+/// (anything not in the scheme) are left untouched.
+pub fn translate_to_domain_formula(query: &Formula, state: &State) -> Formula {
+    let schema = state.schema();
+    // First substitute scheme constants (named nullary applications and
+    // bare variables shadowing them are the caller's concern — queries
+    // must use `bind_constants` or named constants).
+    let mut translated = query.clone();
+    for c in schema.constants() {
+        if let Some(v) = state.constant(c) {
+            translated = fq_logic::substitute_const(&translated, c, &v.to_term());
+        }
+    }
+    translated.map_atoms(&mut |atom| match atom {
+        Formula::Pred(name, args) if schema.arity(name).is_some() => {
+            expand_relation_atom(name, args, state)
+        }
+        other => other.clone(),
+    })
+}
+
+fn expand_relation_atom(name: &str, args: &[Term], state: &State) -> Formula {
+    Formula::or(state.tuples(name).map(|tuple| {
+        Formula::and(
+            args.iter()
+                .zip(tuple.iter())
+                .map(|(arg, value)| Formula::eq(arg.clone(), value.to_term())),
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::state::Value;
+    use fq_logic::parse_formula;
+
+    fn fathers() -> State {
+        let schema = Schema::new().with_relation("F", 2);
+        State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+    }
+
+    #[test]
+    fn relation_atom_expands_to_disjunction() {
+        let q = parse_formula("F(x, y)").unwrap();
+        let t = translate_to_domain_formula(&q, &fathers());
+        let expected =
+            parse_formula("(x = 1 & y = 2) | (x = 1 & y = 3)").unwrap();
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn empty_relation_becomes_false() {
+        let schema = Schema::new().with_relation("R", 1);
+        let state = State::new(schema);
+        let q = parse_formula("R(x)").unwrap();
+        assert_eq!(translate_to_domain_formula(&q, &state), Formula::False);
+    }
+
+    #[test]
+    fn translation_is_pure_domain() {
+        let q = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
+        let t = translate_to_domain_formula(&q, &fathers());
+        // No database predicates left.
+        let mut has_f = false;
+        t.visit(&mut |f| {
+            if let Formula::Pred(name, _) = f {
+                if name == "F" {
+                    has_f = true;
+                }
+            }
+        });
+        assert!(!has_f);
+    }
+
+    #[test]
+    fn scheme_constants_are_replaced() {
+        let schema = Schema::new().with_constant("c");
+        let state = State::new(schema).with_constant("c", "11");
+        let raw = parse_formula("P(m0, c, x)").unwrap();
+        let q = fq_logic::bind_constants(&raw, &["c".to_string()].into());
+        let t = translate_to_domain_formula(&q, &state);
+        assert_eq!(t, parse_formula("P(m0, \"11\", x)").unwrap());
+    }
+
+    #[test]
+    fn domain_predicates_untouched() {
+        let q = parse_formula("F(x, y) & x < y").unwrap();
+        let t = translate_to_domain_formula(&q, &fathers());
+        let mut has_lt = false;
+        t.visit(&mut |f| {
+            if let Formula::Pred(name, _) = f {
+                if name == "<" {
+                    has_lt = true;
+                }
+            }
+        });
+        assert!(has_lt);
+    }
+
+    #[test]
+    fn repeated_variables_constrain_both_positions() {
+        // F(x, x) with state {(1,2),(1,3)}: no tuple matches.
+        let q = parse_formula("exists x. F(x, x)").unwrap();
+        let t = translate_to_domain_formula(&q, &fathers());
+        let expected =
+            parse_formula("exists x. (x = 1 & x = 2) | (x = 1 & x = 3)").unwrap();
+        assert_eq!(t, expected);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the relational layer: Codd-compilation agrees with
+//! active-domain evaluation on random safe-range queries, and the
+//! Section 1.1 translation preserves answers.
+
+use fq_logic::{Formula, Term};
+use fq_relational::active_eval::{eval_query, NatOps, NoOps};
+use fq_relational::algebra::compile;
+use fq_relational::safe_range::is_safe_range;
+use fq_relational::schema::Schema;
+use fq_relational::state::{State, Value};
+use fq_relational::translate::translate_to_domain_formula;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn schema() -> Schema {
+    Schema::new().with_relation("R", 2).with_relation("S", 1)
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (
+        proptest::collection::btree_set((0u64..5, 0u64..5), 0..6),
+        proptest::collection::btree_set(0u64..5, 0..4),
+    )
+        .prop_map(|(r, s)| {
+            let mut state = State::new(schema());
+            for (a, b) in r {
+                state.insert("R", vec![Value::Nat(a), Value::Nat(b)]);
+            }
+            for a in s {
+                state.insert("S", vec![Value::Nat(a)]);
+            }
+            state
+        })
+}
+
+/// Random queries built from range-giving atoms, conjunction, disjunction
+/// of compatible parts, safe negation, and existentials.
+fn arb_query() -> impl Strategy<Value = Formula> {
+    let v = || prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Term::var);
+    let atom = prop_oneof![
+        (v(), v()).prop_map(|(a, b)| Formula::pred("R", vec![a, b])),
+        v().prop_map(|a| Formula::pred("S", vec![a])),
+        (v(), 0u64..5).prop_map(|(a, k)| Formula::eq(a, Term::Nat(k))),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            1 => inner.clone().prop_map(|a| {
+                // Same-variable union: a | a-variant keeps attributes equal.
+                Formula::Or(vec![a.clone(), a])
+            }),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                // Safe negation: positive part conjoined with ¬b where
+                // free(b) ⊆ free(a) is not guaranteed — the test filters
+                // by is_safe_range instead.
+                Formula::And(vec![a, Formula::Not(Box::new(b))])
+            }),
+            2 => (prop_oneof![Just("x"), Just("y"), Just("z")], inner.clone())
+                .prop_map(|(v, b)| Formula::exists(v, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_algebra_agrees_with_calculus(state in arb_state(), q in arb_query()) {
+        if !is_safe_range(state.schema(), &q) {
+            return Ok(());
+        }
+        let Ok(expr) = compile(state.schema(), &q) else {
+            // Some safe-range shapes fall outside the compilable fragment.
+            return Ok(());
+        };
+        let vars: Vec<String> = q.free_vars().into_iter().collect();
+        let reference: BTreeSet<Vec<Value>> =
+            eval_query(&state, &NoOps, &q, &vars).unwrap().into_iter().collect();
+        let algebra = expr.eval(&state).reorder(&vars).tuples;
+        prop_assert_eq!(algebra, reference, "query: {}", q);
+    }
+
+    #[test]
+    fn translation_preserves_answers(state in arb_state(), q in arb_query()) {
+        // The §1.1 pure-domain translation has the same solutions over the
+        // query's active domain.
+        let vars: Vec<String> = q.free_vars().into_iter().collect();
+        let translated = translate_to_domain_formula(&q, &state);
+        let before = eval_query(&state, &NatOps, &q, &vars).unwrap();
+        // Evaluate the translated formula over the same universe: use an
+        // empty state with the same scheme (no relation atoms remain).
+        let empty = State::new(schema());
+        let universe: Vec<Value> = state.query_active_domain(&q).into_iter().collect();
+        let interp = fq_relational::active_eval::QueryInterp::new(&empty, &NatOps);
+        let after = fq_logic::eval::solutions(&interp, &universe, &vars, &translated).unwrap();
+        prop_assert_eq!(before, after, "query: {}", q);
+    }
+
+    #[test]
+    fn safe_range_queries_are_domain_independent(state in arb_state(), q in arb_query()) {
+        // Enlarging the evaluation universe must not change the answer of
+        // a safe-range query.
+        if !is_safe_range(state.schema(), &q) {
+            return Ok(());
+        }
+        let vars: Vec<String> = q.free_vars().into_iter().collect();
+        let small = eval_query(&state, &NoOps, &q, &vars).unwrap();
+        // Universe extended with fresh elements 100..105.
+        let mut universe: Vec<Value> = state.query_active_domain(&q).into_iter().collect();
+        universe.extend((100u64..105).map(Value::Nat));
+        let interp = fq_relational::active_eval::QueryInterp::new(&state, &NoOps);
+        let large = fq_logic::eval::solutions(&interp, &universe, &vars, &q).unwrap();
+        prop_assert_eq!(
+            small.into_iter().collect::<BTreeSet<_>>(),
+            large.into_iter().collect::<BTreeSet<_>>(),
+            "query: {}", q
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! String encoding of Turing machines over `{1, &, *}`.
+//!
+//! The paper only requires that machines "can be represented as strings in
+//! the alphabet `{1, &, *}` with `*` being a delimiter (we require that
+//! every machine contain at least one `*`). The details of a particular
+//! representation are not otherwise important." This module fixes one:
+//!
+//! A machine with `n` states is the join, with `*` separators, of `2n`
+//! *blocks* — one per (state, symbol) pair in the order
+//! `(1,1), (1,&), (2,1), (2,&), …`:
+//!
+//! * an **empty** block means the transition is undefined (a halt point);
+//! * a defined transition `write w, move m, next q` is the block
+//!   `1^q & c(w) & c(m)` with `c(1) = 11`, `c(&) = 1`,
+//!   `c(L) = 1`, `c(R) = 11`, `c(S) = 111`.
+//!
+//! With `n ≥ 1` states there are `2n − 1 ≥ 1` separators, satisfying the
+//! paper's "at least one `*`" requirement; the one-state machine with no
+//! transitions encodes as the single character `*`. Encoding and decoding
+//! are mutually inverse, so the set of machine strings is recursive and
+//! each machine has exactly one canonical string — behaviourally
+//! equivalent machines with extra junk states still get distinct strings,
+//! which is what the proof of Theorem A.3 (Case M) needs.
+
+use crate::machine::{Machine, Move, Trans};
+use crate::sym::Sym;
+
+/// Encode a machine as its canonical string over `{1, &, *}`.
+pub fn encode_machine(m: &Machine) -> String {
+    let mut blocks = Vec::with_capacity(m.n_states() as usize * 2);
+    for state in 1..=m.n_states() {
+        for sym in [Sym::I, Sym::B] {
+            match m.transition(state, sym) {
+                None => blocks.push(String::new()),
+                Some(t) => {
+                    let mut b = String::new();
+                    for _ in 0..t.next {
+                        b.push('1');
+                    }
+                    b.push('&');
+                    b.push_str(match t.write {
+                        Sym::I => "11",
+                        Sym::B => "1",
+                    });
+                    b.push('&');
+                    b.push_str(match t.mv {
+                        Move::Left => "1",
+                        Move::Right => "11",
+                        Move::Stay => "111",
+                    });
+                    blocks.push(b);
+                }
+            }
+        }
+    }
+    blocks.join("*")
+}
+
+/// Decode a machine string. Returns `None` unless the string is the
+/// canonical encoding of some machine.
+pub fn decode_machine(s: &str) -> Option<Machine> {
+    if !s.contains('*') || !s.chars().all(|c| matches!(c, '1' | '&' | '*')) {
+        return None;
+    }
+    let blocks: Vec<&str> = s.split('*').collect();
+    if blocks.len() < 2 || !blocks.len().is_multiple_of(2) {
+        return None;
+    }
+    let n_states = (blocks.len() / 2) as u32;
+    let mut m = Machine::new(n_states);
+    for (i, block) in blocks.iter().enumerate() {
+        if block.is_empty() {
+            continue;
+        }
+        let state = (i / 2) as u32 + 1;
+        let sym = if i % 2 == 0 { Sym::I } else { Sym::B };
+        let t = decode_block(block, n_states)?;
+        m.set_transition(state, sym, t);
+    }
+    Some(m)
+}
+
+fn decode_block(block: &str, n_states: u32) -> Option<Trans> {
+    let parts: Vec<&str> = block.split('&').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let next = unary(parts[0])?;
+    if next < 1 || next > n_states as usize {
+        return None;
+    }
+    let write = match unary(parts[1])? {
+        2 => Sym::I,
+        1 => Sym::B,
+        _ => return None,
+    };
+    let mv = match unary(parts[2])? {
+        1 => Move::Left,
+        2 => Move::Right,
+        3 => Move::Stay,
+        _ => return None,
+    };
+    Some(Trans {
+        write,
+        mv,
+        next: next as u32,
+    })
+}
+
+/// Parse a non-negative unary numeral (a possibly empty run of `1`s).
+/// Returns `None` if any other character occurs.
+pub fn unary(s: &str) -> Option<usize> {
+    if s.chars().all(|c| c == '1') {
+        Some(s.len())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn minimal_machine_encodes_as_star() {
+        let m = Machine::new(1);
+        assert_eq!(encode_machine(&m), "*");
+        assert_eq!(decode_machine("*"), Some(m));
+    }
+
+    #[test]
+    fn encode_contains_at_least_one_star() {
+        for m in [
+            Machine::new(1),
+            builders::scan_right_halt_on_blank(),
+            builders::looper(),
+        ] {
+            assert!(encode_machine(&m).contains('*'));
+        }
+    }
+
+    #[test]
+    fn round_trip_decode_encode() {
+        let machines = [
+            Machine::new(3),
+            builders::scan_right_halt_on_blank(),
+            builders::looper(),
+            builders::reader("11&1"),
+            builders::looper().with_junk_states(4),
+        ];
+        for m in machines {
+            let enc = encode_machine(&m);
+            let dec = decode_machine(&enc).expect("canonical encoding must decode");
+            assert_eq!(dec, m);
+            assert_eq!(encode_machine(&dec), enc);
+        }
+    }
+
+    #[test]
+    fn junk_states_change_encoding() {
+        let m = builders::looper();
+        assert_ne!(encode_machine(&m), encode_machine(&m.with_junk_states(1)));
+        assert_ne!(
+            encode_machine(&m.with_junk_states(1)),
+            encode_machine(&m.with_junk_states(2))
+        );
+    }
+
+    #[test]
+    fn rejects_no_star() {
+        assert!(decode_machine("111").is_none());
+        assert!(decode_machine("").is_none());
+    }
+
+    #[test]
+    fn rejects_odd_block_count() {
+        // Two stars → three blocks, odd.
+        assert!(decode_machine("**").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_block() {
+        // Block with only two fields.
+        assert!(decode_machine("1&1*").is_none());
+        // Next state 2 in a 1-state machine.
+        assert!(decode_machine("11&1&1*").is_none());
+        // Write field of 3 ones.
+        assert!(decode_machine("1&111&1*").is_none());
+        // Move field of 4 ones.
+        assert!(decode_machine("1&1&1111*").is_none());
+    }
+
+    #[test]
+    fn rejects_foreign_characters() {
+        assert!(decode_machine("1#1*").is_none());
+        assert!(decode_machine("a*b").is_none());
+    }
+
+    #[test]
+    fn unary_parser() {
+        assert_eq!(unary(""), Some(0));
+        assert_eq!(unary("111"), Some(3));
+        assert_eq!(unary("1&1"), None);
+    }
+
+    #[test]
+    fn three_star_string_decodes_as_two_state_machine() {
+        // Four empty blocks: two states, no transitions.
+        let m = decode_machine("***").unwrap();
+        assert_eq!(m.n_states(), 2);
+        assert_eq!(m.n_transitions(), 0);
+        assert_eq!(encode_machine(&m), "***");
+    }
+}

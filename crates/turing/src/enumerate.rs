@@ -1,0 +1,169 @@
+//! Exhaustive enumeration of all Turing machines.
+//!
+//! Theorem 3.1 uses "a recursive enumeration of all, total or not, Turing
+//! machines, M₁, M₂, …". [`MachineEnumerator`] provides it: machines are
+//! listed by state count, and within a fixed state count by a mixed-radix
+//! counter over the transition table (each of the `2n` table slots ranges
+//! over `undefined` plus the `6n` possible transitions).
+
+use crate::machine::{Machine, Move, Trans};
+use crate::sym::Sym;
+
+/// Lazy enumeration of every Turing machine, smallest first.
+#[derive(Clone, Debug)]
+pub struct MachineEnumerator {
+    n_states: u32,
+    /// Mixed-radix counter: one digit per (state, symbol) slot, each in
+    /// `0 ..= 6 * n_states` (0 = undefined).
+    counter: Vec<usize>,
+    exhausted_current: bool,
+}
+
+impl MachineEnumerator {
+    /// Start the enumeration at the one-state machines.
+    pub fn new() -> Self {
+        MachineEnumerator {
+            n_states: 1,
+            counter: vec![0; 2],
+            exhausted_current: false,
+        }
+    }
+
+    /// Number of machines with exactly `n` states: `(6n + 1)^(2n)`.
+    pub fn count_with_states(n: u32) -> u128 {
+        let base = 6 * n as u128 + 1;
+        base.pow(2 * n)
+    }
+
+    fn decode_digit(digit: usize, n_states: u32) -> Option<Trans> {
+        if digit == 0 {
+            return None;
+        }
+        let d = digit - 1;
+        let next = (d % n_states as usize) as u32 + 1;
+        let rest = d / n_states as usize;
+        let write = if rest.is_multiple_of(2) { Sym::I } else { Sym::B };
+        let mv = match rest / 2 {
+            0 => Move::Left,
+            1 => Move::Right,
+            _ => Move::Stay,
+        };
+        Some(Trans { write, mv, next })
+    }
+
+    fn current_machine(&self) -> Machine {
+        let mut m = Machine::new(self.n_states);
+        for (slot, &digit) in self.counter.iter().enumerate() {
+            if let Some(t) = Self::decode_digit(digit, self.n_states) {
+                let state = (slot / 2) as u32 + 1;
+                let sym = if slot % 2 == 0 { Sym::I } else { Sym::B };
+                m.set_transition(state, sym, t);
+            }
+        }
+        m
+    }
+
+    fn advance(&mut self) {
+        let radix = 6 * self.n_states as usize + 1;
+        for digit in self.counter.iter_mut() {
+            *digit += 1;
+            if *digit < radix {
+                return;
+            }
+            *digit = 0;
+        }
+        // Carried past the last digit: move to the next state count.
+        self.n_states += 1;
+        self.counter = vec![0; 2 * self.n_states as usize];
+        self.exhausted_current = false;
+    }
+}
+
+impl Default for MachineEnumerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iterator for MachineEnumerator {
+    type Item = Machine;
+
+    fn next(&mut self) -> Option<Machine> {
+        let m = self.current_machine();
+        self.advance();
+        Some(m)
+    }
+}
+
+/// The `k`-th machine of the enumeration (0-based). Convenience for tests
+/// and experiments; prefer iterating for bulk use.
+pub fn nth_machine(k: usize) -> Machine {
+    MachineEnumerator::new()
+        .nth(k)
+        .expect("the enumeration is infinite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_machine;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn first_machine_is_the_empty_one_state_machine() {
+        let m = nth_machine(0);
+        assert_eq!(m.n_states(), 1);
+        assert_eq!(m.n_transitions(), 0);
+    }
+
+    #[test]
+    fn one_state_machines_counted() {
+        assert_eq!(MachineEnumerator::count_with_states(1), 49);
+        let machines: Vec<_> = MachineEnumerator::new().take(49).collect();
+        assert!(machines.iter().all(|m| m.n_states() == 1));
+        // The 50th machine has two states.
+        assert_eq!(nth_machine(49).n_states(), 2);
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates_in_prefix() {
+        let encodings: BTreeSet<String> = MachineEnumerator::new()
+            .take(2000)
+            .map(|m| encode_machine(&m))
+            .collect();
+        assert_eq!(encodings.len(), 2000);
+    }
+
+    #[test]
+    fn enumeration_hits_known_machines() {
+        // The looper and the scanner are 1-state machines, so they appear
+        // among the first 49.
+        let first: Vec<_> = MachineEnumerator::new().take(49).collect();
+        assert!(first.contains(&crate::builders::looper()));
+        assert!(first.contains(&crate::builders::scan_right_halt_on_blank()));
+        assert!(first.contains(&crate::builders::halter()));
+        assert!(first.contains(&crate::builders::erase_and_halt()));
+    }
+
+    #[test]
+    fn every_enumerated_machine_is_well_formed() {
+        for m in MachineEnumerator::new().take(500) {
+            for (_, _, t) in m.transitions() {
+                assert!(t.next >= 1 && t.next <= m.n_states());
+            }
+            // Round-trips through the encoding.
+            assert_eq!(crate::encode::decode_machine(&encode_machine(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn digit_decoding_covers_all_transitions() {
+        let mut seen = BTreeSet::new();
+        for d in 0..=6 {
+            if let Some(t) = MachineEnumerator::decode_digit(d, 1) {
+                seen.insert((t.write, t.mv, t.next));
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

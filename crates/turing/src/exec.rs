@@ -1,0 +1,220 @@
+//! Step-bounded execution of Turing machines.
+
+use crate::machine::Machine;
+use crate::sym::{parse_word, word_to_string, Sym};
+use crate::tape::Tape;
+
+/// A machine configuration: state, tape, and head position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    pub state: u32,
+    pub tape: Tape,
+    pub head: isize,
+}
+
+impl Configuration {
+    /// The initial configuration of a machine on input `word`: state 1,
+    /// the word at cells `0 .. |w|`, head on cell 0 (the paper: "machines
+    /// always start by reading the leftmost character of the word w").
+    pub fn initial(word: &[Sym]) -> Self {
+        Configuration {
+            state: 1,
+            tape: Tape::from_word(word),
+            head: 0,
+        }
+    }
+
+    /// Perform one step. Returns `false` if the machine halts (no
+    /// transition defined for the current state/symbol).
+    pub fn step(&mut self, m: &Machine) -> bool {
+        let sym = self.tape.read(self.head);
+        match m.transition(self.state, sym) {
+            None => false,
+            Some(t) => {
+                self.tape.write(self.head, t.write);
+                self.head += t.mv.offset();
+                self.state = t.next;
+                true
+            }
+        }
+    }
+
+    /// The snapshot window: the minimal tape segment covering all non-blank
+    /// cells **and** the head (see DESIGN.md — the paper's "minimal part of
+    /// it that covers all non-& characters", extended to keep the head
+    /// position representable when the head sits outside the non-blank
+    /// span).
+    pub fn snapshot_window(&self) -> (isize, Vec<Sym>) {
+        let (lo, hi) = match self.tape.nonblank_span() {
+            Some((lo, hi)) => (lo.min(self.head), hi.max(self.head)),
+            None => (self.head, self.head),
+        };
+        (lo, self.tape.window(lo, hi))
+    }
+
+    /// Render the snapshot `state # window # head-pos` (unary state and
+    /// position, `#` the trace separator).
+    pub fn snapshot(&self) -> String {
+        let (lo, window) = self.snapshot_window();
+        let pos = (self.head - lo) as usize;
+        let mut out = String::new();
+        for _ in 0..self.state {
+            out.push('1');
+        }
+        out.push('#');
+        out.push_str(&word_to_string(&window));
+        out.push('#');
+        for _ in 0..pos {
+            out.push('1');
+        }
+        out
+    }
+}
+
+/// The outcome of a bounded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The machine halted after exactly `steps` steps; `output` is the
+    /// paper's result word (leftmost run of `1`s on the final tape).
+    Halted { steps: usize, output: String },
+    /// The machine was still running after `max_steps` steps.
+    StillRunning,
+}
+
+impl RunOutcome {
+    /// The number of steps if halted.
+    pub fn steps(&self) -> Option<usize> {
+        match self {
+            RunOutcome::Halted { steps, .. } => Some(*steps),
+            RunOutcome::StillRunning => None,
+        }
+    }
+}
+
+/// Run machine `m` on `word` for at most `max_steps` steps.
+///
+/// # Panics
+///
+/// Panics if `word` contains characters outside `{1, &}`.
+pub fn run_bounded(m: &Machine, word: &str, max_steps: usize) -> RunOutcome {
+    let w = parse_word(word).expect("input word must be over {1, &}");
+    let mut config = Configuration::initial(&w);
+    for steps in 0..=max_steps {
+        let sym = config.tape.read(config.head);
+        if m.transition(config.state, sym).is_none() {
+            return RunOutcome::Halted {
+                steps,
+                output: word_to_string(&config.tape.output()),
+            };
+        }
+        if steps == max_steps {
+            break;
+        }
+        let progressed = config.step(m);
+        debug_assert!(progressed, "transition was checked above");
+    }
+    RunOutcome::StillRunning
+}
+
+/// Whether `m` halts on `word` within `max_steps` steps.
+pub fn halts_within(m: &Machine, word: &str, max_steps: usize) -> bool {
+    matches!(run_bounded(m, word, max_steps), RunOutcome::Halted { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::machine::{Machine, Move};
+
+    #[test]
+    fn empty_machine_halts_immediately() {
+        let m = Machine::new(1);
+        assert_eq!(
+            run_bounded(&m, "111", 10),
+            RunOutcome::Halted { steps: 0, output: "111".into() }
+        );
+    }
+
+    #[test]
+    fn scan_right_halts_after_prefix_of_ones() {
+        let m = builders::scan_right_halt_on_blank();
+        assert_eq!(run_bounded(&m, "111", 10).steps(), Some(3));
+        assert_eq!(run_bounded(&m, "11&1", 10).steps(), Some(2));
+        assert_eq!(run_bounded(&m, "", 10).steps(), Some(0));
+    }
+
+    #[test]
+    fn looper_never_halts() {
+        let m = builders::looper();
+        assert_eq!(run_bounded(&m, "1", 1000), RunOutcome::StillRunning);
+        assert_eq!(run_bounded(&m, "", 1000), RunOutcome::StillRunning);
+    }
+
+    #[test]
+    fn bound_is_exact() {
+        let m = builders::scan_right_halt_on_blank();
+        // Halts after exactly 3 steps; a bound of 2 misses it, 3 catches it.
+        assert_eq!(run_bounded(&m, "111", 2), RunOutcome::StillRunning);
+        assert_eq!(run_bounded(&m, "111", 3).steps(), Some(3));
+    }
+
+    #[test]
+    fn eraser_produces_empty_output() {
+        // State 1: on 1 write & and move right; on & halt.
+        let m = Machine::new(1).with_transition(1, Sym::I, Sym::B, Move::Right, 1);
+        match run_bounded(&m, "111", 10) {
+            RunOutcome::Halted { steps, output } => {
+                assert_eq!(steps, 3);
+                assert_eq!(output, "");
+            }
+            _ => panic!("should halt"),
+        }
+    }
+
+    #[test]
+    fn initial_snapshot_window_is_trimmed_word() {
+        let c = Configuration::initial(&crate::sym::parse_word("11").unwrap());
+        assert_eq!(c.snapshot(), "1#11#");
+    }
+
+    #[test]
+    fn snapshot_of_all_blank_tape_is_single_blank_cell() {
+        let c = Configuration::initial(&[]);
+        assert_eq!(c.snapshot(), "1#&#");
+    }
+
+    #[test]
+    fn snapshot_includes_head_outside_nonblank_span() {
+        // Move left from the word: head at -1, window extends to cover it.
+        let mut c = Configuration::initial(&crate::sym::parse_word("1").unwrap());
+        let m = Machine::new(1).with_transition(1, Sym::I, Sym::I, Move::Left, 1);
+        assert!(c.step(&m));
+        assert_eq!(c.head, -1);
+        // Window covers cells -1..=0: "&1", head at offset 0.
+        assert_eq!(c.snapshot(), "1#&1#");
+    }
+
+    #[test]
+    fn snapshot_records_state_and_position_in_unary() {
+        let m = Machine::new(2).with_transition(1, Sym::I, Sym::I, Move::Right, 2);
+        let mut c = Configuration::initial(&crate::sym::parse_word("11").unwrap());
+        assert!(c.step(&m));
+        // State 2, window "11", head at offset 1.
+        assert_eq!(c.snapshot(), "11#11#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "over {1, &}")]
+    fn run_rejects_bad_word() {
+        let _ = run_bounded(&Machine::new(1), "1*1", 10);
+    }
+
+    #[test]
+    fn halts_within_helper() {
+        let m = builders::scan_right_halt_on_blank();
+        assert!(halts_within(&m, "11", 2));
+        assert!(!halts_within(&m, "11", 1));
+        assert!(!halts_within(&builders::looper(), "1", 100));
+    }
+}

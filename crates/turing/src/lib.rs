@@ -1,0 +1,48 @@
+//! # fq-turing — the Turing-machine substrate of the trace domain
+//!
+//! Section 3 of Stolboushkin & Taitslin builds its counterexample domain
+//! **T** out of Turing-machine computations:
+//!
+//! * machines are single-tape TMs over the work alphabet `{1, &}` (where
+//!   `&` is the blank), starting in state 1 on the leftmost character of an
+//!   input word `w ∈ {1,&}*`;
+//! * machines are *themselves* strings over `{1, &, *}` (with `*` a
+//!   delimiter; every machine contains at least one `*`) — see [`encode`];
+//! * a *trace* of machine `M` in word `w` is `M`, followed by the snapshots
+//!   of a partial computation, separated by a fourth letter (rendered `#`
+//!   here); `M` has finitely many traces in `w` iff it halts on `w` — see
+//!   [`trace`].
+//!
+//! This crate provides machines, the string encoding, a step-bounded
+//! executor, trace generation/validation, the classification of arbitrary
+//! strings into the paper's four sorts (machine / input word / trace /
+//! other), an exhaustive machine enumerator (Theorem 3.1 needs "a recursive
+//! enumeration of all, total or not, Turing machines"), and a library of
+//! machine builders, including the Lemma A.2 trie witness.
+//!
+//! ## Example
+//!
+//! ```
+//! use fq_turing::{builders, trace};
+//!
+//! // A machine that scans right over 1s and halts at the first blank.
+//! let m = builders::scan_right_halt_on_blank();
+//! // On input "111" it halts after 3 steps, so it has exactly 4 traces.
+//! assert_eq!(trace::count_traces(&m, "111", 100), trace::TraceCount::Exactly(4));
+//! ```
+
+pub mod builders;
+pub mod encode;
+pub mod enumerate;
+pub mod exec;
+pub mod machine;
+pub mod sym;
+pub mod tape;
+pub mod trace;
+
+pub use encode::{decode_machine, encode_machine};
+pub use enumerate::MachineEnumerator;
+pub use exec::{run_bounded, Configuration, RunOutcome};
+pub use machine::{Machine, Move, Trans};
+pub use sym::{classify, Sort, Sym};
+pub use trace::{count_traces, trace_string, validate_trace, TraceCount};

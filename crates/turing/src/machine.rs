@@ -1,0 +1,284 @@
+//! Single-tape Turing machines over the work alphabet `{1, &}`.
+//!
+//! States are numbered from 1 (the paper's first snapshot "1 ⋆ w ⋆" shows
+//! the machine in internal state 1). A machine halts when no transition is
+//! defined for its current (state, symbol) pair.
+
+use crate::sym::Sym;
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Move {
+    Left,
+    Right,
+    Stay,
+}
+
+impl Move {
+    /// Offset applied to the head position.
+    pub fn offset(self) -> isize {
+        match self {
+            Move::Left => -1,
+            Move::Right => 1,
+            Move::Stay => 0,
+        }
+    }
+}
+
+/// A transition: write a symbol, move the head, enter the next state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Trans {
+    pub write: Sym,
+    pub mv: Move,
+    pub next: u32,
+}
+
+/// A Turing machine: a transition table indexed by (state, symbol).
+///
+/// Invariants (checked by [`Machine::new`] and the builder methods):
+/// * there is at least one state;
+/// * every transition's `next` state exists.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Machine {
+    n_states: u32,
+    /// `delta[(q-1) * 2 + sym.index()]`.
+    delta: Vec<Option<Trans>>,
+}
+
+impl Machine {
+    /// Create a machine with `n_states` states and no transitions
+    /// (it halts immediately on every input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states == 0`.
+    pub fn new(n_states: u32) -> Self {
+        assert!(n_states >= 1, "a machine needs at least one state");
+        Machine {
+            n_states,
+            delta: vec![None; n_states as usize * 2],
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Look up the transition for (state, symbol). States are 1-based.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn transition(&self, state: u32, sym: Sym) -> Option<Trans> {
+        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        self.delta[(state as usize - 1) * 2 + sym.index()]
+    }
+
+    /// Define the transition for (state, symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `trans.next` is out of range.
+    pub fn set_transition(&mut self, state: u32, sym: Sym, trans: Trans) {
+        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        assert!(
+            trans.next >= 1 && trans.next <= self.n_states,
+            "next state {} out of range",
+            trans.next
+        );
+        self.delta[(state as usize - 1) * 2 + sym.index()] = Some(trans);
+    }
+
+    /// Remove the transition for (state, symbol), making it a halt point.
+    pub fn clear_transition(&mut self, state: u32, sym: Sym) {
+        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        self.delta[(state as usize - 1) * 2 + sym.index()] = None;
+    }
+
+    /// Fluent transition definition for building machines in tests and the
+    /// builders module.
+    pub fn with_transition(mut self, state: u32, sym: Sym, write: Sym, mv: Move, next: u32) -> Self {
+        self.set_transition(state, sym, Trans { write, mv, next });
+        self
+    }
+
+    /// Iterate over all defined transitions as `(state, sym, trans)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (u32, Sym, Trans)> + '_ {
+        self.delta.iter().enumerate().filter_map(|(i, t)| {
+            t.map(|t| {
+                let state = (i / 2) as u32 + 1;
+                let sym = if i % 2 == 0 { Sym::I } else { Sym::B };
+                (state, sym, t)
+            })
+        })
+    }
+
+    /// Number of defined transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.delta.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Append `extra` fresh, unreachable states (each with a self-loop).
+    ///
+    /// The resulting machine is behaviourally equivalent but has a
+    /// different encoding — the paper's "there are infinitely many
+    /// behaviorally equivalent but syntactically different machines"
+    /// (proof of Theorem A.3, Case T−1).
+    pub fn with_junk_states(&self, extra: u32) -> Machine {
+        let mut m = Machine::new(self.n_states + extra);
+        for (q, s, t) in self.transitions() {
+            m.set_transition(q, s, t);
+        }
+        for q in self.n_states + 1..=self.n_states + extra {
+            m.set_transition(
+                q,
+                Sym::I,
+                Trans { write: Sym::I, mv: Move::Stay, next: q },
+            );
+        }
+        m
+    }
+}
+
+impl std::fmt::Display for Machine {
+    /// Render the transition table, one row per (state, symbol) pair.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "machine with {} state(s):", self.n_states)?;
+        for state in 1..=self.n_states {
+            for sym in [Sym::I, Sym::B] {
+                match self.transition(state, sym) {
+                    None => writeln!(f, "  δ({state}, {}) = HALT", sym.to_char())?,
+                    Some(t) => writeln!(
+                        f,
+                        "  δ({state}, {}) = ({}, {}, {})",
+                        sym.to_char(),
+                        t.write.to_char(),
+                        match t.mv {
+                            Move::Left => "L",
+                            Move::Right => "R",
+                            Move::Stay => "S",
+                        },
+                        t.next
+                    )?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Machine {
+    /// Sequential composition: run `self`; wherever `self` would halt,
+    /// continue as `other` from its start state (one extra bridging step
+    /// is taken at each junction, leaving the tape and head unchanged).
+    ///
+    /// The composed machine halts on `w` iff `self` halts on `w` **and**
+    /// `other` halts on the configuration `self` leaves behind — a handy
+    /// generator of total machines with composite running times.
+    pub fn then(&self, other: &Machine) -> Machine {
+        let offset = self.n_states;
+        let mut m = Machine::new(offset + other.n_states);
+        for (q, s, t) in self.transitions() {
+            m.set_transition(q, s, t);
+        }
+        // Bridge self's halt points into other's start state.
+        for q in 1..=self.n_states {
+            for s in [Sym::I, Sym::B] {
+                if self.transition(q, s).is_none() {
+                    m.set_transition(
+                        q,
+                        s,
+                        Trans { write: s, mv: Move::Stay, next: offset + 1 },
+                    );
+                }
+            }
+        }
+        for (q, s, t) in other.transitions() {
+            m.set_transition(
+                q + offset,
+                s,
+                Trans { write: t.write, mv: t.mv, next: t.next + offset },
+            );
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_machine_has_no_transitions() {
+        let m = Machine::new(2);
+        assert_eq!(m.n_states(), 2);
+        assert_eq!(m.n_transitions(), 0);
+        assert!(m.transition(1, Sym::I).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        let _ = Machine::new(0);
+    }
+
+    #[test]
+    fn set_and_get_transition() {
+        let m = Machine::new(2).with_transition(1, Sym::I, Sym::B, Move::Right, 2);
+        let t = m.transition(1, Sym::I).unwrap();
+        assert_eq!(t.write, Sym::B);
+        assert_eq!(t.mv, Move::Right);
+        assert_eq!(t.next, 2);
+        assert!(m.transition(1, Sym::B).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "next state")]
+    fn next_state_out_of_range_panics() {
+        let _ = Machine::new(1).with_transition(1, Sym::I, Sym::I, Move::Right, 2);
+    }
+
+    #[test]
+    fn transitions_iterator_lists_all() {
+        let m = Machine::new(2)
+            .with_transition(1, Sym::I, Sym::I, Move::Right, 1)
+            .with_transition(2, Sym::B, Sym::I, Move::Left, 1);
+        let listed: Vec<_> = m.transitions().collect();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].0, 1);
+        assert_eq!(listed[1].0, 2);
+    }
+
+    #[test]
+    fn junk_states_preserve_original_transitions() {
+        let m = Machine::new(1).with_transition(1, Sym::I, Sym::I, Move::Right, 1);
+        let j = m.with_junk_states(3);
+        assert_eq!(j.n_states(), 4);
+        assert_eq!(j.transition(1, Sym::I), m.transition(1, Sym::I));
+        // The junk states self-loop.
+        assert_eq!(j.transition(3, Sym::I).unwrap().next, 3);
+    }
+
+    #[test]
+    fn clear_transition_creates_halt_point() {
+        let mut m = Machine::new(1).with_transition(1, Sym::B, Sym::B, Move::Right, 1);
+        m.clear_transition(1, Sym::B);
+        assert!(m.transition(1, Sym::B).is_none());
+    }
+
+    #[test]
+    fn display_lists_every_row() {
+        let m = Machine::new(1).with_transition(1, Sym::I, Sym::B, Move::Right, 1);
+        let text = m.to_string();
+        assert!(text.contains("δ(1, 1) = (&, R, 1)"));
+        assert!(text.contains("δ(1, &) = HALT"));
+    }
+
+    #[test]
+    fn move_offsets() {
+        assert_eq!(Move::Left.offset(), -1);
+        assert_eq!(Move::Right.offset(), 1);
+        assert_eq!(Move::Stay.offset(), 0);
+    }
+}

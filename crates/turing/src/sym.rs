@@ -1,0 +1,183 @@
+//! The tape alphabet and the four-sort classification of domain strings.
+//!
+//! The domain of the Theory of Traces is the set of **all** strings over the
+//! four-letter alphabet `{1, &, *, #}`:
+//!
+//! * `1` — the unary digit (the only non-blank work symbol);
+//! * `&` — the blank / white-space marker;
+//! * `*` — the delimiter inside machine encodings;
+//! * `#` — the snapshot separator inside traces (the paper prints this
+//!   fourth letter as a star-like glyph; we use `#`).
+//!
+//! Every string falls into exactly one of the paper's four classes
+//! ([`Sort`]): input **W**ords, **M**achines, **T**races, and **O**ther
+//! words. All four classes are recursive, which is what makes the
+//! quantifier elimination of the Appendix effective.
+
+use crate::encode::decode_machine;
+use crate::trace::validate_trace;
+
+/// A work-tape symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// The unary digit `1`.
+    I,
+    /// The blank `&`.
+    B,
+}
+
+impl Sym {
+    /// The character rendering of the symbol.
+    pub fn to_char(self) -> char {
+        match self {
+            Sym::I => '1',
+            Sym::B => '&',
+        }
+    }
+
+    /// Parse a character.
+    pub fn from_char(c: char) -> Option<Sym> {
+        match c {
+            '1' => Some(Sym::I),
+            '&' => Some(Sym::B),
+            _ => None,
+        }
+    }
+
+    /// Index used for transition-table lookup.
+    pub fn index(self) -> usize {
+        match self {
+            Sym::I => 0,
+            Sym::B => 1,
+        }
+    }
+}
+
+/// Parse an input word over `{1, &}`. Returns `None` if any other
+/// character occurs.
+pub fn parse_word(s: &str) -> Option<Vec<Sym>> {
+    s.chars().map(Sym::from_char).collect()
+}
+
+/// Render a word over `{1, &}` as a string.
+pub fn word_to_string(w: &[Sym]) -> String {
+    w.iter().map(|s| s.to_char()).collect()
+}
+
+/// Whether the string belongs to the full domain alphabet `{1,&,*,#}`.
+pub fn in_domain_alphabet(s: &str) -> bool {
+    s.chars().all(|c| matches!(c, '1' | '&' | '*' | '#'))
+}
+
+/// The paper's four sorts of domain element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// A Turing machine: a string over `{1,&,*}` with at least one `*`
+    /// that decodes to a valid transition table.
+    Machine,
+    /// An input word: any string over `{1,&}` (including the empty word ε).
+    Word,
+    /// A trace: a string containing `#` that validates as a trace of its
+    /// embedded machine.
+    Trace,
+    /// Everything else.
+    Other,
+}
+
+/// Classify a string into the four sorts. Strings containing characters
+/// outside the domain alphabet are classified as [`Sort::Other`]; callers
+/// that want to reject them outright should check
+/// [`in_domain_alphabet`] first.
+pub fn classify(s: &str) -> Sort {
+    if s.chars().all(|c| matches!(c, '1' | '&')) {
+        return Sort::Word;
+    }
+    if s.contains('#') {
+        if validate_trace(s).is_some() {
+            return Sort::Trace;
+        }
+        return Sort::Other;
+    }
+    if s.contains('*') && in_domain_alphabet(s) && decode_machine(s).is_some() {
+        return Sort::Machine;
+    }
+    Sort::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::encode::encode_machine;
+    use crate::trace::trace_string;
+
+    #[test]
+    fn word_round_trip() {
+        let w = parse_word("1&&1").unwrap();
+        assert_eq!(word_to_string(&w), "1&&1");
+    }
+
+    #[test]
+    fn invalid_word_chars_rejected() {
+        assert!(parse_word("1*1").is_none());
+        assert!(parse_word("abc").is_none());
+    }
+
+    #[test]
+    fn empty_string_is_a_word() {
+        assert_eq!(classify(""), Sort::Word);
+    }
+
+    #[test]
+    fn plain_words_classify_as_words() {
+        assert_eq!(classify("111"), Sort::Word);
+        assert_eq!(classify("1&1&"), Sort::Word);
+    }
+
+    #[test]
+    fn encoded_machine_classifies_as_machine() {
+        let m = builders::scan_right_halt_on_blank();
+        assert_eq!(classify(&encode_machine(&m)), Sort::Machine);
+    }
+
+    #[test]
+    fn garbage_with_star_is_other() {
+        // "**" has three (odd) blocks; "1*" has a malformed block.
+        assert_eq!(classify("**"), Sort::Other);
+        assert_eq!(classify("1*"), Sort::Other);
+        // "***" is the canonical two-state machine with no transitions.
+        assert_eq!(classify("***"), Sort::Machine);
+    }
+
+    #[test]
+    fn valid_trace_classifies_as_trace() {
+        let m = builders::scan_right_halt_on_blank();
+        let t = trace_string(&m, "11", 1).unwrap();
+        assert_eq!(classify(&t), Sort::Trace);
+    }
+
+    #[test]
+    fn corrupted_trace_is_other() {
+        let m = builders::scan_right_halt_on_blank();
+        let t = trace_string(&m, "11", 1).unwrap();
+        let corrupted = format!("{t}#");
+        assert_eq!(classify(&corrupted), Sort::Other);
+    }
+
+    #[test]
+    fn foreign_characters_are_other() {
+        assert_eq!(classify("abc"), Sort::Other);
+        assert!(!in_domain_alphabet("abc"));
+        assert!(in_domain_alphabet("1&*#"));
+    }
+
+    #[test]
+    fn sorts_are_mutually_exclusive_on_samples() {
+        let m = builders::scan_right_halt_on_blank();
+        let enc = encode_machine(&m);
+        let t = trace_string(&m, "1", 1).unwrap();
+        // A word has neither * nor #; a machine has * but no #; a trace has #.
+        assert!(!enc.contains('#'));
+        assert!(t.contains('#'));
+    }
+}

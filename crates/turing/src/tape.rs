@@ -1,0 +1,163 @@
+//! The bi-infinite tape.
+//!
+//! The tape initially holds the input word at cells `0 .. |w|` and blanks
+//! everywhere else. Cells are stored in a growable `Vec` with an origin
+//! offset so that leftward excursions stay O(1) amortized.
+
+use crate::sym::Sym;
+
+/// A bi-infinite tape of `{1, &}` cells, blank by default.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tape {
+    /// Stored cells; cell `i` of the tape lives at `cells[(i + origin)]`.
+    cells: Vec<Sym>,
+    /// Offset of tape cell 0 within `cells`.
+    origin: isize,
+}
+
+impl Tape {
+    /// A tape holding `word` at positions `0 .. word.len()`.
+    pub fn from_word(word: &[Sym]) -> Self {
+        Tape {
+            cells: word.to_vec(),
+            origin: 0,
+        }
+    }
+
+    /// Read the symbol at `pos` (blank outside the stored span).
+    pub fn read(&self, pos: isize) -> Sym {
+        let idx = pos + self.origin;
+        if idx < 0 || idx as usize >= self.cells.len() {
+            Sym::B
+        } else {
+            self.cells[idx as usize]
+        }
+    }
+
+    /// Write a symbol at `pos`, growing the stored span if needed.
+    pub fn write(&mut self, pos: isize, sym: Sym) {
+        let mut idx = pos + self.origin;
+        if idx < 0 {
+            let grow = (-idx) as usize;
+            let mut new_cells = Vec::with_capacity(self.cells.len() + grow);
+            new_cells.extend(std::iter::repeat_n(Sym::B, grow));
+            new_cells.extend_from_slice(&self.cells);
+            self.cells = new_cells;
+            self.origin += grow as isize;
+            idx = 0;
+        }
+        let idx = idx as usize;
+        if idx >= self.cells.len() {
+            if sym == Sym::B {
+                // Writing blank beyond the span is a no-op.
+                return;
+            }
+            self.cells.resize(idx + 1, Sym::B);
+        }
+        self.cells[idx] = sym;
+    }
+
+    /// The positions of the leftmost and rightmost non-blank cells, if any.
+    pub fn nonblank_span(&self) -> Option<(isize, isize)> {
+        let first = self.cells.iter().position(|&s| s == Sym::I)?;
+        let last = self.cells.iter().rposition(|&s| s == Sym::I).expect("first exists");
+        Some((first as isize - self.origin, last as isize - self.origin))
+    }
+
+    /// The symbols in `lo ..= hi` as a vector.
+    pub fn window(&self, lo: isize, hi: isize) -> Vec<Sym> {
+        (lo..=hi).map(|p| self.read(p)).collect()
+    }
+
+    /// The paper's *result of the computation*: the leftmost maximal run of
+    /// `1`s on the tape, or the empty word if the tape is all blank.
+    pub fn output(&self) -> Vec<Sym> {
+        match self.nonblank_span() {
+            None => Vec::new(),
+            Some((lo, _)) => {
+                let mut out = Vec::new();
+                let mut p = lo;
+                while self.read(p) == Sym::I {
+                    out.push(Sym::I);
+                    p += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::parse_word;
+
+    fn tape(s: &str) -> Tape {
+        Tape::from_word(&parse_word(s).unwrap())
+    }
+
+    #[test]
+    fn reads_word_and_blanks() {
+        let t = tape("1&1");
+        assert_eq!(t.read(0), Sym::I);
+        assert_eq!(t.read(1), Sym::B);
+        assert_eq!(t.read(2), Sym::I);
+        assert_eq!(t.read(-1), Sym::B);
+        assert_eq!(t.read(3), Sym::B);
+    }
+
+    #[test]
+    fn write_right_of_span() {
+        let mut t = tape("1");
+        t.write(4, Sym::I);
+        assert_eq!(t.read(4), Sym::I);
+        assert_eq!(t.read(2), Sym::B);
+    }
+
+    #[test]
+    fn write_left_of_span() {
+        let mut t = tape("1");
+        t.write(-3, Sym::I);
+        assert_eq!(t.read(-3), Sym::I);
+        assert_eq!(t.read(0), Sym::I);
+        assert_eq!(t.read(-1), Sym::B);
+    }
+
+    #[test]
+    fn blank_write_outside_span_is_noop() {
+        let mut t = tape("1");
+        t.write(100, Sym::B);
+        assert_eq!(t.read(100), Sym::B);
+    }
+
+    #[test]
+    fn nonblank_span_tracks_ones_only() {
+        let t = tape("&1&&1&");
+        assert_eq!(t.nonblank_span(), Some((1, 4)));
+        assert_eq!(tape("&&&").nonblank_span(), None);
+        assert_eq!(tape("").nonblank_span(), None);
+    }
+
+    #[test]
+    fn window_extraction() {
+        let t = tape("1&1");
+        assert_eq!(t.window(-1, 3), parse_word("&1&1&").unwrap());
+    }
+
+    #[test]
+    fn output_is_leftmost_run_of_ones() {
+        assert_eq!(tape("&&11&111").output(), parse_word("11").unwrap());
+        assert_eq!(tape("&&&").output(), Vec::new());
+        let mut t = tape("1");
+        t.write(-2, Sym::I);
+        // Leftmost run is the isolated 1 at -2.
+        assert_eq!(t.output(), parse_word("1").unwrap());
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut t = tape("111");
+        t.write(1, Sym::B);
+        assert_eq!(t.window(0, 2), parse_word("1&1").unwrap());
+    }
+}

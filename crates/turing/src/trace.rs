@@ -1,0 +1,338 @@
+//! Traces of partial computations — the heart of the domain **T**.
+//!
+//! A trace of machine `M` in word `w` with `k ≥ 1` snapshots is the string
+//!
+//! ```text
+//! enc(M) # q₁ # t₁ # p₁ # q₂ # t₂ # p₂ # … # q_k # t_k # p_k
+//! ```
+//!
+//! where snapshot `i` records the configuration after `i − 1` steps:
+//! internal state `qᵢ` in unary, the tape window `tᵢ`, and the head
+//! position `pᵢ` within the window in unary. Following the paper, the first
+//! snapshot is always `1 # w # ` — state 1, the input word **verbatim**,
+//! head position 0 — so a trace determines its input word exactly
+//! (`w(x)` of the Reach theory); later snapshots use the minimal window
+//! covering the non-blank cells and the head.
+//!
+//! `M` has one trace in `w` for every `k` such that the computation reaches
+//! `k` configurations, hence:
+//!
+//! * if `M` halts on `w` after `h` steps — exactly `h + 1` traces;
+//! * if `M` runs forever — infinitely many traces.
+//!
+//! This is the pivot of every Section 3 theorem: the finiteness of the
+//! query `P(M, c, x)` in a state is the halting of `M` on the state's word.
+
+use crate::encode::{decode_machine, encode_machine, unary};
+use crate::exec::{run_bounded, Configuration, RunOutcome};
+use crate::machine::Machine;
+use crate::sym::parse_word;
+
+/// A parsed, validated trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// The machine whose computation the trace records.
+    pub machine: Machine,
+    /// The canonical machine string (the trace's first segment).
+    pub machine_str: String,
+    /// The input word, recovered verbatim from the first snapshot.
+    pub word: String,
+    /// Number of snapshots (≥ 1).
+    pub snapshots: usize,
+}
+
+/// Build the trace of `m` in `word` with exactly `snapshots` snapshots.
+///
+/// Returns `None` if the computation has fewer than `snapshots`
+/// configurations (i.e. the machine halts too early) or if `snapshots == 0`.
+///
+/// # Panics
+///
+/// Panics if `word` is not over `{1, &}`.
+pub fn trace_string(m: &Machine, word: &str, snapshots: usize) -> Option<String> {
+    if snapshots == 0 {
+        return None;
+    }
+    let w = parse_word(word).expect("input word must be over {1, &}");
+    let mut out = encode_machine(m);
+    // First snapshot: state 1, the word verbatim, position 0.
+    out.push('#');
+    out.push('1');
+    out.push('#');
+    out.push_str(word);
+    out.push('#');
+    let mut config = Configuration::initial(&w);
+    for _ in 1..snapshots {
+        if !config.step(m) {
+            return None;
+        }
+        out.push('#');
+        out.push_str(&config.snapshot());
+    }
+    Some(out)
+}
+
+/// Validate a string as a trace; on success return its parsed content.
+///
+/// This is the recursive membership test for sort **T** and (together with
+/// the machine/word checks) the paper's ternary predicate:
+/// `P(M, w, p)` holds iff `validate_trace(p)` succeeds with machine string
+/// `M` and word `w`.
+pub fn validate_trace(s: &str) -> Option<TraceInfo> {
+    let segments: Vec<&str> = s.split('#').collect();
+    // 1 machine segment + 3 per snapshot.
+    if segments.len() < 4 || !(segments.len() - 1).is_multiple_of(3) {
+        return None;
+    }
+    let machine_str = segments[0];
+    let machine = decode_machine(machine_str)?;
+    let n_snapshots = (segments.len() - 1) / 3;
+
+    // First snapshot: state 1, word verbatim, position 0.
+    if unary(segments[1]) != Some(1) {
+        return None;
+    }
+    let word_str = segments[2];
+    let word = parse_word(word_str)?;
+    if !segments[3].is_empty() {
+        return None;
+    }
+
+    // Later snapshots must replay the computation.
+    let mut config = Configuration::initial(&word);
+    for i in 1..n_snapshots {
+        if !config.step(&machine) {
+            return None;
+        }
+        let expected = config.snapshot();
+        let actual = format!(
+            "{}#{}#{}",
+            segments[1 + 3 * i],
+            segments[2 + 3 * i],
+            segments[3 + 3 * i]
+        );
+        if expected != actual {
+            return None;
+        }
+    }
+
+    Some(TraceInfo {
+        machine,
+        machine_str: machine_str.to_string(),
+        word: word_str.to_string(),
+        snapshots: n_snapshots,
+    })
+}
+
+/// The paper's predicate `P(M, w, p)`: `p` is a trace of machine-string `M`
+/// in word `w`. All three arguments are plain strings; the predicate is
+/// false whenever any argument has the wrong shape.
+pub fn p_predicate(machine_str: &str, word: &str, trace: &str) -> bool {
+    match validate_trace(trace) {
+        Some(info) => info.machine_str == machine_str && info.word == word,
+        None => false,
+    }
+}
+
+/// A bounded count of the traces of a machine in a word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceCount {
+    /// The machine halts; it has exactly this many traces.
+    Exactly(usize),
+    /// The machine was still running after the step budget; it has at
+    /// least this many traces (and, if it never halts, infinitely many).
+    AtLeast(usize),
+}
+
+/// Count the traces of `m` in `word`, simulating at most `budget` steps.
+pub fn count_traces(m: &Machine, word: &str, budget: usize) -> TraceCount {
+    match run_bounded(m, word, budget) {
+        RunOutcome::Halted { steps, .. } => TraceCount::Exactly(steps + 1),
+        RunOutcome::StillRunning => TraceCount::AtLeast(budget + 2),
+    }
+}
+
+/// The Reach-theory predicate `D_i(M, w)`: machine `m` has **at least**
+/// `i` different traces in `word`. Decided by simulating `i − 1` steps.
+///
+/// `D_0` is vacuously true; `D_1` holds for every machine/word pair (the
+/// one-snapshot trace always exists).
+pub fn has_at_least_traces(m: &Machine, word: &str, i: usize) -> bool {
+    if i <= 1 {
+        return true;
+    }
+    match run_bounded(m, word, i - 1) {
+        RunOutcome::Halted { steps, .. } => steps + 1 >= i,
+        RunOutcome::StillRunning => true,
+    }
+}
+
+/// The Reach-theory predicate `E_j(M, w)`: machine `m` has **exactly** `j`
+/// traces in `word`, i.e. halts after exactly `j − 1` steps. `E_0` is
+/// always false (there is always at least one trace).
+pub fn has_exactly_traces(m: &Machine, word: &str, j: usize) -> bool {
+    if j == 0 {
+        return false;
+    }
+    matches!(run_bounded(m, word, j - 1), RunOutcome::Halted { steps, .. } if steps == j - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn single_snapshot_trace_always_exists() {
+        let m = Machine::new(1);
+        let t = trace_string(&m, "11", 1).unwrap();
+        assert_eq!(t, "*#1#11#");
+        let info = validate_trace(&t).unwrap();
+        assert_eq!(info.word, "11");
+        assert_eq!(info.snapshots, 1);
+    }
+
+    #[test]
+    fn trace_of_halted_machine_is_bounded() {
+        let m = builders::scan_right_halt_on_blank();
+        // Halts on "11" after 2 steps: traces with 1, 2, 3 snapshots exist.
+        for k in 1..=3 {
+            assert!(trace_string(&m, "11", k).is_some(), "k = {k}");
+        }
+        assert!(trace_string(&m, "11", 4).is_none());
+        assert!(trace_string(&m, "11", 0).is_none());
+    }
+
+    #[test]
+    fn looper_has_unboundedly_many_traces() {
+        let m = builders::looper();
+        for k in [1, 5, 50] {
+            let t = trace_string(&m, "1", k).unwrap();
+            let info = validate_trace(&t).unwrap();
+            assert_eq!(info.snapshots, k);
+        }
+    }
+
+    #[test]
+    fn generated_traces_validate() {
+        let m = builders::scan_right_halt_on_blank();
+        for w in ["", "1", "111", "1&1", "&11"] {
+            let steps = run_bounded(&m, w, 100).steps().unwrap();
+            for k in 1..=steps + 1 {
+                let t = trace_string(&m, w, k).unwrap();
+                let info = validate_trace(&t).unwrap_or_else(|| panic!("trace invalid: {t}"));
+                assert_eq!(info.word, w);
+                assert_eq!(info.snapshots, k);
+                assert_eq!(info.machine, m);
+            }
+        }
+    }
+
+    #[test]
+    fn word_recovered_verbatim_even_with_trailing_blanks() {
+        // "1&" and "1" give identical computations but distinct traces.
+        let m = builders::looper();
+        let t1 = trace_string(&m, "1&", 3).unwrap();
+        let t2 = trace_string(&m, "1", 3).unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(validate_trace(&t1).unwrap().word, "1&");
+        assert_eq!(validate_trace(&t2).unwrap().word, "1");
+    }
+
+    #[test]
+    fn mutated_trace_rejected() {
+        let m = builders::scan_right_halt_on_blank();
+        let t = trace_string(&m, "11", 3).unwrap();
+        // Flip the final position digit count.
+        let mutated = format!("{t}1");
+        assert!(validate_trace(&mutated).is_none());
+        // Truncate a segment.
+        let truncated = &t[..t.len() - 1];
+        // (May still be valid if the last segment tolerated it — check
+        // against the generator instead.)
+        if let Some(info) = validate_trace(truncated) {
+            assert_eq!(trace_string(&m, &info.word, info.snapshots).as_deref(), Some(truncated));
+        }
+    }
+
+    #[test]
+    fn trace_claiming_to_continue_past_halt_rejected() {
+        let m = builders::scan_right_halt_on_blank();
+        // Valid 3-snapshot trace on "11" (halts after 2 steps)…
+        let t = trace_string(&m, "11", 3).unwrap();
+        // …forging a 4th snapshot must fail validation.
+        let forged = format!("{t}#1#11&#11");
+        assert!(validate_trace(&forged).is_none());
+    }
+
+    #[test]
+    fn p_predicate_checks_all_three_arguments() {
+        let m = builders::scan_right_halt_on_blank();
+        let enc = encode_machine(&m);
+        let t = trace_string(&m, "11", 2).unwrap();
+        assert!(p_predicate(&enc, "11", &t));
+        assert!(!p_predicate(&enc, "1", &t));
+        let other = encode_machine(&builders::looper());
+        assert!(!p_predicate(&other, "11", &t));
+        assert!(!p_predicate(&enc, "11", "garbage"));
+    }
+
+    #[test]
+    fn count_traces_halting() {
+        let m = builders::scan_right_halt_on_blank();
+        assert_eq!(count_traces(&m, "111", 100), TraceCount::Exactly(4));
+        assert_eq!(count_traces(&m, "", 100), TraceCount::Exactly(1));
+    }
+
+    #[test]
+    fn count_traces_budget_exhausted() {
+        let m = builders::looper();
+        assert_eq!(count_traces(&m, "1", 10), TraceCount::AtLeast(12));
+    }
+
+    #[test]
+    fn d_predicate_matches_trace_existence() {
+        let m = builders::scan_right_halt_on_blank();
+        // 3 traces on "11".
+        for i in 0..=3 {
+            assert!(has_at_least_traces(&m, "11", i), "D_{i} should hold");
+        }
+        assert!(!has_at_least_traces(&m, "11", 4));
+        // Looper: D_i for all i.
+        assert!(has_at_least_traces(&builders::looper(), "1", 1000));
+    }
+
+    #[test]
+    fn e_predicate_is_exact() {
+        let m = builders::scan_right_halt_on_blank();
+        assert!(has_exactly_traces(&m, "11", 3));
+        for j in [0, 1, 2, 4, 5] {
+            assert!(!has_exactly_traces(&m, "11", j), "E_{j} should fail");
+        }
+        assert!(!has_exactly_traces(&builders::looper(), "1", 5));
+    }
+
+    #[test]
+    fn d_and_e_are_consistent() {
+        let m = builders::scan_right_halt_on_blank();
+        for w in ["", "1", "11", "1&11"] {
+            for j in 1..8 {
+                let e = has_exactly_traces(&m, w, j);
+                let d = has_at_least_traces(&m, w, j) && !has_at_least_traces(&m, w, j + 1);
+                assert_eq!(e, d, "w={w}, j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_count_agrees_with_enumeration() {
+        let m = builders::scan_right_halt_on_blank();
+        let TraceCount::Exactly(n) = count_traces(&m, "1&1", 100) else {
+            panic!("must halt")
+        };
+        let enumerated = (1..=n + 2)
+            .filter(|&k| trace_string(&m, "1&1", k).is_some())
+            .count();
+        assert_eq!(enumerated, n);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the Turing substrate.
+
+use fq_turing::builders::{trie_machine, TrieSpec};
+use fq_turing::encode::{decode_machine, encode_machine};
+use fq_turing::exec::run_bounded;
+use fq_turing::machine::{Machine, Move, Trans};
+use fq_turing::sym::{classify, Sort, Sym};
+use fq_turing::trace::{
+    count_traces, has_at_least_traces, has_exactly_traces, p_predicate, trace_string,
+    validate_trace, TraceCount,
+};
+use proptest::prelude::*;
+
+/// Random machines with 1–3 states and arbitrary transition tables.
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (1u32..=3).prop_flat_map(|n| {
+        let slot = prop_oneof![
+            Just(None),
+            (0u32..n, any::<bool>(), 0u8..3).prop_map(move |(next, wr, mv)| {
+                Some(Trans {
+                    write: if wr { Sym::I } else { Sym::B },
+                    mv: match mv {
+                        0 => Move::Left,
+                        1 => Move::Right,
+                        _ => Move::Stay,
+                    },
+                    next: next + 1,
+                })
+            }),
+        ];
+        proptest::collection::vec(slot, 2 * n as usize).prop_map(move |slots| {
+            let mut m = Machine::new(n);
+            for (i, s) in slots.into_iter().enumerate() {
+                if let Some(t) = s {
+                    let state = (i / 2) as u32 + 1;
+                    let sym = if i % 2 == 0 { Sym::I } else { Sym::B };
+                    m.set_transition(state, sym, t);
+                }
+            }
+            m
+        })
+    })
+}
+
+/// Random input words over {1,&} of length 0–8.
+fn arb_word() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('1'), Just('&')], 0..8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encoding_round_trips(m in arb_machine()) {
+        let enc = encode_machine(&m);
+        prop_assert_eq!(decode_machine(&enc), Some(m));
+    }
+
+    #[test]
+    fn encoded_machines_classify_as_machines(m in arb_machine()) {
+        prop_assert_eq!(classify(&encode_machine(&m)), Sort::Machine);
+    }
+
+    #[test]
+    fn generated_traces_validate_and_round_trip(m in arb_machine(), w in arb_word(), k in 1usize..6) {
+        if let Some(t) = trace_string(&m, &w, k) {
+            let info = validate_trace(&t).expect("generated trace must validate");
+            prop_assert_eq!(&info.word, &w);
+            prop_assert_eq!(info.snapshots, k);
+            prop_assert_eq!(info.machine, m.clone());
+            prop_assert_eq!(classify(&t), Sort::Trace);
+            prop_assert!(p_predicate(&encode_machine(&m), &w, &t));
+        }
+    }
+
+    #[test]
+    fn trace_exists_iff_d_predicate(m in arb_machine(), w in arb_word(), k in 1usize..6) {
+        prop_assert_eq!(
+            trace_string(&m, &w, k).is_some(),
+            has_at_least_traces(&m, &w, k)
+        );
+    }
+
+    #[test]
+    fn e_is_boundary_of_d(m in arb_machine(), w in arb_word(), j in 1usize..6) {
+        let e = has_exactly_traces(&m, &w, j);
+        let d = has_at_least_traces(&m, &w, j) && !has_at_least_traces(&m, &w, j + 1);
+        prop_assert_eq!(e, d);
+    }
+
+    #[test]
+    fn trace_count_matches_run(m in arb_machine(), w in arb_word()) {
+        match count_traces(&m, &w, 64) {
+            TraceCount::Exactly(n) => {
+                prop_assert!(n >= 1);
+                prop_assert_eq!(run_bounded(&m, &w, 64).steps(), Some(n - 1));
+                prop_assert!(trace_string(&m, &w, n).is_some());
+                prop_assert!(trace_string(&m, &w, n + 1).is_none());
+            }
+            TraceCount::AtLeast(n) => {
+                prop_assert!(trace_string(&m, &w, n - 1).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn words_always_classify_as_words(w in arb_word()) {
+        prop_assert_eq!(classify(&w), Sort::Word);
+    }
+
+    #[test]
+    fn classification_is_total_and_single_sorted(s in "[1&*#]{0,12}") {
+        // classify returns exactly one sort and never panics on domain
+        // alphabet strings.
+        let _ = classify(&s);
+    }
+
+    #[test]
+    fn trace_validation_rejects_word_swaps(m in arb_machine(), w in arb_word(), v in arb_word()) {
+        if let Some(t) = trace_string(&m, &w, 2) {
+            let enc = encode_machine(&m);
+            // P with the wrong word must fail unless the words coincide.
+            prop_assert_eq!(p_predicate(&enc, &v, &t), v == w);
+        }
+    }
+
+    #[test]
+    fn trie_machine_satisfies_its_spec(
+        words in proptest::collection::vec((arb_word(), 1usize..5), 1..4),
+        split in 0usize..4,
+    ) {
+        let split = split.min(words.len());
+        let spec = TrieSpec {
+            at_least: words[..split].to_vec(),
+            exactly: words[split..].to_vec(),
+        };
+        if let Ok(m) = trie_machine(&spec) {
+            for (v, i) in &spec.at_least {
+                prop_assert!(has_at_least_traces(&m, v, *i), "D_{i}({v}) violated");
+            }
+            for (u, j) in &spec.exactly {
+                prop_assert!(has_exactly_traces(&m, u, *j), "E_{j}({u}) violated");
+            }
+        }
+    }
+
+    #[test]
+    fn junk_states_never_change_behaviour(m in arb_machine(), w in arb_word(), extra in 1u32..4) {
+        let j = m.with_junk_states(extra);
+        prop_assert_eq!(run_bounded(&m, &w, 64), run_bounded(&j, &w, 64));
+        prop_assert_ne!(encode_machine(&m), encode_machine(&j));
+    }
+}

@@ -1,0 +1,59 @@
+//! Section 1.2's way out: finitely-representable infinite relations.
+//!
+//! "Of course we cannot actually generate the infinite relations (not to
+//! mention the idea of printing the results). But still, the database
+//! remains capable of answering questions of whether a certain tuple
+//! belongs to a relation, finite or infinite, or whether a certain fact
+//! holds."
+//!
+//! ```sh
+//! cargo run --example constraint_relations
+//! ```
+
+use finite_queries::logic::parse_formula;
+use finite_queries::safety::finrep::FinRep;
+
+fn main() {
+    // An infinite relation: the even numbers.
+    let evens = FinRep::new(["x"], parse_formula("div(2, x, 0)").unwrap()).unwrap();
+    println!("evens is finite?        {}", evens.is_finite().unwrap());
+    println!("evens contains 41?      {}", evens.contains(&[41]).unwrap());
+    println!("evens contains 42?      {}", evens.contains(&[42]).unwrap());
+
+    // Its complement — something no finite-relation database can store.
+    let odds = evens.complement();
+    println!("complement contains 41? {}", odds.contains(&[41]).unwrap());
+
+    // Intersecting two infinite relations can give a finite one; the
+    // Theorem 2.5 criterion detects it and the tuples can be printed.
+    let small = FinRep::new(["x"], parse_formula("x < 20").unwrap()).unwrap();
+    let small_evens = evens.intersect(&small).unwrap();
+    println!(
+        "evens ∩ [0,20) finite?  {} → {:?}",
+        small_evens.is_finite().unwrap(),
+        small_evens.enumerate(100).unwrap().unwrap()
+    );
+
+    // The successor graph, joined with itself, projected — all by formula
+    // manipulation, with Cooper's elimination keeping representations
+    // quantifier-free.
+    let succ = FinRep::new(["x", "y"], parse_formula("y = x + 1").unwrap()).unwrap();
+    let succ2 = FinRep::new(["y", "z"], parse_formula("z = y + 1").unwrap()).unwrap();
+    let grand = succ.join(&succ2);
+    println!("succ ⋈ succ contains (3,4,5)? {}", grand.contains(&[3, 4, 5]).unwrap());
+    let skip = grand.project(&["x", "z"]).unwrap();
+    println!(
+        "project keeps it quantifier-free: {}",
+        skip.formula().is_quantifier_free()
+    );
+    println!("x+2 relation contains (3,5)? {}", skip.contains(&[3, 5]).unwrap());
+
+    // Selection turns the infinite +2 relation finite.
+    let banded = skip
+        .select(parse_formula("x > 1 & x < 6").unwrap())
+        .unwrap();
+    println!(
+        "banded tuples: {:?}",
+        banded.enumerate(10).unwrap().unwrap()
+    );
+}

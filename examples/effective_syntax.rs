@@ -1,0 +1,99 @@
+//! The effective syntaxes side by side — Section 2's positive program.
+//!
+//! For each domain with an effective syntax, take an *unsafe* query, run
+//! it through the domain's syntax transform, and verify (with the
+//! domain's own decision procedure) that the result is finite and that
+//! already-finite queries are preserved.
+//!
+//! ```sh
+//! cargo run --example effective_syntax
+//! ```
+
+use finite_queries::domains::{DecidableTheory, NatSucc, Presburger};
+use finite_queries::logic::parse_formula;
+use finite_queries::relational::{translate_to_domain_formula, Schema, State, Value};
+use finite_queries::safety::enumerate::FormulaSpace;
+use finite_queries::safety::finitize;
+use finite_queries::safety::syntax::{
+    ActiveDomainSyntax, FinitizationSyntax, SuccessorSyntax,
+};
+use finite_queries::logic::Term;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Theorem 2.2: the finitization syntax for ⟨N, <⟩ and its extensions.
+    // ------------------------------------------------------------------
+    println!("— Theorem 2.2: finitization over Presburger —");
+    for (desc, src) in [
+        ("finite   ", "x < 9"),
+        ("finite   ", "2 * x = 14"),
+        ("infinite ", "x > 9"),
+        ("infinite ", "div(3, x, 0)"),
+    ] {
+        let phi = parse_formula(src).unwrap();
+        let fin = finitize(&phi);
+        let preserved = Presburger.equivalent(&phi, &fin).unwrap();
+        // The finitization itself is always finite:
+        let fin_finite = Presburger.equivalent(&fin, &finitize(&fin)).unwrap();
+        println!(
+            "  {desc} {src:<16} preserved = {preserved:<5} finitization finite = {fin_finite}"
+        );
+    }
+
+    // The *enumerated* syntax: the first members of "the set of the
+    // finitizations of all formulas".
+    let syntax = FinitizationSyntax {
+        space: FormulaSpace {
+            predicates: vec![("<".to_string(), 2)],
+            constants: vec![Term::Nat(0), Term::Nat(5)],
+            variables: vec!["x".to_string()],
+            unary_functions: vec![],
+            with_equality: true,
+        },
+    };
+    println!("\n  first enumerated members (all finite by construction):");
+    for (i, member) in syntax.enumerate(4).into_iter().enumerate() {
+        println!("    φ_{i} = {member}");
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 2.7: the extended-active-domain syntax for ⟨N, ′⟩.
+    // ------------------------------------------------------------------
+    println!("\n— Theorem 2.7: extended active domain over ⟨N,′⟩ —");
+    let schema = Schema::new().with_relation("R", 1);
+    let state = State::new(schema.clone()).with_tuple("R", vec![Value::Nat(5)]);
+    let succ = SuccessorSyntax { schema: schema.clone() };
+    let queries = [
+        ("finite   ", "exists y. R(y) & x = y''"),
+        ("infinite ", "!R(x)"),
+    ];
+    for (desc, src) in queries {
+        let phi = parse_formula(src).unwrap();
+        let q = phi.quantifier_depth();
+        let t = succ.transform(&phi);
+        let phi_d = translate_to_domain_formula(&phi, &state);
+        let t_d = translate_to_domain_formula(&t, &state);
+        let preserved = NatSucc.equivalent(&phi_d, &t_d).unwrap();
+        let qf = NatSucc.quantifier_eliminate(&t_d).unwrap();
+        let finite = NatSucc
+            .solution_set_finite(&qf, &["x".to_string()])
+            .unwrap();
+        println!(
+            "  {desc} {src:<26} radius 2^{q} = {}  preserved = {preserved:<5} transform finite = {finite}",
+            SuccessorSyntax::radius(&phi)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The equality domain: restrict to the active domain.
+    // ------------------------------------------------------------------
+    println!("\n— Equality domain: active-domain restriction —");
+    let ad = ActiveDomainSyntax { schema };
+    let unsafe_q = parse_formula("!R(x)").unwrap();
+    let repaired = ad.transform(&unsafe_q);
+    println!("  ¬R(x)  ↦  {repaired}");
+    println!(
+        "  (safe-range after repair: {})",
+        finite_queries::relational::is_safe_range(&ad.schema, &repaired)
+    );
+}

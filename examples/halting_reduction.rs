@@ -1,0 +1,96 @@
+//! The negative theorems, live: Theorem 3.1 (no effective syntax for the
+//! finite queries of T) and Theorem 3.3 (relative safety over T is the
+//! halting problem).
+//!
+//! ```sh
+//! cargo run --release --example halting_reduction
+//! ```
+
+use finite_queries::domains::{DecidableTheory, TraceDomain};
+use finite_queries::safety::negative::{
+    certify_total, refute_candidate_syntax, total_witnesses, CandidateSyntax,
+    ExactRuntimeSyntax, TotalityEnumerator,
+};
+use finite_queries::safety::relative::{halting_instance, relative_safety_traces};
+use finite_queries::safety::safety::SafetyVerdict;
+use finite_queries::turing::{builders, encode_machine};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Theorem 3.3: relative safety ⟺ halting.
+    // ------------------------------------------------------------------
+    println!("— Theorem 3.3: relative safety over T is the halting problem —");
+    for (name, machine, word) in [
+        ("scanner", builders::scan_right_halt_on_blank(), "11111"),
+        ("eraser", builders::erase_and_halt(), "111"),
+        ("looper", builders::looper(), "1"),
+    ] {
+        let (query, state) = halting_instance(&machine, word);
+        let verdict = relative_safety_traces(&machine, word, 100_000);
+        println!(
+            "  M(x) = {query} in state c := {:?}: {verdict:?}",
+            state.constant("c").unwrap()
+        );
+        match verdict {
+            SafetyVerdict::Finite(Some(n)) => {
+                println!("    → {name} halts on {word:?}; the query has exactly {n} answers");
+            }
+            SafetyVerdict::Unknown { budget_spent } => {
+                println!(
+                    "    → {name} made {budget_spent} steps without halting; \
+                     deciding finiteness here IS deciding halting — impossible in general"
+                );
+            }
+            other => println!("    → {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Theorem 3.1: the reduction from effective syntax to totality.
+    // ------------------------------------------------------------------
+    println!("\n— Theorem 3.1: any effective syntax enumerates the total machines —");
+    let syntax = ExactRuntimeSyntax;
+    println!("  candidate syntax: {}", syntax.name());
+
+    // The oracle certifies machines by deciding ∀z∀x(M(x)[z/c] ↔ φ_r(x)[z/c])
+    // with the Theorem A.3 procedure. Certified machines ARE total.
+    println!("  machines certified among the first 40 (machine, candidate) pairs:");
+    for (machine, r) in TotalityEnumerator::new(ExactRuntimeSyntax, 40) {
+        println!(
+            "    pair {r}: {} ({} states) — certified total",
+            encode_machine(&machine),
+            machine.n_states()
+        );
+    }
+
+    // Soundness on a non-total machine: the looper is never certified.
+    let looper = builders::looper();
+    assert!(certify_total(&looper, &syntax, 40).unwrap().is_none());
+    println!("  looper: not certified (it is not total) ✓");
+
+    // Incompleteness: a total machine with input-dependent runtime is
+    // missed — the concrete failure Theorem 3.1 predicts for any
+    // enumerable candidate.
+    match refute_candidate_syntax(&syntax, &total_witnesses(), 40).unwrap() {
+        Some(refutation) => {
+            println!(
+                "  refutation witness: {} — total, finite totality query, \
+                 but matched by none of the first {} candidates",
+                refutation.machine_str, refutation.candidates_checked
+            );
+        }
+        None => println!("  (no witness found within the budget — unexpected)"),
+    }
+
+    // The decision procedure at the heart of the reduction (Cor. A.4):
+    let halter = builders::halter();
+    let enc = encode_machine(&halter);
+    let sentence = finite_queries::logic::parse_formula(&format!(
+        "forall z x. P(\"{enc}\", z, x) <-> P(\"{enc}\", z, x) & E(1, \"{enc}\", z)"
+    ))
+    .unwrap();
+    println!(
+        "\n  Theory-of-traces decision: halter ≡ (halter ∧ E₁) : {}",
+        TraceDomain.decide(&sentence).unwrap()
+    );
+}

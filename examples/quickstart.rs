@@ -1,0 +1,49 @@
+//! Quickstart: define a scheme, load a state, ask queries, check safety.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use finite_queries::domains::NatOrder;
+use finite_queries::logic::parse_formula;
+use finite_queries::relational::active_eval::{eval_query, NoOps};
+use finite_queries::relational::{is_safe_range, Schema, State, Value};
+use finite_queries::safety::answer::answer_query;
+use finite_queries::safety::relative::relative_safety_nat;
+
+fn main() {
+    // The paper's running example: a father–son relation F.
+    let schema = Schema::new().with_relation("F", 2);
+    let state = State::new(schema.clone())
+        .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+        .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+        .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)]);
+
+    // M(x): "those x's who have more than one son".
+    let m = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
+    let answers = eval_query(&state, &NoOps, &m, &["x".to_string()]).unwrap();
+    println!("M(x) answers: {answers:?}");
+
+    // The syntactic safety check (an effective syntax for
+    // domain-independent queries):
+    println!("M(x) safe-range?     {}", is_safe_range(&schema, &m));
+    let unsafe_q = parse_formula("!F(x, y)").unwrap();
+    println!("¬F(x,y) safe-range?  {}", is_safe_range(&schema, &unsafe_q));
+
+    // Relative safety over ⟨N, <⟩ (Theorem 2.5): is the answer finite in
+    // THIS state, even if the formula is unsafe in general?
+    let vars = vec!["x".to_string(), "y".to_string()];
+    println!(
+        "¬F(x,y) finite here? {}",
+        relative_safety_nat(&state, &unsafe_q, &vars).unwrap()
+    );
+
+    // The Section 1.1 algorithm: answer a query by enumerate-and-ask,
+    // with termination certified by the domain's decision procedure.
+    let out = answer_query(&NatOrder, &state, &m, &["x".to_string()], 1000).unwrap();
+    println!(
+        "enumerate-and-ask: {:?} (complete: {})",
+        out.found(),
+        out.is_complete()
+    );
+}

@@ -1,0 +1,190 @@
+//! `fq` — command-line interface to the finite-queries library.
+//!
+//! ```text
+//! fq check  <schema.json> <query>            safe-range test + diagnostics
+//! fq eval   <state.json>  <query>            active-domain evaluation
+//! fq safe   <state.json>  <query> [domain]   relative safety (eq|nat|int|succ)
+//! fq decide <domain> <sentence>              decide a pure-domain sentence
+//!                                            (eq|nat|int|succ|presburger|words|traces)
+//! fq traces <machine-string> <word> [k]      run a machine, print its traces
+//! fq machines [n]                            list the first n machine encodings
+//! ```
+//!
+//! States and schemas are JSON in the `fq-relational` serde format; see
+//! `examples/data/` for samples.
+
+use finite_queries::domains::{
+    DecidableTheory, EqDomain, IntOrder, NatOrder, NatSucc, Presburger, TraceDomain, WordsLlex,
+};
+use finite_queries::logic::parse_formula;
+use finite_queries::relational::active_eval::{eval_query, NatOps, NoOps, TraceOps};
+use finite_queries::relational::safe_range::check_safe_range;
+use finite_queries::relational::{Schema, State};
+use finite_queries::safety::relative;
+use finite_queries::turing::trace::{count_traces, trace_string, TraceCount};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("safe") => cmd_safe(&args[1..]),
+        Some("decide") => cmd_decide(&args[1..]),
+        Some("traces") => cmd_traces(&args[1..]),
+        Some("machines") => cmd_machines(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: fq <check|eval|safe|decide|traces|machines> …\n\
+                 see `src/bin/fq.rs` for the full synopsis"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_state(path: &str) -> Result<State, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn load_schema(path: &str) -> Result<Schema, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    // Accept either a bare schema or a full state.
+    if let Ok(schema) = serde_json::from_str::<Schema>(&text) {
+        return Ok(schema);
+    }
+    Ok(serde_json::from_str::<State>(&text)?.schema().clone())
+}
+
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}"))
+}
+
+fn cmd_check(args: &[String]) -> CliResult {
+    let schema = load_schema(arg(args, 0, "schema.json")?)?;
+    let query = parse_formula(arg(args, 1, "query")?)?;
+    match check_safe_range(&schema, &query) {
+        Ok(()) => println!("safe-range: the query is domain-independent"),
+        Err(e) => println!("NOT safe-range: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> CliResult {
+    let state = load_state(arg(args, 0, "state.json")?)?;
+    let query = parse_formula(arg(args, 1, "query")?)?;
+    let vars: Vec<String> = query.free_vars().into_iter().collect();
+    // Try plain relational first, then numeric, then trace ops.
+    let rows = eval_query(&state, &NoOps, &query, &vars)
+        .or_else(|_| eval_query(&state, &NatOps, &query, &vars))
+        .or_else(|_| eval_query(&state, &TraceOps, &query, &vars))?;
+    println!("{}", vars.join("\t"));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    Ok(())
+}
+
+fn cmd_safe(args: &[String]) -> CliResult {
+    let state = load_state(arg(args, 0, "state.json")?)?;
+    let query = parse_formula(arg(args, 1, "query")?)?;
+    let domain = args.get(2).map(String::as_str).unwrap_or("nat");
+    let vars: Vec<String> = query.free_vars().into_iter().collect();
+    let finite = match domain {
+        "eq" => relative::relative_safety_eq(&state, &query, &vars)?,
+        "nat" => relative::relative_safety_nat(&state, &query, &vars)?,
+        "int" => relative::relative_safety_int(&state, &query, &vars)?,
+        "succ" => relative::relative_safety_succ(&state, &query, &vars)?,
+        other => return Err(format!("unknown domain `{other}` (eq|nat|int|succ)").into()),
+    };
+    println!(
+        "the answer of `{query}` in this state is {} over domain `{domain}`",
+        if finite { "FINITE" } else { "INFINITE" }
+    );
+    Ok(())
+}
+
+fn cmd_decide(args: &[String]) -> CliResult {
+    let domain = arg(args, 0, "domain")?;
+    let sentence = parse_formula(arg(args, 1, "sentence")?)?;
+    let value = match domain {
+        "eq" => EqDomain.decide(&sentence)?,
+        "nat" => NatOrder.decide(&sentence)?,
+        "int" => IntOrder.decide(&sentence)?,
+        "succ" => NatSucc.decide(&sentence)?,
+        "presburger" => Presburger.decide(&sentence)?,
+        "words" => WordsLlex.decide(&sentence)?,
+        "traces" => TraceDomain.decide(&sentence)?,
+        other => {
+            return Err(format!(
+                "unknown domain `{other}` (eq|nat|int|succ|presburger|words|traces)"
+            )
+            .into())
+        }
+    };
+    println!("{value}");
+    Ok(())
+}
+
+fn cmd_traces(args: &[String]) -> CliResult {
+    let machine_str = arg(args, 0, "machine-string")?;
+    let word = arg(args, 1, "word")?;
+    let budget: usize = args
+        .get(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10_000);
+    let machine = finite_queries::turing::decode_machine(machine_str)
+        .ok_or("the machine string does not decode")?;
+    match count_traces(&machine, word, budget) {
+        TraceCount::Exactly(n) => {
+            println!("machine halts: exactly {n} traces in {word:?}");
+            for k in 1..=n {
+                println!("  {}", trace_string(&machine, word, k).expect("k ≤ n"));
+            }
+        }
+        TraceCount::AtLeast(n) => {
+            println!(
+                "machine still running after {budget} steps: at least {n} traces \
+                 (showing the first 3)"
+            );
+            for k in 1..=3 {
+                println!("  {}", trace_string(&machine, word, k).expect("running"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_machines(args: &[String]) -> CliResult {
+    let n: usize = args
+        .first()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10);
+    for (i, m) in finite_queries::turing::MachineEnumerator::new()
+        .take(n)
+        .enumerate()
+    {
+        println!(
+            "M_{i}: {} ({} states, {} transitions)",
+            finite_queries::turing::encode_machine(&m),
+            m.n_states(),
+            m.n_transitions()
+        );
+    }
+    Ok(())
+}

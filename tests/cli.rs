@@ -1,0 +1,113 @@
+//! Integration tests for the `fq` command-line binary.
+
+use std::process::Command;
+
+fn fq(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fq"))
+        .args(args)
+        .output()
+        .expect("fq binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+fn fathers_json() -> String {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fathers.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "schema": { "relations": { "F": 2 }, "constants": [] },
+  "relations": { "F": [[{"Nat":1},{"Nat":2}],[{"Nat":1},{"Nat":3}],[{"Nat":2},{"Nat":4}]] },
+  "constants": {}
+}"#,
+    )
+    .unwrap();
+    path.to_string_lossy().to_string()
+}
+
+#[test]
+fn check_reports_safe_range() {
+    let state = fathers_json();
+    let (out, _, ok) = fq(&["check", &state, "exists y z. y != z & F(x,y) & F(x,z)"]);
+    assert!(ok);
+    assert!(out.contains("safe-range"));
+    let (out, _, ok) = fq(&["check", &state, "!F(x, y)"]);
+    assert!(ok);
+    assert!(out.contains("NOT safe-range"));
+}
+
+#[test]
+fn eval_prints_answer_table() {
+    let state = fathers_json();
+    let (out, _, ok) = fq(&["eval", &state, "exists y. F(x, y) & F(y, z)"]);
+    assert!(ok);
+    assert!(out.contains("x\tz"));
+    assert!(out.contains("1\t4"));
+}
+
+#[test]
+fn safe_distinguishes_domains() {
+    let state = fathers_json();
+    let (out, _, ok) = fq(&["safe", &state, "!F(x, y)", "eq"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("INFINITE"));
+    let (out, _, ok) = fq(&["safe", &state, "exists y. F(y, x)", "nat"]);
+    assert!(ok);
+    assert!(out.contains("FINITE"));
+}
+
+#[test]
+fn decide_runs_every_domain() {
+    for (domain, sentence, expect) in [
+        ("eq", "forall x y. exists z. z != x & z != y", "true"),
+        ("nat", "exists y. forall x. y <= x", "true"),
+        ("int", "exists y. forall x. y <= x", "false"),
+        ("succ", "forall x. x' != 0", "true"),
+        ("presburger", "forall x. div(2, x, 0) | div(2, x, 1)", "true"),
+        ("words", "forall x. exists y. llex(x, y)", "true"),
+        ("traces", "forall p. T(p) -> M(m(p))", "true"),
+    ] {
+        let (out, err, ok) = fq(&["decide", domain, sentence]);
+        assert!(ok, "domain {domain}: {err}");
+        assert_eq!(out.trim(), expect, "domain {domain}");
+    }
+}
+
+#[test]
+fn traces_prints_the_computation() {
+    let (out, _, ok) = fq(&["traces", "1&11&11*", "11"]);
+    assert!(ok);
+    assert!(out.contains("exactly 3 traces"));
+    assert!(out.contains("1&11&11*#1#11#"));
+}
+
+#[test]
+fn traces_reports_divergence() {
+    // The looper.
+    let (out, _, ok) = fq(&["traces", "1&11&11*1&1&11", "1", "200"]);
+    assert!(ok);
+    assert!(out.contains("still running"));
+}
+
+#[test]
+fn machines_lists_the_enumeration() {
+    let (out, _, ok) = fq(&["machines", "3"]);
+    assert!(ok);
+    assert!(out.starts_with("M_0: *"));
+    assert_eq!(out.lines().count(), 3);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, err, ok) = fq(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (_, err, ok) = fq(&["decide", "bogus", "true"]);
+    assert!(!ok);
+    assert!(err.contains("unknown domain"));
+}

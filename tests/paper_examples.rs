@@ -1,0 +1,166 @@
+//! End-to-end tests of the paper's worked examples, spanning all crates.
+
+use finite_queries::domains::{DecidableTheory, NatOrder, Presburger, TraceDomain};
+use finite_queries::logic::{bind_constants, parse_formula, Term};
+use finite_queries::relational::active_eval::{eval_query, NoOps};
+use finite_queries::relational::algebra::compile;
+use finite_queries::relational::{is_safe_range, Schema, State, Value};
+use finite_queries::safety::answer::answer_query;
+use finite_queries::safety::finitize;
+use finite_queries::safety::relative::{relative_safety_eq, relative_safety_nat};
+use finite_queries::turing::{builders, encode_machine};
+
+fn fathers_state() -> State {
+    let schema = Schema::new().with_relation("F", 2);
+    State::new(schema)
+        .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+        .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+        .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)])
+}
+
+#[test]
+fn section_1_fathers_and_sons() {
+    let state = fathers_state();
+    // "the formula M(x) … results in the unary relation (one-column
+    // table) that consists of those x's who have more than one son"
+    let m = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
+    let ans = eval_query(&state, &NoOps, &m, &["x".to_string()]).unwrap();
+    assert_eq!(ans, vec![vec![Value::Nat(1)]]);
+
+    // "While G(x, z) … produces the table of grandfathers/grandsons."
+    let g = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
+    let ans = eval_query(&state, &NoOps, &g, &["x".to_string(), "z".to_string()]).unwrap();
+    assert_eq!(ans, vec![vec![Value::Nat(1), Value::Nat(4)]]);
+}
+
+#[test]
+fn section_1_unsafe_formulas() {
+    let schema = fathers_state().schema().clone();
+    // "Obviously, ¬F(x, y) is such a formula."
+    let neg = parse_formula("!F(x, y)").unwrap();
+    assert!(!is_safe_range(&schema, &neg));
+    // "But worse than that, M(x) ∨ G(x, z) may give an infinite answer
+    // too, because M(x) does not bound z at all."
+    let m_or_g = parse_formula(
+        "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))",
+    )
+    .unwrap();
+    assert!(!is_safe_range(&schema, &m_or_g));
+    // Footnote 4: infinite answer iff someone parented two or more sons.
+    let vars = vec!["x".to_string(), "z".to_string()];
+    assert!(!relative_safety_eq(&fathers_state(), &m_or_g, &vars).unwrap());
+    let no_double = State::new(schema)
+        .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)]);
+    assert!(relative_safety_eq(&no_double, &m_or_g, &vars).unwrap());
+}
+
+#[test]
+fn section_1_1_answering_via_decidability() {
+    // The full pipeline: translate state into the query, then
+    // enumerate-and-ask against the Presburger decision procedure.
+    let state = fathers_state();
+    let g = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
+    let out = answer_query(
+        &NatOrder,
+        &state,
+        &g,
+        &["x".to_string(), "z".to_string()],
+        10_000,
+    )
+    .unwrap();
+    assert!(out.is_complete());
+    assert_eq!(out.found(), &[vec![1, 4]]);
+}
+
+#[test]
+fn theorem_2_2_finitization_syntax_end_to_end() {
+    // Over the state, an unsafe query's finitization is finite and the
+    // equivalence test of Theorem 2.5 distinguishes the two.
+    let state = fathers_state();
+    let unsafe_q = parse_formula("!F(x, x)").unwrap();
+    assert!(!relative_safety_nat(&state, &unsafe_q, &["x".to_string()]).unwrap());
+    let translated =
+        finite_queries::relational::translate_to_domain_formula(&unsafe_q, &state);
+    let fin = finitize(&translated);
+    // The finitization of an infinite query is NOT equivalent to it…
+    assert!(!Presburger.equivalent(&translated, &fin).unwrap());
+    // …but is itself finite (its own finitization is equivalent).
+    assert!(Presburger.equivalent(&fin, &finitize(&fin)).unwrap());
+}
+
+#[test]
+fn codd_compilation_agrees_with_enumeration() {
+    let state = fathers_state();
+    let schema = state.schema().clone();
+    let q = parse_formula("exists y. F(x, y) & !F(y, x)").unwrap();
+    let algebra = compile(&schema, &q).unwrap().eval(&state);
+    let calculus = eval_query(&state, &NoOps, &q, &["x".to_string()]).unwrap();
+    assert_eq!(algebra.tuples.len(), calculus.len());
+}
+
+#[test]
+fn theorem_3_1_formula_m_of_x() {
+    // "Given a Turing machine M, consider the formula M(x): P(M, c, x).
+    // Observe that the formula M(x) is finite iff M is total."
+    let scanner = builders::scan_right_halt_on_blank();
+    let schema = Schema::new().with_constant("c");
+    let state = State::new(schema).with_constant("c", "1111");
+    let raw = parse_formula(&format!("P(\"{}\", c, x)", encode_machine(&scanner))).unwrap();
+    let q = bind_constants(&raw, &["c".to_string()].into());
+    let out = answer_query(&TraceDomain, &state, &q, &["x".to_string()], 100_000).unwrap();
+    // scanner halts on "1111" after 4 steps: 5 traces.
+    assert!(out.is_complete());
+    assert_eq!(out.found().len(), 5);
+    // Each answer validates as a trace of the scanner in "1111".
+    for t in out.found() {
+        assert!(finite_queries::turing::trace::p_predicate(
+            &encode_machine(&scanner),
+            "1111",
+            &t[0]
+        ));
+    }
+}
+
+#[test]
+fn decidability_of_the_theory_of_traces_end_to_end() {
+    // Corollary A.4 through the public API, mixing P, sorts, functions,
+    // and counting predicates.
+    let decide = |s: &str| TraceDomain.decide(&parse_formula(s).unwrap()).unwrap();
+    assert!(decide("forall x. M(x) | W(x) | T(x) | O(x)"));
+    assert!(decide("forall m0 w0. M(m0) & W(w0) -> exists p. P(m0, w0, p)"));
+    assert!(decide("forall p q. P(m(p), w(p), q) & T(p) & q = p -> T(q)"));
+    assert!(!decide("exists p. T(p) & O(p)"));
+}
+
+#[test]
+fn fact_2_1_witness_not_domain_independent_but_answerable() {
+    // The least-above-active-domain query through the full §1.1 pipeline.
+    let state = fathers_state();
+    let q = parse_formula(
+        "(forall y. (exists p. F(y, p) | F(p, y)) -> y < x) & \
+         forall z. z < x -> exists y. (exists p. F(y, p) | F(p, y)) & z <= y",
+    )
+    .unwrap();
+    let out = answer_query(&Presburger, &state, &q, &["x".to_string()], 1000).unwrap();
+    assert!(out.is_complete());
+    // Active domain is {1,2,3,4}: the witness is 5 — outside it.
+    assert_eq!(out.found(), &[vec![5]]);
+    let ad = state.active_domain();
+    assert!(!ad.contains(&Value::Nat(5)));
+}
+
+#[test]
+fn term_constructors_round_trip_through_everything() {
+    // A sanity pass across crates: build a formula programmatically,
+    // print, reparse, decide.
+    let f = finite_queries::logic::Formula::exists(
+        "x",
+        finite_queries::logic::Formula::and([
+            finite_queries::logic::Formula::lt(Term::var("x"), Term::Nat(3)),
+            finite_queries::logic::Formula::neq(Term::var("x"), Term::Nat(0)),
+        ]),
+    );
+    let reparsed = parse_formula(&f.to_string()).unwrap();
+    assert_eq!(f, reparsed);
+    assert!(Presburger.decide(&f).unwrap());
+}

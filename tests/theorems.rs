@@ -1,0 +1,150 @@
+//! Integration tests mirroring the paper's theorem statements — one test
+//! per theorem, exercising the full stack.
+
+use finite_queries::domains::{DecidableTheory, NatSucc, Presburger, TraceDomain};
+use finite_queries::logic::parse_formula;
+use finite_queries::relational::{translate_to_domain_formula, Schema, State, Value};
+use finite_queries::safety::finitize;
+use finite_queries::safety::negative::{
+    certify_total, refute_candidate_syntax, total_witnesses, ExactRuntimeSyntax,
+};
+use finite_queries::safety::relative::{
+    relative_safety_nat, relative_safety_succ, relative_safety_traces,
+};
+use finite_queries::safety::safety::SafetyVerdict;
+use finite_queries::safety::syntax::{OrderedTraceExtension, SuccessorSyntax};
+use finite_queries::turing::builders;
+
+#[test]
+fn theorem_2_2_recursive_syntax_for_nat_order() {
+    // Finitization of a finite formula ≡ the formula; of an infinite one,
+    // not — over several extensions-of-⟨N,<⟩ formulas.
+    let finite_cases = ["x < 7", "x = 2 | x = 9", "2 * x = 10", "x + y = 4"];
+    let infinite_cases = ["x > 7", "div(2, x, 0)", "x = x", "x = y"];
+    for s in finite_cases {
+        let phi = parse_formula(s).unwrap();
+        assert!(
+            Presburger.equivalent(&phi, &finitize(&phi)).unwrap(),
+            "{s} should be finite"
+        );
+    }
+    for s in infinite_cases {
+        let phi = parse_formula(s).unwrap();
+        assert!(
+            !Presburger.equivalent(&phi, &finitize(&phi)).unwrap(),
+            "{s} should be infinite"
+        );
+    }
+}
+
+#[test]
+fn theorem_2_5_relative_safety_decidable_over_nat() {
+    let schema = Schema::new().with_relation("R", 1);
+    let state = State::new(schema)
+        .with_tuple("R", vec![Value::Nat(10)])
+        .with_tuple("R", vec![Value::Nat(20)]);
+    // Bounded-above query: finite here.
+    let below = parse_formula("exists y. R(y) & x < y").unwrap();
+    assert!(relative_safety_nat(&state, &below, &["x".to_string()]).unwrap());
+    // Bounded-below query: infinite here.
+    let above = parse_formula("exists y. R(y) & x > y").unwrap();
+    assert!(!relative_safety_nat(&state, &above, &["x".to_string()]).unwrap());
+}
+
+#[test]
+fn theorems_2_6_and_2_7_successor_domain() {
+    // Relative safety is decidable, and the extended-active-domain
+    // transform is an effective syntax.
+    let schema = Schema::new().with_relation("R", 1);
+    let state = State::new(schema.clone()).with_tuple("R", vec![Value::Nat(5)]);
+
+    let fin = parse_formula("exists y. R(y) & x = y'").unwrap();
+    assert!(relative_safety_succ(&state, &fin, &["x".to_string()]).unwrap());
+    let inf = parse_formula("x != 5").unwrap();
+    assert!(!relative_safety_succ(&state, &inf, &["x".to_string()]).unwrap());
+
+    // The transform of the infinite query is finite…
+    let syntax = SuccessorSyntax { schema };
+    let repaired = syntax.transform(&inf);
+    assert!(relative_safety_succ(&state, &repaired, &["x".to_string()]).unwrap());
+    // …and the transform of the finite query is equivalent to it.
+    let t = syntax.transform(&fin);
+    let a = translate_to_domain_formula(&fin, &state);
+    let b = translate_to_domain_formula(&t, &state);
+    assert!(NatSucc.equivalent(&a, &b).unwrap());
+}
+
+#[test]
+fn theorem_3_1_reduction_behaves_as_proved() {
+    // Soundness: certified ⟹ total (spot-checked by simulation).
+    let syntax = ExactRuntimeSyntax;
+    if let Some((_, _)) = certify_total(&builders::halter(), &syntax, 40).unwrap() {
+        for w in ["", "1", "&&", "1&1&1"] {
+            assert!(finite_queries::turing::exec::halts_within(
+                &builders::halter(),
+                w,
+                10
+            ));
+        }
+    } else {
+        panic!("the halter must be certified");
+    }
+    // No false certification of divergent machines.
+    assert!(certify_total(&builders::looper(), &syntax, 40)
+        .unwrap()
+        .is_none());
+    // Incompleteness witness exists.
+    assert!(refute_candidate_syntax(&syntax, &total_witnesses(), 40)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn corollary_3_2_ordered_extension() {
+    // The extension has the finitization syntax but refuses to decide.
+    let ext = OrderedTraceExtension;
+    let phi = parse_formula("P(y, z, x)").unwrap();
+    let fin = ext.finitize(&phi);
+    assert!(fin.predicate_names().contains("llex"));
+    assert!(ext.decide(&parse_formula("forall x. x = x").unwrap()).is_err());
+}
+
+#[test]
+fn theorem_3_3_both_directions() {
+    // Halting ⟹ finite with exact count; divergence ⟹ budget exhausted.
+    let halts = builders::scan_right_halt_on_blank();
+    match relative_safety_traces(&halts, "1111", 10_000) {
+        SafetyVerdict::Finite(Some(n)) => assert_eq!(n, 5),
+        other => panic!("expected finite, got {other:?}"),
+    }
+    let diverges = builders::reader("111");
+    // reader("111") loops on inputs starting with 111 and halts otherwise.
+    match relative_safety_traces(&diverges, "111", 10_000) {
+        SafetyVerdict::Unknown { .. } => {}
+        other => panic!("expected unknown, got {other:?}"),
+    }
+    match relative_safety_traces(&diverges, "1&1", 10_000) {
+        SafetyVerdict::Finite(Some(_)) => {}
+        other => panic!("expected finite, got {other:?}"),
+    }
+}
+
+#[test]
+fn corollary_a4_decidability_stress() {
+    // A batch of mixed sentences through the Theorem A.3 elimination.
+    let decide = |s: &str| TraceDomain.decide(&parse_formula(s).unwrap()).unwrap();
+    // Every word has arbitrarily many distinct extensions.
+    assert!(decide("forall x. W(x) -> exists y. W(y) & y != x & B(\"\", y)"));
+    // No string is both a machine and has a nonempty w-projection.
+    assert!(decide("forall x. M(x) -> w(x) = \"\""));
+    // There are at least three distinct machines.
+    assert!(decide(
+        "exists a b d. M(a) & M(b) & M(d) & a != b & a != d & b != d"
+    ));
+    // Some machine halts instantly everywhere it is asked about (via two
+    // concrete words with incompatible prefixes).
+    assert!(decide("exists x. E(1, x, \"1\") & E(1, x, \"&\")"));
+    // But no machine has exactly one and at least two traces in the same
+    // word.
+    assert!(!decide("exists x. E(1, x, \"1\") & D(2, x, \"1\")"));
+}
