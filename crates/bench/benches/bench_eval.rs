@@ -13,9 +13,7 @@ fn bench_active_domain_eval(c: &mut Criterion) {
     for edges in [10usize, 30, 100] {
         let state = workloads::genealogy_state(edges as u64 * 2, edges, 42);
         group.bench_with_input(BenchmarkId::new("M_query", edges), &state, |b, st| {
-            b.iter(|| {
-                eval_query(st, &NoOps, &queries[0].1, &["x".to_string()]).unwrap()
-            })
+            b.iter(|| eval_query(st, &NoOps, &queries[0].1, &["x".to_string()]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("G_query", edges), &state, |b, st| {
             b.iter(|| {

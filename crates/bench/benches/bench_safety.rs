@@ -30,9 +30,7 @@ fn bench_fresh_element_test(c: &mut Criterion) {
     for edges in [5usize, 15, 30] {
         let state = workloads::genealogy_state(edges as u64 * 2, edges, 9);
         group.bench_with_input(BenchmarkId::new("state_size", edges), &state, |b, st| {
-            b.iter(|| {
-                relative_safety_eq(st, &q, &["x".to_string(), "y".to_string()]).unwrap()
-            })
+            b.iter(|| relative_safety_eq(st, &q, &["x".to_string(), "y".to_string()]).unwrap())
         });
     }
     group.finish();
@@ -41,7 +39,9 @@ fn bench_fresh_element_test(c: &mut Criterion) {
 fn bench_syntax_transforms(c: &mut Criterion) {
     let mut group = c.benchmark_group("E09_syntax_transforms");
     let schema = Schema::new().with_relation("F", 2);
-    let ad = ActiveDomainSyntax { schema: schema.clone() };
+    let ad = ActiveDomainSyntax {
+        schema: schema.clone(),
+    };
     let succ = SuccessorSyntax { schema };
     let q = parse_formula("!F(x, y)").unwrap();
     group.bench_function("active_domain_transform", |b| b.iter(|| ad.transform(&q)));

@@ -68,9 +68,11 @@ fn bench_trace_qe(c: &mut Criterion) {
     for i in [2u64, 4, 6] {
         let s = format!("forall y. W(y) -> (exists x. E({i}, x, y))");
         let sentence = parse_formula(&s).unwrap();
-        group.bench_with_input(BenchmarkId::new("b_expansion_index", i), &sentence, |b, s| {
-            b.iter(|| TraceDomain.decide(s).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("b_expansion_index", i),
+            &sentence,
+            |b, s| b.iter(|| TraceDomain.decide(s).unwrap()),
+        );
     }
     group.finish();
 }

@@ -9,8 +9,8 @@
 use fq_bench::workloads;
 use fq_bench::ExperimentReport;
 use fq_core::negative::{
-    certify_total, refute_candidate_syntax, total_witnesses, ExactRuntimeSyntax,
-    FiniteListSyntax, TotalityEnumerator,
+    certify_total, refute_candidate_syntax, total_witnesses, ExactRuntimeSyntax, FiniteListSyntax,
+    TotalityEnumerator,
 };
 use fq_core::relative::{
     halting_instance, relative_safety_eq, relative_safety_nat, relative_safety_succ,
@@ -24,8 +24,8 @@ use fq_domains::{DecidableTheory, Domain, NatOrder, NatSucc, Presburger, TraceDo
 use fq_logic::{parse_formula, Term};
 use fq_relational::active_eval::{eval_query, NoOps};
 use fq_relational::{is_safe_range, translate_to_domain_formula, Schema, State, Value};
-use fq_turing::trace::{count_traces, trace_string, validate_trace, TraceCount};
 use fq_turing::builders;
+use fq_turing::trace::{count_traces, trace_string, validate_trace, TraceCount};
 
 fn vars(vs: &[&str]) -> Vec<String> {
     vs.iter().map(|s| s.to_string()).collect()
@@ -70,9 +70,9 @@ fn main() {
             let enumerated = answer_query(&NatOrder, &state, q, &vars(&["x"]), 5_000).unwrap();
             let agree = enumerated.is_complete()
                 && enumerated.found().len() == direct.len()
-                && direct.iter().all(|t| {
-                    matches!(&t[0], Value::Nat(n) if enumerated.found().contains(&vec![*n]))
-                });
+                && direct.iter().all(
+                    |t| matches!(&t[0], Value::Nat(n) if enumerated.found().contains(&vec![*n])),
+                );
             (
                 format!(
                     "enumerate-and-ask found {} answers, active-domain eval {} (complete: {})",
@@ -220,7 +220,9 @@ fn main() {
             let r1 = relative_safety_succ(&state, &fin, &vars(&["x"])).unwrap();
             let r2 = relative_safety_succ(&state, &inf, &vars(&["x"])).unwrap();
             (
-                format!("QE quantifier-free = {qe_ok}; succ-query finite = {r1}; ≠-query finite = {r2}"),
+                format!(
+                    "QE quantifier-free = {qe_ok}; succ-query finite = {r1}; ≠-query finite = {r2}"
+                ),
                 qe_ok && r1 && !r2,
             )
         },
@@ -335,7 +337,10 @@ fn main() {
         || {
             let sentences = [
                 ("forall x. M(x) | W(x) | T(x) | O(x)", true),
-                ("forall m0 w0. M(m0) & W(w0) -> exists p. P(m0, w0, p)", true),
+                (
+                    "forall m0 w0. M(m0) & W(w0) -> exists p. P(m0, w0, p)",
+                    true,
+                ),
                 ("forall p. T(p) -> P(m(p), w(p), p)", true),
                 ("exists x. D(3, x, \"111111\") & E(2, x, \"&&&&&&\")", true),
                 ("exists x. D(5, x, \"111111\") & E(3, x, \"111&&&\")", false),
@@ -349,7 +354,10 @@ fn main() {
                 ok &= qe::decide(&f).unwrap() == expected;
             }
             (
-                format!("{} sentences eliminated and decided correctly", sentences.len()),
+                format!(
+                    "{} sentences eliminated and decided correctly",
+                    sentences.len()
+                ),
                 ok,
             )
         },

@@ -1,9 +1,9 @@
 //! Structured experiment reports.
 
-use serde::{Deserialize, Serialize};
+use fq_json::{FromJson, JsonError, ToJson, Value};
 
 /// One experiment row: what the paper predicts, what we measured.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment id from DESIGN.md (e.g. "E05").
     pub id: String,
@@ -19,10 +19,50 @@ pub struct ExperimentResult {
     pub millis: u128,
 }
 
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Value {
+        fq_json::object([
+            ("id", self.id.to_json()),
+            ("reference", self.reference.to_json()),
+            ("claim", self.claim.to_json()),
+            ("observed", self.observed.to_json()),
+            ("pass", self.pass.to_json()),
+            ("millis", self.millis.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(ExperimentResult {
+            id: FromJson::from_json(fq_json::member(value, "id")?)?,
+            reference: FromJson::from_json(fq_json::member(value, "reference")?)?,
+            claim: FromJson::from_json(fq_json::member(value, "claim")?)?,
+            observed: FromJson::from_json(fq_json::member(value, "observed")?)?,
+            pass: FromJson::from_json(fq_json::member(value, "pass")?)?,
+            millis: FromJson::from_json(fq_json::member(value, "millis")?)?,
+        })
+    }
+}
+
 /// A full experiments run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentReport {
     pub results: Vec<ExperimentResult>,
+}
+
+impl ToJson for ExperimentReport {
+    fn to_json(&self) -> Value {
+        fq_json::object([("results", self.results.to_json())])
+    }
+}
+
+impl FromJson for ExperimentReport {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(ExperimentReport {
+            results: FromJson::from_json(fq_json::member(value, "results")?)?,
+        })
+    }
 }
 
 impl ExperimentReport {
@@ -62,7 +102,7 @@ impl ExperimentReport {
 
     /// Serialize as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        fq_json::to_string_pretty(self)
     }
 
     /// Render the Markdown table for EXPERIMENTS.md.

@@ -31,10 +31,7 @@ pub fn genealogy_queries() -> Vec<(&'static str, Formula)> {
             "M(x): more than one son",
             parse("exists y z. y != z & F(x, y) & F(x, z)"),
         ),
-        (
-            "G(x,z): grandfather",
-            parse("exists y. F(x, y) & F(y, z)"),
-        ),
+        ("G(x,z): grandfather", parse("exists y. F(x, y) & F(y, z)")),
         (
             "M or G (unsafe)",
             parse(
@@ -113,14 +110,19 @@ pub fn de_system(constraints: usize, seed: u64) -> fq_domains::traces::DESystem 
         draws += 1;
         let word = random_word(6, seed.wrapping_mul(31).wrapping_add(draws));
         let idx = rng.gen_range(1..=4usize);
-        let mut candidate = sys.clone();
+        // Trial-insert in place and pop on inconsistency, instead of
+        // cloning the whole system per draw (which made the build
+        // quadratic in the number of accepted constraints).
         if draws.is_multiple_of(2) {
-            candidate.at_least.push((word, idx));
+            sys.at_least.push((word, idx));
+            if !sys.satisfiable() {
+                sys.at_least.pop();
+            }
         } else {
-            candidate.exactly.push((word, idx));
-        }
-        if candidate.satisfiable() {
-            sys = candidate;
+            sys.exactly.push((word, idx));
+            if !sys.satisfiable() {
+                sys.exactly.pop();
+            }
         }
     }
     sys
@@ -134,11 +136,7 @@ pub fn trace_qe_sentence(excluded: usize) -> Formula {
     let word = ones(excluded + 2);
     let mut conjuncts = vec![Formula::pred(
         "P",
-        vec![
-            Term::Str(enc),
-            Term::Str(word.clone()),
-            Term::var("p"),
-        ],
+        vec![Term::Str(enc), Term::Str(word.clone()), Term::var("p")],
     )];
     for k in 1..=excluded {
         let t = fq_turing::trace::trace_string(&m, &word, k).expect("trace exists");

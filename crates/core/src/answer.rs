@@ -23,7 +23,10 @@ pub enum AnswerOutcome<E> {
     Complete(Vec<Vec<E>>),
     /// The candidate budget ran out — for an *unsafe* query in this state
     /// the loop would never stop, exactly as the paper warns.
-    BudgetExhausted { found: Vec<Vec<E>>, candidates_tried: usize },
+    BudgetExhausted {
+        found: Vec<Vec<E>>,
+        candidates_tried: usize,
+    },
 }
 
 impl<E> AnswerOutcome<E> {
@@ -77,7 +80,10 @@ pub fn answer_query<D: DecidableTheory>(
         {
             candidates_tried += 1;
             if candidates_tried > max_candidates {
-                return Ok(AnswerOutcome::BudgetExhausted { found, candidates_tried });
+                return Ok(AnswerOutcome::BudgetExhausted {
+                    found,
+                    candidates_tried,
+                });
             }
             if found.contains(&tuple) {
                 continue;
@@ -92,7 +98,10 @@ pub fn answer_query<D: DecidableTheory>(
         if !discovered {
             // The enumerator is finite only through the budget; reaching
             // here means the budget ran out inside the scan.
-            return Ok(AnswerOutcome::BudgetExhausted { found, candidates_tried });
+            return Ok(AnswerOutcome::BudgetExhausted {
+                found,
+                candidates_tried,
+            });
         }
     }
 }
@@ -305,11 +314,7 @@ mod tests {
         let schema = Schema::new().with_constant("c");
         let state = State::new(schema).with_constant("c", "11");
         let q = fq_logic::bind_constants(
-            &parse_formula(&format!(
-                "P(\"{}\", c, x)",
-                fq_turing::encode_machine(&m)
-            ))
-            .unwrap(),
+            &parse_formula(&format!("P(\"{}\", c, x)", fq_turing::encode_machine(&m))).unwrap(),
             &["c".to_string()].into(),
         );
         let out = answer_query(&TraceDomain, &state, &q, &["x".to_string()], 100_000).unwrap();

@@ -8,19 +8,25 @@
 //! over a fixed stock of predicates, constants, variables, and unary
 //! functions, ordered by AST size.
 
-use fq_logic::{Formula, Term};
+use fq_engine::Engine;
+use fq_logic::{Formula, Sym, Term};
 
 /// A finitely-generated space of formulas.
+///
+/// Symbol names are [`Sym`]s (`Arc<str>`), so the per-atom name "clone"
+/// in [`FormulaSpace::atoms`] is a reference-count bump, not a heap
+/// allocation — enumeration used to allocate a fresh `String` for every
+/// generated atom.
 #[derive(Clone, Debug)]
 pub struct FormulaSpace {
     /// Predicates as `(name, arity)`.
-    pub predicates: Vec<(String, usize)>,
+    pub predicates: Vec<(Sym, usize)>,
     /// Ground constant terms available as leaves.
     pub constants: Vec<Term>,
     /// Variable names available as leaves.
     pub variables: Vec<String>,
     /// Unary function symbols applicable to leaf terms.
-    pub unary_functions: Vec<String>,
+    pub unary_functions: Vec<Sym>,
     /// Include equality atoms.
     pub with_equality: bool,
 }
@@ -29,16 +35,16 @@ impl FormulaSpace {
     /// Leaf terms: variables, constants, and single applications of the
     /// unary functions to them.
     fn terms(&self) -> Vec<Term> {
-        let mut base: Vec<Term> = self
-            .variables
-            .iter()
-            .map(|v| Term::var(v.clone()))
+        let vars: Vec<Sym> = self.variables.iter().map(Sym::from).collect();
+        let mut base: Vec<Term> = vars
+            .into_iter()
+            .map(Term::Var)
             .chain(self.constants.iter().cloned())
             .collect();
         let mut wrapped = Vec::new();
         for f in &self.unary_functions {
             for t in &base {
-                wrapped.push(Term::app1(f.clone(), t.clone()));
+                wrapped.push(Term::App(f.clone(), vec![t.clone()]));
             }
         }
         base.extend(wrapped);
@@ -47,9 +53,17 @@ impl FormulaSpace {
 
     /// All atoms of the space.
     pub fn atoms(&self) -> Vec<Formula> {
+        self.atoms_with(&Engine::sequential())
+    }
+
+    /// [`FormulaSpace::atoms`] through a shared [`Engine`]: the atoms of
+    /// each predicate are generated on separate workers and concatenated
+    /// in predicate order, so the result is identical to the sequential
+    /// enumeration.
+    pub fn atoms_with(&self, engine: &Engine) -> Vec<Formula> {
         let terms = self.terms();
-        let mut out = Vec::new();
-        for (name, arity) in &self.predicates {
+        let per_pred = engine.parallel_map(&self.predicates, |(name, arity)| {
+            let mut out = Vec::new();
             let mut idx = vec![0usize; *arity];
             loop {
                 out.push(Formula::Pred(
@@ -72,7 +86,9 @@ impl FormulaSpace {
                     break;
                 }
             }
-        }
+            out
+        });
+        let mut out: Vec<Formula> = per_pred.into_iter().flatten().collect();
         if self.with_equality {
             for a in &terms {
                 for b in &terms {
@@ -175,7 +191,7 @@ mod tests {
 
     fn tiny_space() -> FormulaSpace {
         FormulaSpace {
-            predicates: vec![("R".to_string(), 1)],
+            predicates: vec![("R".into(), 1)],
             constants: vec![Term::Nat(0)],
             variables: vec!["x".to_string()],
             unary_functions: vec![],
@@ -210,7 +226,10 @@ mod tests {
     #[test]
     fn enumeration_reaches_boolean_combinations() {
         let target = "R(x) & x = 0";
-        let found = tiny_space().iter().take(5000).any(|f| f.to_string() == target);
+        let found = tiny_space()
+            .iter()
+            .take(5000)
+            .any(|f| f.to_string() == target);
         assert!(found);
     }
 
@@ -220,7 +239,7 @@ mod tests {
             predicates: vec![],
             constants: vec![],
             variables: vec!["x".to_string()],
-            unary_functions: vec!["w".to_string()],
+            unary_functions: vec!["w".into()],
             with_equality: true,
         };
         let atoms = space.atoms();

@@ -113,10 +113,7 @@ impl FinRep {
         self.check_compatible(other)?;
         Ok(FinRep {
             columns: self.columns.clone(),
-            formula: Formula::and([
-                self.formula.clone(),
-                Formula::not(other.formula.clone()),
-            ]),
+            formula: Formula::and([self.formula.clone(), Formula::not(other.formula.clone())]),
         })
     }
 
@@ -220,9 +217,11 @@ impl FinRep {
             if Presburger.decide(&below)? {
                 break;
             }
-            bound = bound.checked_mul(2).ok_or_else(|| DomainError::BudgetExhausted {
-                detail: "bound search overflowed".into(),
-            })?;
+            bound = bound
+                .checked_mul(2)
+                .ok_or_else(|| DomainError::BudgetExhausted {
+                    detail: "bound search overflowed".into(),
+                })?;
         }
         let mut out = Vec::new();
         let mut tuple = vec![0u64; self.columns.len()];
@@ -285,10 +284,7 @@ mod tests {
         assert!(r.contains(&[1, 2]).unwrap());
         assert!(!r.contains(&[2, 1]).unwrap());
         assert!(r.is_finite().unwrap());
-        assert_eq!(
-            r.enumerate(10).unwrap(),
-            Some(vec![vec![1, 2], vec![3, 4]])
-        );
+        assert_eq!(r.enumerate(10).unwrap(), Some(vec![vec![1, 2], vec![3, 4]]));
     }
 
     #[test]
@@ -351,10 +347,7 @@ mod tests {
         // Bounded difference is finite and enumerable.
         let small = rep(&["x"], "x < 10");
         let banded = diff.intersect(&small).unwrap();
-        assert_eq!(
-            banded.enumerate(10).unwrap(),
-            Some(vec![vec![2], vec![6]])
-        );
+        assert_eq!(banded.enumerate(10).unwrap(), Some(vec![vec![2], vec![6]]));
     }
 
     #[test]

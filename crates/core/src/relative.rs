@@ -54,8 +54,8 @@ pub fn relative_safety_eq(
             .map_or(0, |m| m + 1),
     );
     universe.push(fresh.clone());
-    let answers = solutions_over(state, &NoOps, query, vars, &universe)
-        .map_err(DomainError::Logic)?;
+    let answers =
+        solutions_over(state, &NoOps, query, vars, &universe).map_err(DomainError::Logic)?;
     Ok(!answers.iter().any(|t| t.contains(&fresh)))
 }
 
@@ -125,14 +125,12 @@ pub fn halting_instance(machine: &Machine, word: &str) -> (Formula, State) {
 /// Semi-decide relative safety over **T** for totality-shaped instances
 /// by bounded simulation; `Unknown` after `budget` steps — the honest
 /// outcome Theorem 3.3 forces.
-pub fn relative_safety_traces(
-    machine: &Machine,
-    word: &str,
-    budget: usize,
-) -> SafetyVerdict {
+pub fn relative_safety_traces(machine: &Machine, word: &str, budget: usize) -> SafetyVerdict {
     match count_traces(machine, word, budget) {
         TraceCount::Exactly(n) => SafetyVerdict::Finite(Some(n)),
-        TraceCount::AtLeast(_) => SafetyVerdict::Unknown { budget_spent: budget },
+        TraceCount::AtLeast(_) => SafetyVerdict::Unknown {
+            budget_spent: budget,
+        },
     }
 }
 
@@ -175,7 +173,9 @@ pub fn certify_finite_traces_via_qe(
             return Ok(SafetyVerdict::Finite(Some(n)));
         }
     }
-    Ok(SafetyVerdict::Unknown { budget_spent: max_count })
+    Ok(SafetyVerdict::Unknown {
+        budget_spent: max_count,
+    })
 }
 
 #[cfg(test)]

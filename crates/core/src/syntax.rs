@@ -44,10 +44,7 @@ pub fn active_domain_formula(schema: &Schema, var: &str, extra_constants: &[Term
                     args.push(Term::var(y));
                 }
             }
-            disjuncts.push(Formula::exists_many(
-                bound,
-                Formula::pred(name, args),
-            ));
+            disjuncts.push(Formula::exists_many(bound, Formula::pred(name, args)));
         }
     }
     for c in schema.constants() {
@@ -169,9 +166,7 @@ impl OrderedTraceExtension {
             '#' => 3,
             _ => 4,
         };
-        a.len() < b.len()
-            || (a.len() == b.len()
-                && a.chars().map(rank).lt(b.chars().map(rank)))
+        a.len() < b.len() || (a.len() == b.len() && a.chars().map(rank).lt(b.chars().map(rank)))
     }
 
     /// The position of a string in the canonical enumeration — the
@@ -202,9 +197,10 @@ impl OrderedTraceExtension {
         }
         let taken = phi.all_vars();
         let m = fresh_var("m", &taken);
-        let bound = Formula::and(free.iter().map(|x| {
-            Formula::pred("llex", vec![Term::var(x.clone()), Term::var(m.clone())])
-        }));
+        let bound = Formula::and(
+            free.iter()
+                .map(|x| Formula::pred("llex", vec![Term::var(x.clone()), Term::var(m.clone())])),
+        );
         let guard = Formula::exists(
             m,
             Formula::forall_many(free, Formula::implies(phi.clone(), bound)),
@@ -246,14 +242,18 @@ impl OrderedTraceExtension {
                     ("m", [s]) => Ok(fq_turing::trace::validate_trace(s)
                         .map(|i| i.machine_str)
                         .unwrap_or_default()),
-                    _ => Err(fq_logic::LogicError::eval(format!("unknown function {name}"))),
+                    _ => Err(fq_logic::LogicError::eval(format!(
+                        "unknown function {name}"
+                    ))),
                 }
             }
             fn pred(&self, name: &str, args: &[String]) -> Result<bool, fq_logic::LogicError> {
                 match (name, args) {
                     ("llex", [a, b]) => Ok(OrderedTraceExtension::llex_lt(a, b)),
                     ("P", [m, w, p]) => Ok(fq_turing::trace::p_predicate(m, w, p)),
-                    _ => Err(fq_logic::LogicError::eval(format!("unknown predicate {name}"))),
+                    _ => Err(fq_logic::LogicError::eval(format!(
+                        "unknown predicate {name}"
+                    ))),
                 }
             }
         }
@@ -297,7 +297,9 @@ mod tests {
     #[test]
     fn active_domain_syntax_makes_unsafe_queries_safe() {
         // ¬F(x, y) is unsafe; its transform restricts both variables.
-        let syntax = ActiveDomainSyntax { schema: fathers_schema() };
+        let syntax = ActiveDomainSyntax {
+            schema: fathers_schema(),
+        };
         let phi = parse_formula("!F(x, y)").unwrap();
         let t = syntax.transform(&phi);
         assert!(fq_relational::is_safe_range(&fathers_schema(), &t));
@@ -314,11 +316,12 @@ mod tests {
 
     #[test]
     fn active_domain_syntax_preserves_domain_independent_queries() {
-        let syntax = ActiveDomainSyntax { schema: fathers_schema() };
+        let syntax = ActiveDomainSyntax {
+            schema: fathers_schema(),
+        };
         let phi = parse_formula("exists y. F(x, y)").unwrap();
         let t = syntax.transform(&phi);
-        let before =
-            eval_query(&fathers_state(), &NoOps, &phi, &["x".to_string()]).unwrap();
+        let before = eval_query(&fathers_state(), &NoOps, &phi, &["x".to_string()]).unwrap();
         let after = eval_query(&fathers_state(), &NoOps, &t, &["x".to_string()]).unwrap();
         assert_eq!(before, after);
     }
@@ -327,7 +330,7 @@ mod tests {
     fn finitization_syntax_enumerates_finite_formulas() {
         let syntax = FinitizationSyntax {
             space: FormulaSpace {
-                predicates: vec![("<".to_string(), 2)],
+                predicates: vec![("<".into(), 2)],
                 constants: vec![Term::Nat(0), Term::Nat(3)],
                 variables: vec!["x".to_string()],
                 unary_functions: vec![],
@@ -392,11 +395,7 @@ mod tests {
         let strings = fq_domains::traces::enumerate_strings(40);
         for (i, a) in strings.iter().enumerate() {
             for (j, b) in strings.iter().enumerate() {
-                assert_eq!(
-                    OrderedTraceExtension::llex_lt(a, b),
-                    i < j,
-                    "{a} vs {b}"
-                );
+                assert_eq!(OrderedTraceExtension::llex_lt(a, b), i < j, "{a} vs {b}");
             }
         }
     }

@@ -26,14 +26,8 @@ fn arb_state() -> impl Strategy<Value = State> {
 /// atoms (so both finite and infinite answers appear).
 fn arb_query() -> impl Strategy<Value = Formula> {
     let atom = prop_oneof![
-        (0u64..5).prop_map(|k| Formula::pred(
-            "R",
-            vec![Term::var("x"), Term::Nat(k)]
-        )),
-        (0u64..5).prop_map(|k| Formula::pred(
-            "R",
-            vec![Term::Nat(k), Term::var("x")]
-        )),
+        (0u64..5).prop_map(|k| Formula::pred("R", vec![Term::var("x"), Term::Nat(k)])),
+        (0u64..5).prop_map(|k| Formula::pred("R", vec![Term::Nat(k), Term::var("x")])),
         (0u64..6).prop_map(|k| Formula::eq(Term::var("x"), Term::Nat(k))),
         (0u64..6).prop_map(|k| Formula::lt(Term::var("x"), Term::Nat(k))),
         (0u64..6).prop_map(|k| Formula::lt(Term::Nat(k), Term::var("x"))),

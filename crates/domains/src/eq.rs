@@ -71,7 +71,10 @@ impl DecidableTheory for EqDomain {
         let (nats, strs) = sentence.literal_constants();
         if !strs.is_empty() {
             return Err(DomainError::UnsupportedSymbol {
-                symbol: format!("string literal \"{}\"", strs.iter().next().expect("nonempty")),
+                symbol: format!(
+                    "string literal \"{}\"",
+                    strs.iter().next().expect("nonempty")
+                ),
             });
         }
         let mut universe: Vec<u64> = nats.into_iter().collect();

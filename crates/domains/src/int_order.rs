@@ -35,13 +35,7 @@ impl Domain for IntOrder {
 
     fn enumerate(&self, n: usize) -> Vec<i64> {
         (0..n as i64)
-            .map(|k| {
-                if k % 2 == 0 {
-                    k / 2
-                } else {
-                    -(k / 2) - 1
-                }
-            })
+            .map(|k| if k % 2 == 0 { k / 2 } else { -(k / 2) - 1 })
             .collect()
     }
 
@@ -52,12 +46,10 @@ impl Domain for IntOrder {
     fn parse_elem(&self, t: &Term) -> Option<i64> {
         match t {
             Term::Nat(n) => i64::try_from(*n).ok(),
-            Term::App(f, args) if f == "-" && args.len() == 2 => {
-                match (&args[0], &args[1]) {
-                    (Term::Nat(0), Term::Nat(n)) => i64::try_from(*n).ok().map(|v| -v),
-                    _ => None,
-                }
-            }
+            Term::App(f, args) if f == "-" && args.len() == 2 => match (&args[0], &args[1]) {
+                (Term::Nat(0), Term::Nat(n)) => i64::try_from(*n).ok().map(|v| -v),
+                _ => None,
+            },
             _ => None,
         }
     }

@@ -22,7 +22,9 @@
 //! equalities (see [`NatSucc::solution_set_finite`]).
 
 use crate::domain::{require_sentence, DecidableTheory, Domain, DomainError};
-use fq_logic::transform::{dnf_conjunctions, dnf_conjunctions_wrt, nnf, simplify, DnfPiece, Literal};
+use fq_logic::transform::{
+    dnf_conjunctions, dnf_conjunctions_wrt, nnf, simplify, DnfPiece, Literal,
+};
 use fq_logic::{Formula, Term};
 use std::collections::BTreeMap;
 
@@ -49,8 +51,14 @@ impl STerm {
     /// Parse an `fq-logic` term over the N′ signature.
     pub fn from_term(t: &Term) -> Option<STerm> {
         match t {
-            Term::Var(v) => Some(STerm { base: SBase::Var(v.clone()), offset: 0 }),
-            Term::Nat(n) => Some(STerm { base: SBase::Num(*n), offset: 0 }),
+            Term::Var(v) => Some(STerm {
+                base: SBase::Var(v.to_string()),
+                offset: 0,
+            }),
+            Term::Nat(n) => Some(STerm {
+                base: SBase::Num(*n),
+                offset: 0,
+            }),
             Term::App(f, args) if f == "succ" && args.len() == 1 => {
                 let inner = STerm::from_term(&args[0])?;
                 Some(inner.shift(1))
@@ -62,8 +70,14 @@ impl STerm {
     /// Add `n` to the offset, folding constants.
     pub fn shift(&self, n: u64) -> STerm {
         match &self.base {
-            SBase::Num(k) => STerm { base: SBase::Num(k + n + self.offset), offset: 0 },
-            SBase::Var(_) => STerm { base: self.base.clone(), offset: self.offset + n },
+            SBase::Num(k) => STerm {
+                base: SBase::Num(k + n + self.offset),
+                offset: 0,
+            },
+            SBase::Var(_) => STerm {
+                base: self.base.clone(),
+                offset: self.offset + n,
+            },
         }
     }
 
@@ -110,7 +124,11 @@ fn parse_literal(l: &Literal) -> Result<SLit, DomainError> {
             let rhs = STerm::from_term(b).ok_or_else(|| DomainError::UnsupportedSymbol {
                 symbol: b.to_string(),
             })?;
-            Ok(SLit { positive: l.positive, lhs, rhs })
+            Ok(SLit {
+                positive: l.positive,
+                lhs,
+                rhs,
+            })
         }
         other => Err(DomainError::UnsupportedSymbol {
             symbol: other.to_string(),
@@ -152,10 +170,9 @@ impl NatSucc {
             Formula::Exists(v, g) => {
                 simplify(&self.eliminate_exists(v, &simplify(&self.eliminate_rec(g)?))?)
             }
-            Formula::Forall(v, g) => simplify(&Formula::not(self.eliminate_exists(
-                v,
-                &Formula::not(self.eliminate_rec(g)?),
-            )?)),
+            Formula::Forall(v, g) => simplify(&Formula::not(
+                self.eliminate_exists(v, &Formula::not(self.eliminate_rec(g)?))?,
+            )),
         })
     }
 
@@ -175,9 +192,7 @@ impl NatSucc {
                 }
             }
             let eliminated = self.eliminate_conjunct(var, &literals)?;
-            disjuncts.push(Formula::and(
-                std::iter::once(eliminated).chain(residue),
-            ));
+            disjuncts.push(Formula::and(std::iter::once(eliminated).chain(residue)));
         }
         Ok(Formula::or(disjuncts))
     }
@@ -209,7 +224,11 @@ impl NatSucc {
                 remaining.push(sl);
             } else {
                 // Orient so the x-term is on the left.
-                remaining.push(SLit { positive: sl.positive, lhs: sl.rhs, rhs: sl.lhs });
+                remaining.push(SLit {
+                    positive: sl.positive,
+                    lhs: sl.rhs,
+                    rhs: sl.lhs,
+                });
             }
         }
 
@@ -224,20 +243,30 @@ impl NatSucc {
                     if v < a {
                         return Ok(Formula::False);
                     }
-                    Some(STerm { base: SBase::Num(v - a), offset: 0 })
+                    Some(STerm {
+                        base: SBase::Num(v - a),
+                        offset: 0,
+                    })
                 }
                 None => {
                     let b = eq.rhs.offset;
                     if b >= a {
                         // x = y⁽ᵇ⁻ᵃ⁾.
-                        Some(STerm { base: eq.rhs.base.clone(), offset: b - a })
+                        Some(STerm {
+                            base: eq.rhs.base.clone(),
+                            offset: b - a,
+                        })
                     } else {
                         // x = y − (a−b): guard y ∉ {0, …, a−b−1} (the
                         // paper's "add the conjunction y ≠ 0 ∧ … ∧
                         // y ≠ (n−1)").
                         for k in 0..(a - b) {
                             guards.push(Formula::neq(
-                                STerm { base: eq.rhs.base.clone(), offset: 0 }.to_term(),
+                                STerm {
+                                    base: eq.rhs.base.clone(),
+                                    offset: 0,
+                                }
+                                .to_term(),
                                 Term::Nat(k),
                             ));
                         }
@@ -255,7 +284,10 @@ impl NatSucc {
                         // shift both sides by a−b ≥ 0 to stay in ℕ:
                         // y⁽ᶜ⁾ ⋈ s⁽ᵃ⁻ᵇ⁾.
                         eval_or_atom(
-                            &STerm { base: eq.rhs.base.clone(), offset: c },
+                            &STerm {
+                                base: eq.rhs.base.clone(),
+                                offset: c,
+                            },
                             &l.rhs.shift(a - eq.rhs.offset),
                         )
                     }
@@ -274,11 +306,7 @@ impl NatSucc {
     /// set over the given free variables — Theorem 2.6's core step
     /// ("given a quantifier-free formula, it is easy to decide upon the
     /// finiteness of the answer it yields").
-    pub fn solution_set_finite(
-        &self,
-        qf: &Formula,
-        vars: &[String],
-    ) -> Result<bool, DomainError> {
+    pub fn solution_set_finite(&self, qf: &Formula, vars: &[String]) -> Result<bool, DomainError> {
         for conjunct in dnf_conjunctions(&nnf(qf)) {
             let lits: Result<Vec<SLit>, _> = conjunct.iter().map(parse_literal).collect();
             let lits = lits?;
@@ -345,7 +373,10 @@ fn analyze_conjunct(lits: &[SLit]) -> Option<BTreeMap<String, bool>> {
 
     let mut index: BTreeMap<SBase, usize> = BTreeMap::new();
     let mut bases: Vec<SBase> = Vec::new();
-    let mut uf = Uf { parent: Vec::new(), delta: Vec::new() };
+    let mut uf = Uf {
+        parent: Vec::new(),
+        delta: Vec::new(),
+    };
     let mut intern = |b: &SBase, uf: &mut Uf, bases: &mut Vec<SBase>| -> usize {
         *index.entry(b.clone()).or_insert_with(|| {
             let i = uf.parent.len();
@@ -659,6 +690,8 @@ mod tests {
 
     #[test]
     fn rejects_order_symbols() {
-        assert!(NatSucc.decide(&parse_formula("exists x. x < 1").unwrap()).is_err());
+        assert!(NatSucc
+            .decide(&parse_formula("exists x. x < 1").unwrap())
+            .is_err());
     }
 }

@@ -19,19 +19,33 @@
 
 use super::linear::LinTerm;
 use super::pformula::{PAtom, PFormula};
+use fq_engine::Engine;
 
 /// Eliminate all quantifiers, producing an equivalent quantifier-free
-/// formula (over ℤ).
+/// formula (over ℤ), with a private sequential [`Engine`].
 pub fn eliminate(f: &PFormula) -> PFormula {
+    eliminate_with(&Engine::sequential(), f)
+}
+
+/// Eliminate all quantifiers through an explicit [`Engine`]: independent
+/// `And`/`Or` children fan out across the engine's worker threads, and
+/// `∃`-elimination results are memoized on hash-consed subformula ids.
+/// Results are identical to [`eliminate`] for every configuration.
+pub fn eliminate_with(engine: &Engine, f: &PFormula) -> PFormula {
     match f {
         PFormula::True | PFormula::False | PFormula::Atom(_) => psimplify(f),
-        PFormula::Not(inner) => PFormula::not(eliminate(inner)),
-        PFormula::And(fs) => PFormula::and(fs.iter().map(eliminate)),
-        PFormula::Or(fs) => PFormula::or(fs.iter().map(eliminate)),
-        PFormula::Exists(v, body) => psimplify(&eliminate_exists(v, &eliminate(body))),
-        PFormula::Forall(v, body) => psimplify(&PFormula::not(eliminate_exists(
+        PFormula::Not(inner) => PFormula::not(eliminate_with(engine, inner)),
+        PFormula::And(fs) => PFormula::and(engine.parallel_map(fs, |g| eliminate_with(engine, g))),
+        PFormula::Or(fs) => PFormula::or(engine.parallel_map(fs, |g| eliminate_with(engine, g))),
+        PFormula::Exists(v, body) => psimplify(&eliminate_exists_with(
+            engine,
             v,
-            &PFormula::not(eliminate(body)),
+            &eliminate_with(engine, body),
+        )),
+        PFormula::Forall(v, body) => psimplify(&PFormula::not(eliminate_exists_with(
+            engine,
+            v,
+            &PFormula::not(eliminate_with(engine, body)),
         ))),
     }
 }
@@ -164,9 +178,7 @@ fn tighten_conjunction(
             if b.lo.is_some_and(|lo| e < lo) || b.hi.is_some_and(|hi| e > hi) {
                 return None;
             }
-            out.insert(PFormula::Atom(PAtom::Zero(
-                key.sub(&LinTerm::constant(e)),
-            )));
+            out.insert(PFormula::Atom(PAtom::Zero(key.sub(&LinTerm::constant(e)))));
             continue;
         }
         if let (Some(lo), Some(hi)) = (b.lo, b.hi) {
@@ -192,9 +204,7 @@ fn tighten_conjunction(
 
 /// Drop disjuncts that are syntactically subsumed by another disjunct
 /// (their conjunct set is a superset). Quadratic; skipped above a size cap.
-fn subsume_disjunction(
-    formulas: std::collections::BTreeSet<PFormula>,
-) -> Vec<PFormula> {
+fn subsume_disjunction(formulas: std::collections::BTreeSet<PFormula>) -> Vec<PFormula> {
     const CAP: usize = 1500;
     let items: Vec<PFormula> = formulas.into_iter().collect();
     if items.len() > CAP {
@@ -254,19 +264,40 @@ fn mentions(f: &PFormula, var: &str) -> bool {
 
 /// Eliminate a single existential over a quantifier-free body.
 pub fn eliminate_exists(var: &str, qf: &PFormula) -> PFormula {
+    eliminate_exists_with(&Engine::sequential(), var, qf)
+}
+
+/// [`eliminate_exists`] through an explicit [`Engine`].
+///
+/// The whole call and each DNF conjunct are memoized on `(var, interned
+/// formula id)`; nested Cooper rounds mass-produce structurally equal
+/// subproblems, so both caches hit heavily. Conjuncts are eliminated in
+/// parallel and merged back in their canonical (`BTreeSet`) order, so the
+/// output never depends on thread scheduling.
+pub fn eliminate_exists_with(engine: &Engine, var: &str, qf: &PFormula) -> PFormula {
     debug_assert!(qf.is_quantifier_free(), "eliminate_exists needs a QF body");
     if !mentions(qf, var) {
         return qf.clone();
     }
-    let conjuncts = dnf_wrt(&pnnf(&psimplify(qf), true), var);
-    PFormula::or(conjuncts.into_iter().map(|(lits, opaque)| {
-        let pieces: Vec<Piece> = lits
+    let key = (var.to_string(), engine.intern(qf.clone()).id());
+    engine.cached("cooper.exists", key, || {
+        let conjuncts: Vec<Conjunct> = dnf_wrt(&pnnf(&psimplify(qf), true), var)
             .into_iter()
-            .map(Piece::Lit)
-            .chain(opaque.into_iter().map(Piece::Opaque))
             .collect();
-        eliminate_conjunct(var, pieces)
-    }))
+        PFormula::or(engine.parallel_map(&conjuncts, |conjunct| {
+            let key = (var.to_string(), engine.intern(conjunct.clone()).id());
+            engine.cached("cooper.conjunct", key, || {
+                let (lits, opaque) = conjunct;
+                let pieces: Vec<Piece> = lits
+                    .iter()
+                    .cloned()
+                    .map(Piece::Lit)
+                    .chain(opaque.iter().cloned().map(Piece::Opaque))
+                    .collect();
+                eliminate_conjunct(engine, var, pieces)
+            })
+        }))
+    })
 }
 
 /// A canonical DNF conjunct: sorted deduplicated literals plus opaque
@@ -285,7 +316,11 @@ fn tighten_lits(
         .into_iter()
         .map(|(sign, a)| {
             let f = PFormula::Atom(a);
-            if sign { f } else { PFormula::not(f) }
+            if sign {
+                f
+            } else {
+                PFormula::not(f)
+            }
         })
         .collect();
     let tight = tighten_conjunction(as_formulas)?;
@@ -326,19 +361,25 @@ fn tighten_lits(
 fn pnnf(f: &PFormula, positive: bool) -> PFormula {
     match f {
         PFormula::True => {
-            if positive { PFormula::True } else { PFormula::False }
+            if positive {
+                PFormula::True
+            } else {
+                PFormula::False
+            }
         }
         PFormula::False => {
-            if positive { PFormula::False } else { PFormula::True }
+            if positive {
+                PFormula::False
+            } else {
+                PFormula::True
+            }
         }
         PFormula::Atom(a) => {
             if positive {
                 PFormula::Atom(a.clone())
             } else {
                 match a {
-                    PAtom::Pos(t) => {
-                        PFormula::Atom(PAtom::Pos(LinTerm::constant(1).sub(t)))
-                    }
+                    PAtom::Pos(t) => PFormula::Atom(PAtom::Pos(LinTerm::constant(1).sub(t))),
                     PAtom::Zero(t) => PFormula::or([
                         PFormula::Atom(PAtom::Pos(t.clone())),
                         PFormula::Atom(PAtom::Pos(t.scale(-1))),
@@ -407,13 +448,11 @@ fn dnf_wrt(f: &PFormula, var: &str) -> std::collections::BTreeSet<Conjunct> {
                 let mut next: BTreeSet<Conjunct> = BTreeSet::new();
                 for (a_lits, a_opq) in &acc {
                     for (b_lits, b_opq) in &gs {
-                        let merged: BTreeSet<PLit> =
-                            a_lits.union(b_lits).cloned().collect();
+                        let merged: BTreeSet<PLit> = a_lits.union(b_lits).cloned().collect();
                         let Some(tightened) = tighten_lits(merged) else {
                             continue; // contradictory conjunct
                         };
-                        let opaque: BTreeSet<PFormula> =
-                            a_opq.union(b_opq).cloned().collect();
+                        let opaque: BTreeSet<PFormula> = a_opq.union(b_opq).cloned().collect();
                         next.insert((tightened, opaque));
                     }
                 }
@@ -439,12 +478,16 @@ enum YAtom {
 
 fn lcm(a: i128, b: i128) -> i128 {
     fn gcd(a: i128, b: i128) -> i128 {
-        if b == 0 { a } else { gcd(b, a % b) }
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
     }
     (a / gcd(a, b)) * b
 }
 
-fn eliminate_conjunct(var: &str, pieces: Vec<Piece>) -> PFormula {
+fn eliminate_conjunct(engine: &Engine, var: &str, pieces: Vec<Piece>) -> PFormula {
     let mut x_lits: Vec<PLit> = Vec::new();
     let mut residue: Vec<PFormula> = Vec::new();
     for p in pieces {
@@ -552,22 +595,30 @@ fn eliminate_conjunct(var: &str, pieces: Vec<Piece>) -> PFormula {
         }
     }
 
-    // Boundary disjuncts: y := b + j.
-    for b in &b_set {
-        for j in 1..=m {
-            let y_val = b.add(&LinTerm::constant(j));
-            let conj = y_atoms.iter().map(|a| match a {
-                YAtom::Lower(l) => PFormula::Atom(PAtom::Pos(y_val.sub(l))),
-                YAtom::Upper(u) => PFormula::Atom(PAtom::Pos(u.sub(&y_val))),
-                YAtom::Eq(e) => PFormula::Atom(PAtom::Zero(y_val.sub(e))),
-                YAtom::Div(d, s, sign) => {
-                    let atom = PFormula::Atom(PAtom::Div(*d, y_val.add(s)));
-                    if *sign { atom } else { PFormula::not(atom) }
+    // Boundary disjuncts: y := b + j, one per (b, j) pair. The pairs are
+    // independent, so they fan out across the engine's workers; the
+    // results come back in cross-product order regardless of scheduling.
+    let boundary: Vec<(&LinTerm, i128)> = b_set
+        .iter()
+        .flat_map(|b| (1..=m).map(move |j| (b, j)))
+        .collect();
+    disjuncts.extend(engine.parallel_map(&boundary, |(b, j)| {
+        let y_val = b.add(&LinTerm::constant(*j));
+        let conj = y_atoms.iter().map(|a| match a {
+            YAtom::Lower(l) => PFormula::Atom(PAtom::Pos(y_val.sub(l))),
+            YAtom::Upper(u) => PFormula::Atom(PAtom::Pos(u.sub(&y_val))),
+            YAtom::Eq(e) => PFormula::Atom(PAtom::Zero(y_val.sub(e))),
+            YAtom::Div(d, s, sign) => {
+                let atom = PFormula::Atom(PAtom::Div(*d, y_val.add(s)));
+                if *sign {
+                    atom
+                } else {
+                    PFormula::not(atom)
                 }
-            });
-            disjuncts.push(psimplify(&PFormula::and(conj)));
-        }
-    }
+            }
+        });
+        psimplify(&PFormula::and(conj))
+    }));
 
     PFormula::and([PFormula::or(disjuncts), residue_formula])
 }
@@ -604,8 +655,12 @@ mod tests {
     fn parity_partition() {
         assert!(decide_int("forall x. div(2, x, 0) | div(2, x, 1)"));
         assert!(!decide_int("forall x. div(2, x, 0)"));
-        assert!(decide_int("exists x. div(2, x, 0) & div(3, x, 0) & 0 < x & x < 7"));
-        assert!(!decide_int("exists x. div(2, x, 0) & div(3, x, 0) & 0 < x & x < 6"));
+        assert!(decide_int(
+            "exists x. div(2, x, 0) & div(3, x, 0) & 0 < x & x < 7"
+        ));
+        assert!(!decide_int(
+            "exists x. div(2, x, 0) & div(3, x, 0) & 0 < x & x < 6"
+        ));
     }
 
     #[test]
@@ -632,7 +687,9 @@ mod tests {
     #[test]
     fn alternating_quantifiers() {
         // Density fails on integers: there is no element between n and n+1.
-        assert!(!decide_int("forall x. forall y. x < y -> exists z. x < z & z < y"));
+        assert!(!decide_int(
+            "forall x. forall y. x < y -> exists z. x < z & z < y"
+        ));
         // But between n and n+2 there is.
         assert!(decide_int("forall x. exists z. x < z & z < x + 2"));
     }
@@ -655,11 +712,7 @@ mod tests {
                     // Reference: brute-force the quantifier over a window
                     // wide enough for these samples.
                     let brute = brute_force(&f, &env, -30, 30);
-                    assert_eq!(
-                        elim.eval(&env),
-                        Some(brute),
-                        "sample `{s}` at y={y}, z={z}"
-                    );
+                    assert_eq!(elim.eval(&env), Some(brute), "sample `{s}` at y={y}, z={z}");
                 }
             }
         }
@@ -668,12 +721,7 @@ mod tests {
     /// Brute-force evaluation quantifying over [lo, hi] — only valid for
     /// formulas whose witnesses are near their coefficients, as in the
     /// test samples above.
-    fn brute_force(
-        f: &PFormula,
-        env: &BTreeMap<String, i128>,
-        lo: i128,
-        hi: i128,
-    ) -> bool {
+    fn brute_force(f: &PFormula, env: &BTreeMap<String, i128>, lo: i128, hi: i128) -> bool {
         match f {
             PFormula::True => true,
             PFormula::False => false,

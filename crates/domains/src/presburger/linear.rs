@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A linear term `Σ cᵢ·xᵢ + k` with `i128` coefficients.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinTerm {
     /// Variable coefficients; zero coefficients are never stored.
     coeffs: BTreeMap<String, i128>,
@@ -26,7 +26,10 @@ impl LinTerm {
     pub fn var(v: impl Into<String>) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v.into(), 1);
-        LinTerm { coeffs, constant: 0 }
+        LinTerm {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// The coefficient of a variable (0 if absent).
@@ -74,7 +77,11 @@ impl LinTerm {
             return LinTerm::constant(0);
         }
         LinTerm {
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -139,7 +146,11 @@ impl LinTerm {
         let mut pos: Vec<Term> = Vec::new();
         let mut neg: Vec<Term> = Vec::new();
         for (v, c) in &self.coeffs {
-            let (target, mag) = if *c > 0 { (&mut pos, *c) } else { (&mut neg, -c) };
+            let (target, mag) = if *c > 0 {
+                (&mut pos, *c)
+            } else {
+                (&mut neg, -c)
+            };
             let base = Term::var(v.clone());
             target.push(if mag == 1 {
                 base

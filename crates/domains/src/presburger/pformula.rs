@@ -13,7 +13,7 @@ use fq_logic::{Formula, Term};
 use std::collections::BTreeMap;
 
 /// A normalized Presburger atom.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PAtom {
     /// `0 < t`.
     Pos(LinTerm),
@@ -100,7 +100,7 @@ impl PAtom {
 
 /// A Presburger formula. `Not` is unrestricted here; the Cooper module
 /// normalizes negations away (keeping only negated divisibility literals).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PFormula {
     True,
     False,

@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn witness_satisfies_every_constraint() {
-        let s = sys(
-            &[("11&1", 3), ("&&&&", 2)],
-            &[("1&11", 3), ("&1&1", 2)],
-        );
+        let s = sys(&[("11&1", 3), ("&&&&", 2)], &[("1&11", 3), ("&1&1", 2)]);
         assert!(s.satisfiable());
         let m = s.witness().unwrap();
         for (v, i) in &s.at_least {

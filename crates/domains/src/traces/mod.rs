@@ -17,6 +17,7 @@ pub use lemma_a2::DESystem;
 pub use rterm::{from_logic, RAtom, RFormula, RTerm};
 
 use crate::domain::{require_sentence, DecidableTheory, Domain, DomainError};
+use fq_engine::Engine;
 use fq_logic::{Formula, Term};
 
 /// The trace domain **T**.
@@ -26,7 +27,16 @@ pub struct TraceDomain;
 impl TraceDomain {
     /// Compute a quantifier-free Reach-theory equivalent of a formula.
     pub fn quantifier_eliminate(&self, f: &Formula) -> Result<RFormula, DomainError> {
-        Ok(qe::eliminate(&from_logic(f)?))
+        self.quantifier_eliminate_with(f, &Engine::sequential())
+    }
+
+    /// [`TraceDomain::quantifier_eliminate`] through a shared [`Engine`].
+    pub fn quantifier_eliminate_with(
+        &self,
+        f: &Formula,
+        engine: &Engine,
+    ) -> Result<RFormula, DomainError> {
+        Ok(qe::eliminate_with(engine, &from_logic(f)?))
     }
 }
 
@@ -127,8 +137,12 @@ impl Domain for TraceDomain {
 
 impl DecidableTheory for TraceDomain {
     fn decide(&self, sentence: &Formula) -> Result<bool, DomainError> {
+        self.decide_with(sentence, &Engine::sequential())
+    }
+
+    fn decide_with(&self, sentence: &Formula, engine: &Engine) -> Result<bool, DomainError> {
         require_sentence(sentence)?;
-        qe::decide(&from_logic(sentence)?)
+        qe::decide_with(engine, &from_logic(sentence)?)
     }
 }
 
@@ -154,7 +168,10 @@ mod tests {
     fn domain_trait_basics() {
         let d = TraceDomain;
         assert_eq!(d.elem_term(&"1&".to_string()), Term::Str("1&".into()));
-        assert_eq!(d.parse_elem(&Term::Str("1*".into())), Some("1*".to_string()));
+        assert_eq!(
+            d.parse_elem(&Term::Str("1*".into())),
+            Some("1*".to_string())
+        );
         assert_eq!(d.parse_elem(&Term::Str("abc".into())), None);
         assert_eq!(d.parse_elem(&Term::Nat(3)), None);
     }

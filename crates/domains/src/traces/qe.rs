@@ -27,26 +27,46 @@ use super::ground::rsimplify;
 use super::lemma_a2::DESystem;
 use super::rterm::{RAtom, RFormula, RTerm};
 use crate::domain::DomainError;
+use fq_engine::Engine;
 use fq_turing::sym::Sort;
 
-/// Eliminate all quantifiers from a Reach formula.
+/// Eliminate all quantifiers from a Reach formula, with a private
+/// sequential [`Engine`].
 pub fn eliminate(f: &RFormula) -> RFormula {
+    eliminate_with(&Engine::sequential(), f)
+}
+
+/// Eliminate all quantifiers through an explicit [`Engine`]: independent
+/// `And`/`Or` children fan out across the engine's worker threads, and
+/// `∃`-elimination results are memoized on hash-consed subformula ids.
+/// Results are identical to [`eliminate`] for every configuration.
+pub fn eliminate_with(engine: &Engine, f: &RFormula) -> RFormula {
     match f {
         RFormula::True | RFormula::False | RFormula::Atom(_) => rsimplify(f),
-        RFormula::Not(g) => RFormula::not(eliminate(g)),
-        RFormula::And(gs) => RFormula::and(gs.iter().map(eliminate)),
-        RFormula::Or(gs) => RFormula::or(gs.iter().map(eliminate)),
-        RFormula::Exists(v, g) => rsimplify(&eliminate_exists(v, &eliminate(g))),
-        RFormula::Forall(v, g) => rsimplify(&RFormula::not(eliminate_exists(
+        RFormula::Not(g) => RFormula::not(eliminate_with(engine, g)),
+        RFormula::And(gs) => RFormula::and(engine.parallel_map(gs, |g| eliminate_with(engine, g))),
+        RFormula::Or(gs) => RFormula::or(engine.parallel_map(gs, |g| eliminate_with(engine, g))),
+        RFormula::Exists(v, g) => rsimplify(&eliminate_exists_with(
+            engine,
             v,
-            &RFormula::not(eliminate(g)),
+            &eliminate_with(engine, g),
+        )),
+        RFormula::Forall(v, g) => rsimplify(&RFormula::not(eliminate_exists_with(
+            engine,
+            v,
+            &RFormula::not(eliminate_with(engine, g)),
         ))),
     }
 }
 
 /// Decide a Reach sentence: eliminate, then evaluate the ground residue.
 pub fn decide(sentence: &RFormula) -> Result<bool, DomainError> {
-    super::ground::eval_formula(&eliminate(sentence))
+    decide_with(&Engine::sequential(), sentence)
+}
+
+/// [`decide`] through an explicit [`Engine`].
+pub fn decide_with(engine: &Engine, sentence: &RFormula) -> Result<bool, DomainError> {
+    super::ground::eval_formula(&eliminate_with(engine, sentence))
 }
 
 // ---------------------------------------------------------------------
@@ -82,19 +102,35 @@ fn not_sort(s: Sort, t: &RTerm) -> RFormula {
 fn positive(f: &RFormula, sign: bool) -> RFormula {
     match f {
         RFormula::True => {
-            if sign { RFormula::True } else { RFormula::False }
+            if sign {
+                RFormula::True
+            } else {
+                RFormula::False
+            }
         }
         RFormula::False => {
-            if sign { RFormula::False } else { RFormula::True }
+            if sign {
+                RFormula::False
+            } else {
+                RFormula::True
+            }
         }
         RFormula::Not(g) => positive(g, !sign),
         RFormula::And(gs) => {
             let parts = gs.iter().map(|g| positive(g, sign));
-            if sign { RFormula::and(parts) } else { RFormula::or(parts) }
+            if sign {
+                RFormula::and(parts)
+            } else {
+                RFormula::or(parts)
+            }
         }
         RFormula::Or(gs) => {
             let parts = gs.iter().map(|g| positive(g, sign));
-            if sign { RFormula::or(parts) } else { RFormula::and(parts) }
+            if sign {
+                RFormula::or(parts)
+            } else {
+                RFormula::and(parts)
+            }
         }
         RFormula::Exists(..) | RFormula::Forall(..) => {
             unreachable!("positive() is applied to quantifier-free formulas")
@@ -114,7 +150,11 @@ fn positive_atom(a: &RAtom, sign: bool) -> RFormula {
             positive(&sorts, sign)
         }
         (RAtom::Exact(0, ..), _) => {
-            if sign { RFormula::False } else { RFormula::True }
+            if sign {
+                RFormula::False
+            } else {
+                RFormula::True
+            }
         }
         (_, true) => RFormula::Atom(a.clone()),
         // Negations:
@@ -176,12 +216,8 @@ fn expand_word_arguments(f: &RFormula) -> RFormula {
         RFormula::Not(g) => RFormula::not(expand_word_arguments(g)),
         RFormula::And(gs) => RFormula::and(gs.iter().map(expand_word_arguments)),
         RFormula::Or(gs) => RFormula::or(gs.iter().map(expand_word_arguments)),
-        RFormula::Exists(v, g) => {
-            RFormula::Exists(v.clone(), Box::new(expand_word_arguments(g)))
-        }
-        RFormula::Forall(v, g) => {
-            RFormula::Forall(v.clone(), Box::new(expand_word_arguments(g)))
-        }
+        RFormula::Exists(v, g) => RFormula::Exists(v.clone(), Box::new(expand_word_arguments(g))),
+        RFormula::Forall(v, g) => RFormula::Forall(v.clone(), Box::new(expand_word_arguments(g))),
         RFormula::Atom(a) => match a {
             RAtom::AtLeast(i, t, u) if u.value().is_none() && *i >= 2 => {
                 // D_i depends on the padded prefix of length i−1.
@@ -302,13 +338,11 @@ fn dnf_wrt(f: &RFormula, var: &str) -> std::collections::BTreeSet<RConjunct> {
                 let mut next: BTreeSet<RConjunct> = BTreeSet::new();
                 for (a_lits, a_opq) in &acc {
                     for (b_lits, b_opq) in &parts {
-                        let merged: BTreeSet<RLit> =
-                            a_lits.union(b_lits).cloned().collect();
+                        let merged: BTreeSet<RLit> = a_lits.union(b_lits).cloned().collect();
                         let Some(pruned) = prune_conjunct(merged) else {
                             continue;
                         };
-                        let opaque: BTreeSet<RFormula> =
-                            a_opq.union(b_opq).cloned().collect();
+                        let opaque: BTreeSet<RFormula> = a_opq.union(b_opq).cloned().collect();
                         next.insert((pruned, opaque));
                     }
                 }
@@ -326,22 +360,42 @@ fn dnf_wrt(f: &RFormula, var: &str) -> std::collections::BTreeSet<RConjunct> {
 
 /// Eliminate `∃var` over a quantifier-free body.
 pub fn eliminate_exists(var: &str, qf: &RFormula) -> RFormula {
+    eliminate_exists_with(&Engine::sequential(), var, qf)
+}
+
+/// [`eliminate_exists`] through an explicit [`Engine`].
+///
+/// The whole call and each DNF conjunct are memoized on `(var, interned
+/// formula id)` — the `∀`-driven negations of B-expansions reproduce the
+/// same conjuncts across sibling disjuncts, so both caches hit heavily.
+/// Conjuncts are eliminated in parallel and merged back in their
+/// canonical (`BTreeSet`) order, so the output never depends on thread
+/// scheduling.
+pub fn eliminate_exists_with(engine: &Engine, var: &str, qf: &RFormula) -> RFormula {
     if !qf.mentions(var) {
         return qf.clone();
     }
-    let prepared = expand_word_arguments(&positive(&rsimplify(qf), true));
-    let conjuncts = dnf_wrt(&prepared, var);
-    RFormula::or(conjuncts.into_iter().map(|(lits, opaque)| {
-        let pieces: Vec<Piece> = lits
-            .into_iter()
-            .map(Piece::Lit)
-            .chain(opaque.into_iter().map(Piece::Opaque))
-            .collect();
-        rsimplify(&eliminate_conjunct(var, pieces))
-    }))
+    let key = (var.to_string(), engine.intern(qf.clone()).id());
+    engine.cached("reach.exists", key, || {
+        let prepared = expand_word_arguments(&positive(&rsimplify(qf), true));
+        let conjuncts: Vec<RConjunct> = dnf_wrt(&prepared, var).into_iter().collect();
+        RFormula::or(engine.parallel_map(&conjuncts, |conjunct| {
+            let key = (var.to_string(), engine.intern(conjunct.clone()).id());
+            engine.cached("reach.conjunct", key, || {
+                let (lits, opaque) = conjunct;
+                let pieces: Vec<Piece> = lits
+                    .iter()
+                    .cloned()
+                    .map(Piece::Lit)
+                    .chain(opaque.iter().cloned().map(Piece::Opaque))
+                    .collect();
+                rsimplify(&eliminate_conjunct(engine, var, pieces))
+            })
+        }))
+    })
 }
 
-fn eliminate_conjunct(var: &str, pieces: Vec<Piece>) -> RFormula {
+fn eliminate_conjunct(engine: &Engine, var: &str, pieces: Vec<Piece>) -> RFormula {
     let mut residue: Vec<RFormula> = Vec::new();
     let mut x_lits: Vec<RLit> = Vec::new();
     for p in pieces {
@@ -361,14 +415,14 @@ fn eliminate_conjunct(var: &str, pieces: Vec<Piece>) -> RFormula {
     if x_lits.is_empty() {
         return residue;
     }
-    let branches = [Sort::Machine, Sort::Word, Sort::Trace, Sort::Other]
-        .into_iter()
-        .map(|sort| eliminate_sorted(var, sort, &x_lits));
+    let sorts = [Sort::Machine, Sort::Word, Sort::Trace, Sort::Other];
+    let branches =
+        engine.parallel_map(&sorts, |sort| eliminate_sorted(engine, var, *sort, &x_lits));
     RFormula::and([RFormula::or(branches), residue])
 }
 
 /// `∃x (sort(x) = S ∧ ⋀ lits)`, eliminated.
-fn eliminate_sorted(var: &str, sort: Sort, lits: &[RLit]) -> RFormula {
+fn eliminate_sorted(engine: &Engine, var: &str, sort: Sort, lits: &[RLit]) -> RFormula {
     // Step 1: collapse w(x)/m(x) for non-trace sorts, then split literals
     // into x-free residue and sort-specific constraint shapes.
     let collapse = |t: &RTerm| -> RTerm {
@@ -478,26 +532,24 @@ fn eliminate_sorted(var: &str, sort: Sort, lits: &[RLit]) -> RFormula {
             (RAtom::IsSort(_, RTerm::Lit(_)), _) | (RAtom::Prefix(_, RTerm::Lit(_)), _) => {
                 unreachable!("literal-argument atoms are x-free and handled above")
             }
-            (RAtom::Eq(a, b), sign) => {
-                match resolve_equality(var, sort, a, b, sign) {
-                    EqShape::Bool(v) => {
-                        if !v {
-                            return RFormula::False;
-                        }
+            (RAtom::Eq(a, b), sign) => match resolve_equality(var, sort, a, b, sign) {
+                EqShape::Bool(v) => {
+                    if !v {
+                        return RFormula::False;
                     }
-                    EqShape::EqX(t) => match &eq_x {
-                        None => eq_x = Some(t),
-                        Some(prev) => {
-                            residue.push(RFormula::Atom(RAtom::Eq(prev.clone(), t)));
-                        }
-                    },
-                    EqShape::NeqX(t) => neq_x.push(t),
-                    EqShape::MEq(t) => m_eqs.push(t),
-                    EqShape::MNeq(t) => m_neqs.push(t),
-                    EqShape::WEq(t) => w_eqs.push(t),
-                    EqShape::WNeq(t) => w_neqs.push(t),
                 }
-            }
+                EqShape::EqX(t) => match &eq_x {
+                    None => eq_x = Some(t),
+                    Some(prev) => {
+                        residue.push(RFormula::Atom(RAtom::Eq(prev.clone(), t)));
+                    }
+                },
+                EqShape::NeqX(t) => neq_x.push(t),
+                EqShape::MEq(t) => m_eqs.push(t),
+                EqShape::MNeq(t) => m_neqs.push(t),
+                EqShape::WEq(t) => w_eqs.push(t),
+                EqShape::WNeq(t) => w_neqs.push(t),
+            },
         }
     }
 
@@ -543,6 +595,7 @@ fn eliminate_sorted(var: &str, sort: Sort, lits: &[RLit]) -> RFormula {
             }
         }
         Sort::Trace => eliminate_trace_case(
+            engine,
             var,
             &m_eqs,
             &m_neqs,
@@ -577,9 +630,7 @@ fn resolve_equality(var: &str, sort: Sort, a: &RTerm, b: &RTerm, sign: bool) -> 
 
     // Both sides mention x.
     if a.mentions(var) && b.mentions(var) {
-        let equal_shapes = (is_x(a) && is_x(b))
-            || (is_wx(a) && is_wx(b))
-            || (is_mx(a) && is_mx(b));
+        let equal_shapes = (is_x(a) && is_x(b)) || (is_wx(a) && is_wx(b)) || (is_mx(a) && is_mx(b));
         if equal_shapes {
             return EqShape::Bool(sign);
         }
@@ -623,7 +674,9 @@ fn merge_prefixes(prefixes: &[String]) -> Option<String> {
         // constrained by at least one prefix.
         let mut c: Option<u8> = None;
         for p in prefixes {
-            let Some(&pc) = p.as_bytes().get(k) else { continue };
+            let Some(&pc) = p.as_bytes().get(k) else {
+                continue;
+            };
             match c {
                 None => c = Some(pc),
                 Some(prev) if prev != pc => return None,
@@ -638,6 +691,7 @@ fn merge_prefixes(prefixes: &[String]) -> Option<String> {
 /// Case T of the elimination (subcases T−1 … T−4).
 #[allow(clippy::too_many_arguments)]
 fn eliminate_trace_case(
+    engine: &Engine,
     _var: &str,
     m_eqs: &[RTerm],
     m_neqs: &[RTerm],
@@ -699,7 +753,10 @@ fn eliminate_trace_case(
                 parts.push(RFormula::Atom(atom));
             }
             for s in m_neqs {
-                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(t.clone(), s.clone()))));
+                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(
+                    t.clone(),
+                    s.clone(),
+                ))));
             }
             // Words matching the prefix are plentiful; w-inequalities and
             // trace-inequalities are absorbed.
@@ -731,7 +788,10 @@ fn eliminate_trace_case(
                 )));
             }
             for y in w_neqs {
-                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(v.clone(), y.clone()))));
+                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(
+                    v.clone(),
+                    y.clone(),
+                ))));
             }
             RFormula::and(parts)
         }
@@ -751,10 +811,16 @@ fn eliminate_trace_case(
                 parts.push(RFormula::Atom(atom));
             }
             for s in m_neqs {
-                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(t.clone(), s.clone()))));
+                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(
+                    t.clone(),
+                    s.clone(),
+                ))));
             }
             for y in w_neqs {
-                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(v.clone(), y.clone()))));
+                parts.push(RFormula::not(RFormula::Atom(RAtom::Eq(
+                    v.clone(),
+                    y.clone(),
+                ))));
             }
             if !merged_w_prefix.is_empty() {
                 parts.push(RFormula::Atom(RAtom::Prefix(
@@ -762,7 +828,7 @@ fn eliminate_trace_case(
                     v.clone(),
                 )));
             }
-            parts.push(excluded_traces_disjunction(&t, &v, neq_x));
+            parts.push(excluded_traces_disjunction(engine, &t, &v, neq_x));
             RFormula::and(parts)
         }
     }
@@ -774,7 +840,7 @@ fn eliminate_trace_case(
 /// true–false assertions about the machines [and words] of p₁ … p_n" and
 /// the equality patterns among them.
 #[allow(clippy::needless_range_loop)]
-fn excluded_traces_disjunction(t: &RTerm, v: &RTerm, ps: &[RTerm]) -> RFormula {
+fn excluded_traces_disjunction(engine: &Engine, t: &RTerm, v: &RTerm, ps: &[RTerm]) -> RFormula {
     if ps.is_empty() {
         // D_1(t, v) holds whenever t is a machine and v a word — already
         // asserted by the caller.
@@ -788,25 +854,29 @@ fn excluded_traces_disjunction(t: &RTerm, v: &RTerm, ps: &[RTerm]) -> RFormula {
             RFormula::Atom(RAtom::Eq(RTerm::w_of(p.clone()), v.clone())),
         ])
     };
-    let mut disjuncts = Vec::new();
-    // Status bitmap: which pᵢ are traces of t in v.
-    for status in 0u32..(1 << n) {
+    // Status bitmap: which pᵢ are traces of t in v. The 2^n bitmaps are
+    // independent, so each one's partition disjuncts are built on a worker
+    // and flattened back in bitmap order.
+    let statuses: Vec<u32> = (0..1u32 << n).collect();
+    let per_status = engine.parallel_map(&statuses, |&status| {
         let yes: Vec<usize> = (0..n).filter(|i| status & (1 << i) != 0).collect();
         let mut base = Vec::new();
         for i in 0..n {
             let f = is_trace_of(&ps[i]);
-            base.push(if yes.contains(&i) { f } else { RFormula::not(f) });
+            base.push(if yes.contains(&i) {
+                f
+            } else {
+                RFormula::not(f)
+            });
         }
         // Partitions of the yes-set into equality classes.
+        let mut disjuncts = Vec::new();
         for partition in set_partitions(yes.len()) {
             let k = partition.iter().copied().max().map_or(0, |m| m + 1);
             let mut conj = base.clone();
             for a in 0..yes.len() {
                 for b in a + 1..yes.len() {
-                    let eq = RFormula::Atom(RAtom::Eq(
-                        ps[yes[a]].clone(),
-                        ps[yes[b]].clone(),
-                    ));
+                    let eq = RFormula::Atom(RAtom::Eq(ps[yes[a]].clone(), ps[yes[b]].clone()));
                     conj.push(if partition[a] == partition[b] {
                         eq
                     } else {
@@ -820,8 +890,9 @@ fn excluded_traces_disjunction(t: &RTerm, v: &RTerm, ps: &[RTerm]) -> RFormula {
             }
             disjuncts.push(RFormula::and(conj));
         }
-    }
-    RFormula::or(disjuncts)
+        disjuncts
+    });
+    RFormula::or(per_status.into_iter().flatten())
 }
 
 /// All set partitions of `{0, …, n−1}` as restricted-growth strings.
@@ -884,7 +955,10 @@ mod tests {
             Some("1&1".into())
         );
         // "1" pads to 1&…, consistent with "1&".
-        assert_eq!(merge_prefixes(&["1".into(), "1&".into()]), Some("1&".into()));
+        assert_eq!(
+            merge_prefixes(&["1".into(), "1&".into()]),
+            Some("1&".into())
+        );
         assert_eq!(merge_prefixes(&["11".into(), "1&".into()]), None);
     }
 
@@ -897,7 +971,12 @@ mod tests {
 
     #[test]
     fn each_sort_is_inhabited() {
-        for s in ["exists x. M(x)", "exists x. W(x)", "exists x. T(x)", "exists x. O(x)"] {
+        for s in [
+            "exists x. M(x)",
+            "exists x. W(x)",
+            "exists x. T(x)",
+            "exists x. O(x)",
+        ] {
             assert!(decide_str(s), "{s}");
         }
     }

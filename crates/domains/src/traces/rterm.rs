@@ -10,15 +10,15 @@
 //! definable: `P(x, y, z) ⟺ T(z) ∧ m(z) = x ∧ w(z) = y`.
 
 use crate::domain::DomainError;
+use fq_logic::{Formula, Term};
 use fq_turing::sym::Sort;
 use fq_turing::trace::validate_trace;
-use fq_logic::{Formula, Term};
 
 /// A term of the Reach theory. The smart constructors [`RTerm::w_of`] and
 /// [`RTerm::m_of`] collapse nested applications ("because of the
 /// definition of the only two functions, any nested term always equals
 /// ε") and fold ground arguments.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RTerm {
     /// A variable ranging over the whole domain (all four sorts).
     Var(String),
@@ -103,7 +103,7 @@ pub fn ground_m(s: &str) -> String {
 }
 
 /// An atom of the Reach theory.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RAtom {
     /// Sort membership `M(t)`, `W(t)`, `T(t)`, `O(t)`.
     IsSort(Sort, RTerm),
@@ -143,7 +143,7 @@ impl RAtom {
 }
 
 /// A formula of the Reach theory.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RFormula {
     True,
     False,
@@ -416,7 +416,7 @@ fn conv_pred(name: &str, args: &[Term]) -> Result<RFormula, DomainError> {
 
 fn conv_term(t: &Term) -> Result<RTerm, DomainError> {
     match t {
-        Term::Var(v) => Ok(RTerm::Var(v.clone())),
+        Term::Var(v) => Ok(RTerm::Var(v.to_string())),
         Term::Str(s) => {
             if fq_turing::sym::in_domain_alphabet(s) {
                 Ok(RTerm::Lit(s.clone()))
@@ -460,12 +460,12 @@ mod tests {
         let m = builders::scan_right_halt_on_blank();
         let tr = trace_string(&m, "11", 2).unwrap();
         assert_eq!(RTerm::w_of(RTerm::Lit(tr.clone())), RTerm::Lit("11".into()));
-        assert_eq!(
-            RTerm::m_of(RTerm::Lit(tr)),
-            RTerm::Lit(encode_machine(&m))
-        );
+        assert_eq!(RTerm::m_of(RTerm::Lit(tr)), RTerm::Lit(encode_machine(&m)));
         // Non-traces map to ε.
-        assert_eq!(RTerm::w_of(RTerm::Lit("11".into())), RTerm::Lit(String::new()));
+        assert_eq!(
+            RTerm::w_of(RTerm::Lit("11".into())),
+            RTerm::Lit(String::new())
+        );
     }
 
     #[test]
@@ -529,7 +529,11 @@ mod tests {
             Box::new(RFormula::and([
                 RFormula::Atom(RAtom::IsSort(Sort::Trace, RTerm::Var("x".into()))),
                 RFormula::Atom(RAtom::Eq(RTerm::WOf("x".into()), RTerm::Lit("11".into()))),
-                RFormula::Atom(RAtom::AtLeast(3, RTerm::MOf("x".into()), RTerm::Lit("1".into()))),
+                RFormula::Atom(RAtom::AtLeast(
+                    3,
+                    RTerm::MOf("x".into()),
+                    RTerm::Lit("1".into()),
+                )),
             ])),
         );
         assert_eq!(
@@ -540,7 +544,10 @@ mod tests {
 
     #[test]
     fn smart_constructors_behave() {
-        assert_eq!(RFormula::and([RFormula::True, RFormula::True]), RFormula::True);
+        assert_eq!(
+            RFormula::and([RFormula::True, RFormula::True]),
+            RFormula::True
+        );
         assert_eq!(
             RFormula::or([RFormula::False, RFormula::True]),
             RFormula::True

@@ -52,8 +52,7 @@ impl WordsLlex {
     /// The length-lex order itself.
     pub fn llex_lt(a: &str, b: &str) -> bool {
         let rank = |c: char| if c == '1' { 0u8 } else { 1 };
-        a.len() < b.len()
-            || (a.len() == b.len() && a.chars().map(rank).lt(b.chars().map(rank)))
+        a.len() < b.len() || (a.len() == b.len() && a.chars().map(rank).lt(b.chars().map(rank)))
     }
 
     /// Translate a formula over this domain (equality, `llex`, word
@@ -62,11 +61,13 @@ impl WordsLlex {
         fn term(t: &Term) -> Result<Term, DomainError> {
             match t {
                 Term::Var(v) => Ok(Term::var(v.clone())),
-                Term::Str(s) => WordsLlex::index(s)
-                    .map(Term::Nat)
-                    .ok_or_else(|| DomainError::SortMismatch {
-                        detail: format!("\"{s}\" is not a word over {{1,&}}"),
-                    }),
+                Term::Str(s) => {
+                    WordsLlex::index(s)
+                        .map(Term::Nat)
+                        .ok_or_else(|| DomainError::SortMismatch {
+                            detail: format!("\"{s}\" is not a word over {{1,&}}"),
+                        })
+                }
                 other => Err(DomainError::UnsupportedSymbol {
                     symbol: other.to_string(),
                 }),
@@ -213,7 +214,9 @@ mod tests {
 
     #[test]
     fn rejects_foreign_symbols() {
-        assert!(WordsLlex.decide(&parse_formula("exists x. x < 1").unwrap()).is_err());
+        assert!(WordsLlex
+            .decide(&parse_formula("exists x. x < 1").unwrap())
+            .is_err());
         assert!(WordsLlex
             .decide(&parse_formula("exists x. x = \"1*\"").unwrap())
             .is_err());

@@ -203,7 +203,11 @@ fn arb_small_atom() -> impl Strategy<Value = RAtom> {
 fn arb_small_qf() -> impl Strategy<Value = RFormula> {
     let lit = (arb_small_atom(), any::<bool>()).prop_map(|(a, pos)| {
         let f = RFormula::Atom(a);
-        if pos { f } else { RFormula::not(f) }
+        if pos {
+            f
+        } else {
+            RFormula::not(f)
+        }
     });
     lit.prop_recursive(2, 10, 2, |inner| {
         prop_oneof![
@@ -246,6 +250,99 @@ proptest! {
     fn trace_qe_output_is_quantifier_free(body in arb_small_qf()) {
         let f = RFormula::Exists("x".to_string(), Box::new(body));
         prop_assert!(qe::eliminate(&f).is_quantifier_free());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine equivalence: parallel ≡ sequential, cached ≡ cold.
+// ---------------------------------------------------------------------
+
+fn arb_pres_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("x"), Just("y")].prop_map(Term::var),
+        (0u64..4).prop_map(Term::Nat),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| Term::app2("+", a, b))
+    })
+}
+
+fn arb_pres_qf() -> impl Strategy<Value = Formula> {
+    let atom = (arb_pres_term(), arb_pres_term(), 0usize..3).prop_map(|(a, b, op)| match op {
+        0 => Formula::eq(a, b),
+        1 => Formula::pred("<", vec![a, b]),
+        _ => Formula::pred("<=", vec![a, b]),
+    });
+    atom.prop_recursive(2, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn test_engine() -> fq_engine::Engine {
+    fq_engine::Engine::new(fq_engine::EngineConfig {
+        threads: 4,
+        cache_capacity: 1 << 14,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn presburger_parallel_decide_matches_sequential(body in arb_pres_qf(), close_exists in any::<bool>()) {
+        let vars: Vec<String> = body.free_vars().into_iter().collect();
+        let sentence = if close_exists {
+            Formula::exists_many(vars, body)
+        } else {
+            Formula::forall_many(vars, body)
+        };
+        let seq = fq_domains::Presburger.decide(&sentence).unwrap();
+        let engine = test_engine();
+        let par = fq_domains::Presburger.decide_with(&sentence, &engine).unwrap();
+        prop_assert_eq!(seq, par, "sentence: {}", sentence);
+        // A warm cache must be semantically transparent.
+        let warm = fq_domains::Presburger.decide_with(&sentence, &engine).unwrap();
+        prop_assert_eq!(par, warm, "warm cache changed the answer: {}", sentence);
+    }
+
+    #[test]
+    fn presburger_parallel_eliminate_is_bit_identical(body in arb_pres_qf()) {
+        let vars: Vec<String> = body.free_vars().into_iter().collect();
+        let sentence = Formula::exists_many(vars, body);
+        let p = fq_domains::presburger::from_logic(&sentence, true).unwrap();
+        let cold = fq_domains::presburger::eliminate(&p);
+        let engine = test_engine();
+        let par = fq_domains::presburger::eliminate_with(&engine, &p);
+        prop_assert_eq!(&cold, &par, "parallel eliminate diverged");
+        let warm = fq_domains::presburger::eliminate_with(&engine, &p);
+        prop_assert_eq!(&cold, &warm, "cached eliminate diverged");
+    }
+
+    #[test]
+    fn trace_parallel_eliminate_is_bit_identical(body in arb_small_qf()) {
+        let f = RFormula::Exists("x".to_string(), Box::new(body));
+        let cold = qe::eliminate(&f);
+        let engine = test_engine();
+        let par = qe::eliminate_with(&engine, &f);
+        prop_assert_eq!(&cold, &par, "parallel eliminate diverged");
+        let warm = qe::eliminate_with(&engine, &f);
+        prop_assert_eq!(&cold, &warm, "cached eliminate diverged");
+    }
+
+    #[test]
+    fn trace_parallel_decide_matches_sequential(body in arb_two_var_qf()) {
+        let sentence = RFormula::Exists(
+            "x".to_string(),
+            Box::new(RFormula::Forall("y".to_string(), Box::new(body))),
+        );
+        let seq = qe::decide(&sentence).unwrap();
+        let engine = test_engine();
+        let par = qe::decide_with(&engine, &sentence).unwrap();
+        prop_assert_eq!(seq, par, "sentence: {}", sentence);
     }
 }
 
@@ -297,7 +394,11 @@ fn arb_two_var_atom() -> impl Strategy<Value = RAtom> {
 fn arb_two_var_qf() -> impl Strategy<Value = RFormula> {
     let lit = (arb_two_var_atom(), any::<bool>()).prop_map(|(a, pos)| {
         let f = RFormula::Atom(a);
-        if pos { f } else { RFormula::not(f) }
+        if pos {
+            f
+        } else {
+            RFormula::not(f)
+        }
     });
     lit.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![

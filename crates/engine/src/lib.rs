@@ -1,0 +1,514 @@
+//! The shared decision-engine layer.
+//!
+//! Every decision procedure in the workspace — Cooper elimination for
+//! ⟨ℕ, <, +⟩, the Reach-theory QE for the trace domain, and the
+//! Theorem 3.1 machines × formulas dovetail — funnels its hot loops
+//! through one [`Engine`] handle, which provides three services:
+//!
+//! 1. **Hash-consing** ([`Engine::intern`]): structurally equal values
+//!    intern to one [`Interned`] id, giving `O(1)` equality and compact
+//!    cache keys.
+//! 2. **Memoization** ([`Engine::cached`]): bounded per-type caches so
+//!    the DNF/B-expansion blowup stops re-eliminating duplicate
+//!    subproblems.
+//! 3. **Multi-core fan-out** ([`Engine::parallel_map`]): a
+//!    `std::thread::scope`-based parallel map over independent
+//!    subproblems. Results are merged in input order — parallel and
+//!    sequential runs produce *identical* output, never first-wins.
+//!
+//! The handle is cheap to clone (an `Arc`) and configured by
+//! [`EngineConfig`]`{ threads, cache_capacity }`, so benchmarks can A/B
+//! sequential vs parallel and cold vs cached runs of the same code.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads the engine may use, including the calling thread.
+    /// `1` means fully sequential.
+    pub threads: usize,
+    /// Entries each memo cache may hold before it is reset.
+    /// `0` disables memoization.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Type-erased per-namespace engine state: memo caches and intern pools.
+type StateMap = HashMap<(TypeId, &'static str), Arc<dyn Any + Send + Sync>>;
+
+struct Inner {
+    config: EngineConfig,
+    /// Extra worker threads currently running across all nested
+    /// `parallel_map` calls; used to keep total concurrency at
+    /// `threads` instead of multiplying at every nesting level.
+    borrowed_workers: AtomicUsize,
+    /// Type-erased map from `(TypeId, namespace)` to a `MemoCache<K, V>`
+    /// or `InternPool<T>` for that type.
+    state: Mutex<StateMap>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A cheaply clonable handle to shared engine state.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.inner.config.threads)
+            .field("cache_capacity", &self.inner.config.cache_capacity)
+            .finish()
+    }
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            inner: Arc::new(Inner {
+                config,
+                borrowed_workers: AtomicUsize::new(0),
+                state: Mutex::new(HashMap::new()),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Single-threaded, memoizing engine (the default for plain
+    /// `decide()` calls).
+    pub fn sequential() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Engine using every available core.
+    pub fn parallel() -> Self {
+        Engine::new(EngineConfig {
+            threads: available_threads(),
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Engine with caching disabled (for cold-run baselines).
+    pub fn uncached(threads: usize) -> Self {
+        Engine::new(EngineConfig {
+            threads,
+            cache_capacity: 0,
+        })
+    }
+
+    pub fn config(&self) -> EngineConfig {
+        self.inner.config
+    }
+
+    pub fn threads(&self) -> usize {
+        self.inner.config.threads
+    }
+
+    /// (cache hits, cache misses) since construction.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Hash-consing.
+    // -----------------------------------------------------------------
+
+    /// Intern a value: structurally equal values (under `Eq`/`Hash`)
+    /// yield [`Interned`] handles with the same id and shared storage.
+    pub fn intern<T>(&self, value: T) -> Interned<T>
+    where
+        T: Eq + Hash + Send + Sync + 'static,
+    {
+        let pool = self.typed::<InternPool<T>>("intern");
+        pool.intern(value)
+    }
+
+    // -----------------------------------------------------------------
+    // Memoization.
+    // -----------------------------------------------------------------
+
+    /// Return the cached value for `key` in `namespace`, computing and
+    /// storing it on a miss. With `cache_capacity == 0` this is just
+    /// `compute()`.
+    ///
+    /// The cache is semantically transparent: `compute` must be a pure
+    /// function of `key`.
+    pub fn cached<K, V, F>(&self, namespace: &'static str, key: K, compute: F) -> V
+    where
+        K: Eq + Hash + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        F: FnOnce() -> V,
+    {
+        if self.inner.config.cache_capacity == 0 {
+            return compute();
+        }
+        let cache = self.typed::<MemoCache<K, V>>(namespace);
+        if let Some(v) = cache.get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        cache.put(key, v.clone(), self.inner.config.cache_capacity);
+        v
+    }
+
+    /// Fetch-or-create the typed state object for `(T, namespace)`.
+    fn typed<T: Default + Send + Sync + 'static>(&self, namespace: &'static str) -> Arc<T> {
+        let mut state = self.inner.state.lock().expect("engine state poisoned");
+        let entry = state
+            .entry((TypeId::of::<T>(), namespace))
+            .or_insert_with(|| Arc::new(T::default()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("state keyed by TypeId")
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel fan-out.
+    // -----------------------------------------------------------------
+
+    /// Apply `f` to every item, in parallel when the engine has spare
+    /// worker slots, and return the results **in input order**.
+    ///
+    /// Determinism: `results[i] == f(&items[i])` exactly as in the
+    /// sequential loop; only wall-clock order differs.
+    pub fn parallel_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n = items.len();
+        let want = self.inner.config.threads.min(n).saturating_sub(1);
+        let helpers = if n < 2 || want == 0 {
+            0
+        } else {
+            self.borrow_workers(want)
+        };
+        if helpers == 0 {
+            return items.iter().map(&f).collect();
+        }
+
+        // `Mutex<Option<U>>` slots (rather than `OnceLock`) keep the
+        // bound at `U: Send`; each slot is written exactly once.
+        let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let value = f(&items[i]);
+            *slots[i].lock().expect("result slot poisoned") = Some(value);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..helpers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        self.return_workers(helpers);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("all indices processed")
+            })
+            .collect()
+    }
+
+    /// Claim up to `want` extra worker slots, respecting the global
+    /// thread budget across nested `parallel_map` calls.
+    fn borrow_workers(&self, want: usize) -> usize {
+        let budget = self.inner.config.threads.saturating_sub(1);
+        let mut current = self.inner.borrowed_workers.load(Ordering::Relaxed);
+        loop {
+            let available = budget.saturating_sub(current);
+            let take = want.min(available);
+            if take == 0 {
+                return 0;
+            }
+            match self.inner.borrowed_workers.compare_exchange_weak(
+                current,
+                current + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn return_workers(&self, count: usize) {
+        self.inner
+            .borrowed_workers
+            .fetch_sub(count, Ordering::Relaxed);
+    }
+}
+
+/// Number of threads a parallel engine uses by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------
+// Interner.
+// ---------------------------------------------------------------------
+
+/// A hash-consed value: one shared allocation per distinct value, with
+/// id-based `O(1)` equality and hashing.
+#[derive(Debug)]
+pub struct Interned<T> {
+    id: u64,
+    value: Arc<T>,
+}
+
+impl<T> Interned<T> {
+    /// The value's id: equal ids ⟺ structurally equal values (within
+    /// one engine).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl<T> Clone for Interned<T> {
+    fn clone(&self) -> Self {
+        Interned {
+            id: self.id,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Interned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> PartialEq for Interned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<T> Eq for Interned<T> {}
+
+impl<T> Hash for Interned<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+/// Per-type hash-consing pool.
+struct InternPool<T> {
+    map: Mutex<HashMap<Arc<T>, u64>>,
+}
+
+impl<T> Default for InternPool<T> {
+    fn default() -> Self {
+        InternPool {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T: Eq + Hash> InternPool<T> {
+    fn intern(&self, value: T) -> Interned<T> {
+        let mut map = self.map.lock().expect("intern pool poisoned");
+        if let Some((stored, id)) = map.get_key_value(&value) {
+            return Interned {
+                id: *id,
+                value: Arc::clone(stored),
+            };
+        }
+        let id = map.len() as u64;
+        let stored = Arc::new(value);
+        map.insert(Arc::clone(&stored), id);
+        Interned { id, value: stored }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memo cache.
+// ---------------------------------------------------------------------
+
+/// Bounded map cache. On overflow the whole cache resets — predictable,
+/// allocation-cheap, and safe for purely-memoizing uses.
+struct MemoCache<K, V> {
+    map: Mutex<HashMap<K, V>>,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        self.map
+            .lock()
+            .expect("memo cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn put(&self, key: K, value: V, capacity: usize) {
+        let mut map = self.map.lock().expect("memo cache poisoned");
+        if map.len() >= capacity {
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_matches_sequential_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let sequential: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                cache_capacity: 0,
+            });
+            let parallel = engine.parallel_map(&items, |x| x * x);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_maps_stay_within_budget() {
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: 0,
+        });
+        let outer: Vec<u64> = (0..8).collect();
+        let result = engine.parallel_map(&outer, |&i| {
+            let inner: Vec<u64> = (0..50).collect();
+            engine
+                .parallel_map(&inner, |&j| i * 100 + j)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8).map(|i| (0..50).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(result, expected);
+        assert_eq!(engine.inner.borrowed_workers.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn interning_shares_ids() {
+        let engine = Engine::default();
+        let a = engine.intern("hello".to_string());
+        let b = engine.intern("hello".to_string());
+        let c = engine.intern("world".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+        assert_eq!(&*a, "hello");
+    }
+
+    #[test]
+    fn cache_memoizes_and_respects_capacity_zero() {
+        let engine = Engine::default();
+        let mut calls = 0;
+        let v1 = engine.cached("t", 7u64, || {
+            calls += 1;
+            42u64
+        });
+        let mut calls2 = 0;
+        let v2 = engine.cached("t", 7u64, || {
+            calls2 += 1;
+            42u64
+        });
+        assert_eq!((v1, v2), (42, 42));
+        assert_eq!((calls, calls2), (1, 0));
+        assert_eq!(engine.cache_stats(), (1, 1));
+
+        let cold = Engine::uncached(1);
+        let mut cold_calls = 0;
+        for _ in 0..3 {
+            cold.cached("t", 7u64, || {
+                cold_calls += 1;
+                1u64
+            });
+        }
+        assert_eq!(cold_calls, 3);
+    }
+
+    #[test]
+    fn cache_namespaces_are_disjoint() {
+        let engine = Engine::default();
+        let a = engine.cached("ns-a", 1u64, || "a".to_string());
+        let b = engine.cached("ns-b", 1u64, || "b".to_string());
+        assert_eq!((a.as_str(), b.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn cache_overflow_resets_instead_of_growing() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 4,
+        });
+        for k in 0..100u64 {
+            engine.cached("bounded", k, || k);
+        }
+        let map = engine.typed::<MemoCache<u64, u64>>("bounded");
+        assert!(map.map.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn parallel_map_usable_from_cached_compute() {
+        // The common composition: a cached QE step fans out internally.
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: 16,
+        });
+        let items: Vec<u64> = (0..40).collect();
+        let total = engine.cached("combo", 1u64, || {
+            engine
+                .parallel_map(&items, |x| x + 1)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(total, (1..=40).sum());
+    }
+}

@@ -50,7 +50,7 @@ pub fn eval_term<I: Interpretation>(
 ) -> Result<I::Elem, LogicError> {
     match term {
         Term::Var(v) => env
-            .get(v)
+            .get(v.as_str())
             .cloned()
             .ok_or_else(|| LogicError::eval(format!("unbound variable `{v}`"))),
         Term::Nat(n) => interp.nat(*n),

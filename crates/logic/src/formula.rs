@@ -7,7 +7,7 @@
 //! absorb neutral/absorbing elements, so `and([])` is `True` and
 //! `or([])` is `False`.
 
-use crate::term::Term;
+use crate::term::{Sym, Term};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -20,7 +20,7 @@ pub enum Formula {
     False,
     /// An applied predicate — a database relation symbol or a domain
     /// predicate (e.g. the paper's ternary `P` over the trace domain).
-    Pred(String, Vec<Term>),
+    Pred(Sym, Vec<Term>),
     /// Equality, available in every domain considered by the paper.
     Eq(Term, Term),
     /// Negation.
@@ -149,7 +149,7 @@ impl Formula {
     }
 
     /// An applied predicate.
-    pub fn pred(name: impl Into<String>, args: Vec<Term>) -> Formula {
+    pub fn pred(name: impl Into<Sym>, args: Vec<Term>) -> Formula {
         Formula::Pred(name.into(), args)
     }
 
@@ -290,7 +290,7 @@ impl Formula {
         let mut out = BTreeSet::new();
         self.visit(&mut |f| {
             if let Formula::Pred(name, _) = f {
-                out.insert(name.clone());
+                out.insert(name.as_str().to_owned());
             }
         });
         out
@@ -301,7 +301,7 @@ impl Formula {
         fn walk_term(t: &Term, out: &mut BTreeSet<String>) {
             if let Term::App(name, args) = t {
                 if args.is_empty() {
-                    out.insert(name.clone());
+                    out.insert(name.as_str().to_owned());
                 }
                 for a in args {
                     walk_term(a, out);

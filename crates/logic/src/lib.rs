@@ -44,4 +44,4 @@ pub use formula::Formula;
 pub use parser::{parse_formula, parse_term};
 pub use signature::{Signature, SymbolKind};
 pub use subst::{bind_constants, fresh_var, rename_bound, substitute, substitute_const};
-pub use term::Term;
+pub use term::{Sym, Term};

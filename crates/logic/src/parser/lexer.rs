@@ -82,81 +82,138 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LogicError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '&' => {
-                tokens.push(Token { kind: TokenKind::Amp, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Amp,
+                    offset: start,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '\'' => {
-                tokens.push(Token { kind: TokenKind::Prime, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Prime,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::EqSym, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::EqSym,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NeqSym, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NeqSym,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::DArrow, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DArrow,
+                        offset: start,
+                    });
                     i += 3;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -184,7 +241,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LogicError> {
                 let n: u64 = text
                     .parse()
                     .map_err(|_| LogicError::lex(start, format!("number too large: {text}")))?;
-                tokens.push(Token { kind: TokenKind::Nat(n), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Nat(n),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 while i < bytes.len()
@@ -198,7 +258,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LogicError> {
                 });
             }
             other => {
-                return Err(LogicError::lex(start, format!("unexpected character `{other}`")));
+                return Err(LogicError::lex(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -214,7 +277,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -256,7 +323,10 @@ mod tests {
 
     #[test]
     fn empty_string_literal() {
-        assert_eq!(kinds("\"\""), vec![TokenKind::Str(String::new()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("\"\""),
+            vec![TokenKind::Str(String::new()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl Parser {
         } else {
             Err(LogicError::parse(
                 self.offset(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -96,7 +100,10 @@ impl Parser {
                         other => {
                             return Err(LogicError::parse(
                                 self.offset(),
-                                format!("expected variable after quantifier, found {}", other.describe()),
+                                format!(
+                                    "expected variable after quantifier, found {}",
+                                    other.describe()
+                                ),
                             ))
                         }
                     }
@@ -338,9 +345,9 @@ impl Parser {
                         }
                     }
                     self.expect(TokenKind::RParen)?;
-                    Ok(Term::App(name, args))
+                    Ok(Term::App(name.into(), args))
                 } else {
-                    Ok(Term::Var(name))
+                    Ok(Term::Var(name.into()))
                 }
             }
             TokenKind::LParen => {
@@ -427,7 +434,10 @@ mod tests {
     #[test]
     fn parenthesized_term_comparison() {
         let f = parse_formula("(x + 1) = y").unwrap();
-        assert_eq!(f, Formula::eq(Term::app2("+", v("x"), Term::Nat(1)), v("y")));
+        assert_eq!(
+            f,
+            Formula::eq(Term::app2("+", v("x"), Term::Nat(1)), v("y"))
+        );
     }
 
     #[test]

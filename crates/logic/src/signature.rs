@@ -65,7 +65,8 @@ impl Signature {
     /// Fluent variant of [`Self::declare`] that panics on conflict; intended
     /// for building signatures from literals.
     pub fn with(mut self, name: &str, kind: SymbolKind, arity: usize) -> Self {
-        self.declare(name, kind, arity).expect("conflicting declaration");
+        self.declare(name, kind, arity)
+            .expect("conflicting declaration");
         self
     }
 
@@ -100,7 +101,10 @@ impl Signature {
             match f {
                 Formula::Pred(name, args) => {
                     match self.get(name) {
-                        Some((SymbolKind::DomainPredicate | SymbolKind::DatabaseRelation, arity)) => {
+                        Some((
+                            SymbolKind::DomainPredicate | SymbolKind::DatabaseRelation,
+                            arity,
+                        )) => {
                             if args.len() != arity {
                                 result = Err(LogicError::signature(
                                     name,

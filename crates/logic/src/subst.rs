@@ -44,7 +44,9 @@ fn subst_inner(
             name.clone(),
             args.iter().map(|t| t.subst_var(var, replacement)).collect(),
         ),
-        Formula::Eq(a, b) => Formula::Eq(a.subst_var(var, replacement), b.subst_var(var, replacement)),
+        Formula::Eq(a, b) => {
+            Formula::Eq(a.subst_var(var, replacement), b.subst_var(var, replacement))
+        }
         Formula::Not(f) => Formula::Not(Box::new(subst_inner(f, var, replacement, repl_vars))),
         Formula::And(fs) => Formula::And(
             fs.iter()
@@ -76,7 +78,7 @@ fn subst_inner(
                 taken.extend(repl_vars.iter().cloned());
                 taken.insert(var.to_string());
                 let fresh = fresh_var(v, &taken);
-                let renamed = substitute(body, v, &Term::Var(fresh.clone()));
+                let renamed = substitute(body, v, &Term::var(fresh.clone()));
                 (fresh, renamed)
             } else {
                 (v.clone(), body.as_ref().clone())
@@ -103,7 +105,9 @@ pub fn substitute_const(formula: &Formula, constant: &str, replacement: &Term) -
             Term::App(name, args) if name == constant && args.is_empty() => replacement.clone(),
             Term::App(name, args) => Term::App(
                 name.clone(),
-                args.iter().map(|a| in_term(a, constant, replacement)).collect(),
+                args.iter()
+                    .map(|a| in_term(a, constant, replacement))
+                    .collect(),
             ),
             other => other.clone(),
         }
@@ -111,7 +115,9 @@ pub fn substitute_const(formula: &Formula, constant: &str, replacement: &Term) -
     formula.map_atoms(&mut |atom| match atom {
         Formula::Pred(name, args) => Formula::Pred(
             name.clone(),
-            args.iter().map(|t| in_term(t, constant, replacement)).collect(),
+            args.iter()
+                .map(|t| in_term(t, constant, replacement))
+                .collect(),
         ),
         Formula::Eq(a, b) => Formula::Eq(
             in_term(a, constant, replacement),
@@ -130,7 +136,7 @@ pub fn substitute_const(formula: &Formula, constant: &str, replacement: &Term) -
 pub fn bind_constants(formula: &Formula, constants: &BTreeSet<String>) -> Formula {
     fn in_term(t: &Term, constants: &BTreeSet<String>, bound: &[String]) -> Term {
         match t {
-            Term::Var(v) if constants.contains(v) && !bound.iter().any(|b| b == v) => {
+            Term::Var(v) if constants.contains(v.as_str()) && !bound.iter().any(|b| b == v) => {
                 Term::named(v.clone())
             }
             Term::App(name, args) => Term::App(
@@ -147,12 +153,13 @@ pub fn bind_constants(formula: &Formula, constants: &BTreeSet<String>) -> Formul
                 name.clone(),
                 args.iter().map(|t| in_term(t, constants, bound)).collect(),
             ),
-            Formula::Eq(a, b) => Formula::Eq(
-                in_term(a, constants, bound),
-                in_term(b, constants, bound),
-            ),
+            Formula::Eq(a, b) => {
+                Formula::Eq(in_term(a, constants, bound), in_term(b, constants, bound))
+            }
             Formula::Not(inner) => Formula::Not(Box::new(walk(inner, constants, bound))),
-            Formula::And(fs) => Formula::And(fs.iter().map(|g| walk(g, constants, bound)).collect()),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|g| walk(g, constants, bound)).collect())
+            }
             Formula::Or(fs) => Formula::Or(fs.iter().map(|g| walk(g, constants, bound)).collect()),
             Formula::Implies(a, b) => {
                 Formula::implies(walk(a, constants, bound), walk(b, constants, bound))
@@ -189,9 +196,7 @@ fn rename_inner(formula: &Formula, taken: &mut BTreeSet<String>) -> Formula {
         Formula::Not(f) => Formula::Not(Box::new(rename_inner(f, taken))),
         Formula::And(fs) => Formula::And(fs.iter().map(|f| rename_inner(f, taken)).collect()),
         Formula::Or(fs) => Formula::Or(fs.iter().map(|f| rename_inner(f, taken)).collect()),
-        Formula::Implies(a, b) => {
-            Formula::implies(rename_inner(a, taken), rename_inner(b, taken))
-        }
+        Formula::Implies(a, b) => Formula::implies(rename_inner(a, taken), rename_inner(b, taken)),
         Formula::Iff(a, b) => Formula::iff(rename_inner(a, taken), rename_inner(b, taken)),
         Formula::Exists(v, body) | Formula::Forall(v, body) => {
             let is_exists = matches!(formula, Formula::Exists(..));
@@ -200,7 +205,7 @@ fn rename_inner(formula: &Formula, taken: &mut BTreeSet<String>) -> Formula {
             let body2 = if fresh == *v {
                 body.as_ref().clone()
             } else {
-                substitute(body, v, &Term::Var(fresh.clone()))
+                substitute(body, v, &Term::var(fresh.clone()))
             };
             let new_body = rename_inner(&body2, taken);
             if is_exists {

@@ -9,39 +9,155 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
+
+/// A symbol name: variable, predicate, or function identifier.
+///
+/// Backed by `Arc<str>`, so cloning a name — which formula enumeration
+/// and quantifier elimination do per generated atom — is a reference
+/// count bump instead of a heap allocation. Equality, ordering, and
+/// hashing all delegate to the underlying string, so collections keyed
+/// by names behave exactly as with `String`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Sym {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym(Arc::from(s))
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym(Arc::from(s.as_str()))
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Self {
+        Sym(Arc::from(s.as_str()))
+    }
+}
+
+impl From<&Sym> for Sym {
+    fn from(s: &Sym) -> Self {
+        s.clone()
+    }
+}
+
+impl From<&Sym> for String {
+    fn from(s: &Sym) -> Self {
+        s.as_str().to_owned()
+    }
+}
+
+impl From<Sym> for String {
+    fn from(s: Sym) -> Self {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Sym {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for String {
+    fn eq(&self, other: &Sym) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A first-order term.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable.
-    Var(String),
+    Var(Sym),
     /// A natural-number literal (domains of Section 2).
     Nat(u64),
     /// A string literal over the trace alphabet `{1, &, *, #}`
     /// (domain **T** of Section 3). The empty string is the paper's ε.
     Str(String),
     /// Function application; nullary applications are named constants.
-    App(String, Vec<Term>),
+    App(Sym, Vec<Term>),
 }
 
 impl Term {
     /// Convenience constructor for a variable.
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl Into<Sym>) -> Self {
         Term::Var(name.into())
     }
 
     /// Convenience constructor for a named constant (nullary application).
-    pub fn named(name: impl Into<String>) -> Self {
+    pub fn named(name: impl Into<Sym>) -> Self {
         Term::App(name.into(), Vec::new())
     }
 
     /// Convenience constructor for a unary application.
-    pub fn app1(name: impl Into<String>, arg: Term) -> Self {
+    pub fn app1(name: impl Into<Sym>, arg: Term) -> Self {
         Term::App(name.into(), vec![arg])
     }
 
     /// Convenience constructor for a binary application.
-    pub fn app2(name: impl Into<String>, a: Term, b: Term) -> Self {
+    pub fn app2(name: impl Into<Sym>, a: Term, b: Term) -> Self {
         Term::App(name.into(), vec![a, b])
     }
 
@@ -65,7 +181,7 @@ impl Term {
     pub(crate) fn collect_vars(&self, out: &mut BTreeSet<String>) {
         match self {
             Term::Var(v) => {
-                out.insert(v.clone());
+                out.insert(v.as_str().to_owned());
             }
             Term::Nat(_) | Term::Str(_) => {}
             Term::App(_, args) => {

@@ -20,12 +20,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal.
     pub fn pos(atom: Formula) -> Self {
-        Literal { positive: true, atom }
+        Literal {
+            positive: true,
+            atom,
+        }
     }
 
     /// Negative literal.
     pub fn neg(atom: Formula) -> Self {
-        Literal { positive: false, atom }
+        Literal {
+            positive: false,
+            atom,
+        }
     }
 
     /// Back to a formula.
@@ -198,7 +204,10 @@ mod tests {
 
     #[test]
     fn true_yields_single_empty_conjunction() {
-        assert_eq!(dnf_conjunctions(&Formula::True), vec![Vec::<Literal>::new()]);
+        assert_eq!(
+            dnf_conjunctions(&Formula::True),
+            vec![Vec::<Literal>::new()]
+        );
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl PrenexFormula {
 
     /// Number of quantifier alternations in the prefix.
     pub fn alternations(&self) -> usize {
-        self.prefix
-            .windows(2)
-            .filter(|w| w[0].0 != w[1].0)
-            .count()
+        self.prefix.windows(2).filter(|w| w[0].0 != w[1].0).count()
     }
 }
 

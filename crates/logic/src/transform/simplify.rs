@@ -1,7 +1,7 @@
 //! Constant folding and local simplification.
 
 use crate::formula::Formula;
-use crate::term::Term;
+use crate::term::{Sym, Term};
 
 /// Simplify a formula:
 ///
@@ -148,10 +148,10 @@ fn simplify_eq(a: &Term, b: &Term) -> Formula {
     }
 }
 
-fn simplify_pred(name: &str, args: &[Term]) -> Formula {
+fn simplify_pred(name: &Sym, args: &[Term]) -> Formula {
     if args.len() == 2 {
         if let (Term::Nat(x), Term::Nat(y)) = (&args[0], &args[1]) {
-            let value = match name {
+            let value = match name.as_str() {
                 "<" => Some(x < y),
                 "<=" => Some(x <= y),
                 ">" => Some(x > y),
@@ -163,7 +163,7 @@ fn simplify_pred(name: &str, args: &[Term]) -> Formula {
             }
         }
     }
-    Formula::Pred(name.to_string(), args.to_vec())
+    Formula::Pred(name.clone(), args.to_vec())
 }
 
 #[cfg(test)]

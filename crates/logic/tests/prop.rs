@@ -30,10 +30,8 @@ fn arb_qf() -> impl Strategy<Value = Formula> {
     ];
     atom.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
             inner.clone().prop_map(|a| Formula::Not(Box::new(a))),

@@ -123,8 +123,7 @@ impl DomainOps for TraceOps {
                     return Ok(false);
                 }
                 let sb = s.as_bytes();
-                Ok(w
-                    .bytes()
+                Ok(w.bytes()
                     .enumerate()
                     .all(|(k, wc)| sb.get(k).copied().unwrap_or(b'&') == wc))
             }
@@ -259,8 +258,7 @@ mod tests {
     fn papers_query_g_grandfathers() {
         // G(x, z): grandfather/grandson.
         let q = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
-        let ans =
-            eval_query(&fathers(), &NoOps, &q, &["x".to_string(), "z".to_string()]).unwrap();
+        let ans = eval_query(&fathers(), &NoOps, &q, &["x".to_string(), "z".to_string()]).unwrap();
         assert_eq!(ans, vec![vec![Value::Nat(1), Value::Nat(4)]]);
     }
 
@@ -324,8 +322,7 @@ mod tests {
         let schema = Schema::new().with_relation("F", 2);
         let state = State::new(schema);
         let q = parse_formula("F(x, y)").unwrap();
-        let ans =
-            eval_query(&state, &NoOps, &q, &["x".to_string(), "y".to_string()]).unwrap();
+        let ans = eval_query(&state, &NoOps, &q, &["x".to_string(), "y".to_string()]).unwrap();
         assert!(ans.is_empty());
     }
 }

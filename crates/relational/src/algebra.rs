@@ -22,7 +22,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation over the given attributes.
     pub fn empty(attrs: Vec<String>) -> Self {
-        Relation { attrs, tuples: BTreeSet::new() }
+        Relation {
+            attrs,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Column index of an attribute.
@@ -161,9 +164,7 @@ impl AlgebraExpr {
                     .attrs
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, attr)| {
-                        rb.attrs.iter().position(|x| x == attr).map(|j| (i, j))
-                    })
+                    .filter_map(|(i, attr)| rb.attrs.iter().position(|x| x == attr).map(|j| (i, j)))
                     .collect();
                 let extra: Vec<usize> = rb
                     .attrs
@@ -239,31 +240,30 @@ impl std::error::Error for CompileError {}
 /// Compile a safe-range query into the algebra. The output attributes are
 /// the query's free variables.
 pub fn compile(schema: &Schema, query: &Formula) -> Result<AlgebraExpr, CompileError> {
-    crate::safe_range::check_safe_range(schema, query)
-        .map_err(|e| CompileError(e.to_string()))?;
+    crate::safe_range::check_safe_range(schema, query).map_err(|e| CompileError(e.to_string()))?;
     compile_inner(schema, &srnf(query))
 }
 
 fn compile_inner(schema: &Schema, f: &Formula) -> Result<AlgebraExpr, CompileError> {
     match f {
-        Formula::Pred(name, args) if schema.arity(name).is_some() => {
-            compile_atom(name, args)
-        }
+        Formula::Pred(name, args) if schema.arity(name).is_some() => compile_atom(name, args),
         Formula::Eq(a, b) => match (a, b) {
             (Term::Var(v), t) | (t, Term::Var(v)) if t.is_ground() => {
-                let value = Value::from_term(t).ok_or_else(|| {
-                    CompileError(format!("unsupported ground term `{t}`"))
-                })?;
-                Ok(AlgebraExpr::Singleton(vec![(v.clone(), value)]))
+                let value = Value::from_term(t)
+                    .ok_or_else(|| CompileError(format!("unsupported ground term `{t}`")))?;
+                Ok(AlgebraExpr::Singleton(vec![(v.to_string(), value)]))
             }
-            _ => Err(CompileError(format!("equality `{f}` does not define a range"))),
+            _ => Err(CompileError(format!(
+                "equality `{f}` does not define a range"
+            ))),
         },
         Formula::And(gs) => compile_conjunction(schema, gs),
         Formula::Or(gs) => {
             let mut iter = gs.iter();
             let first = compile_inner(
                 schema,
-                iter.next().ok_or_else(|| CompileError("empty disjunction".into()))?,
+                iter.next()
+                    .ok_or_else(|| CompileError("empty disjunction".into()))?,
             )?;
             let attrs = first.attrs();
             let mut acc = first;
@@ -283,8 +283,7 @@ fn compile_inner(schema: &Schema, f: &Formula) -> Result<AlgebraExpr, CompileErr
         }
         Formula::Exists(v, g) => {
             let inner = compile_inner(schema, g)?;
-            let attrs: Vec<String> =
-                inner.attrs().into_iter().filter(|a| a != v).collect();
+            let attrs: Vec<String> = inner.attrs().into_iter().filter(|a| a != v).collect();
             Ok(AlgebraExpr::Project(Box::new(inner), attrs))
         }
         other => Err(CompileError(format!(
@@ -313,13 +312,12 @@ fn compile_atom(name: &str, args: &[Term]) -> Result<AlgebraExpr, CompileError> 
                         Condition::EqAttr(prev.clone(), positional[i].clone()),
                     );
                 } else {
-                    seen.push((v.clone(), positional[i].clone()));
+                    seen.push((v.to_string(), positional[i].clone()));
                 }
             }
             ground if ground.is_ground() => {
-                let value = Value::from_term(ground).ok_or_else(|| {
-                    CompileError(format!("unsupported ground term `{ground}`"))
-                })?;
+                let value = Value::from_term(ground)
+                    .ok_or_else(|| CompileError(format!("unsupported ground term `{ground}`")))?;
                 expr = AlgebraExpr::Select(
                     Box::new(expr),
                     Condition::EqConst(positional[i].clone(), value),
@@ -345,8 +343,7 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
     // inside every other conjunct, so subformulas that mention `v` under
     // quantifiers or negations (e.g. `x = 2 & ∃z(R(y,z) ∧ x ≠ 0)`) become
     // locally well-scoped.
-    let original_free: Vec<String> =
-        Formula::And(gs.to_vec()).free_vars().into_iter().collect();
+    let original_free: Vec<String> = Formula::And(gs.to_vec()).free_vars().into_iter().collect();
     let mut gs: Vec<Formula> = gs.to_vec();
     let mut propagated = true;
     while propagated {
@@ -354,10 +351,8 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
         let bindings: Vec<(String, Term)> = gs
             .iter()
             .filter_map(|g| match g {
-                Formula::Eq(Term::Var(v), t) | Formula::Eq(t, Term::Var(v))
-                    if t.is_ground() =>
-                {
-                    Some((v.clone(), t.clone()))
+                Formula::Eq(Term::Var(v), t) | Formula::Eq(t, Term::Var(v)) if t.is_ground() => {
+                    Some((v.to_string(), t.clone()))
                 }
                 _ => None,
             })
@@ -381,10 +376,7 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
     }
     // Ground residues left by the propagation (`¬(2 = 0)` etc.) fold away;
     // a ground `False` marks the whole conjunction contradictory.
-    let gs: Vec<Formula> = gs
-        .iter()
-        .map(fq_logic::transform::simplify)
-        .collect();
+    let gs: Vec<Formula> = gs.iter().map(fq_logic::transform::simplify).collect();
     let mut contradiction = false;
     let gs: Vec<&Formula> = gs
         .iter()
@@ -400,7 +392,7 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
 
     // 1. Positive range-giving parts join together.
     let mut positive: Option<AlgebraExpr> = None;
-    let mut equalities: Vec<(&String, &String)> = Vec::new();
+    let mut equalities: Vec<(&fq_logic::Sym, &fq_logic::Sym)> = Vec::new();
     let mut negations: Vec<&Formula> = Vec::new();
     for g in gs {
         match g {
@@ -420,9 +412,8 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
         // parts may have collapsed together with the contradiction).
         return Ok(AlgebraExpr::Empty(original_free));
     }
-    let mut expr = positive.ok_or_else(|| {
-        CompileError("conjunction has no positive range-giving part".into())
-    })?;
+    let mut expr = positive
+        .ok_or_else(|| CompileError("conjunction has no positive range-giving part".into()))?;
 
     // 2. Variable equalities: select when both bound, extend when one new.
     let mut changed = true;
@@ -432,20 +423,21 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
         let mut rest = Vec::new();
         for (a, b) in pending {
             let attrs = expr.attrs();
-            match (attrs.contains(a), attrs.contains(b)) {
+            let has = |v: &fq_logic::Sym| attrs.iter().any(|x| v == x);
+            match (has(a), has(b)) {
                 (true, true) => {
                     expr = AlgebraExpr::Select(
                         Box::new(expr),
-                        Condition::EqAttr(a.clone(), b.clone()),
+                        Condition::EqAttr(a.to_string(), b.to_string()),
                     );
                     changed = true;
                 }
                 (true, false) => {
-                    expr = AlgebraExpr::Extend(Box::new(expr), b.clone(), a.clone());
+                    expr = AlgebraExpr::Extend(Box::new(expr), b.to_string(), a.to_string());
                     changed = true;
                 }
                 (false, true) => {
-                    expr = AlgebraExpr::Extend(Box::new(expr), a.clone(), b.clone());
+                    expr = AlgebraExpr::Extend(Box::new(expr), a.to_string(), b.to_string());
                     changed = true;
                 }
                 (false, false) => rest.push((a, b)),
@@ -454,7 +446,9 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
         pending = rest;
     }
     if !pending.is_empty() {
-        return Err(CompileError("variable equality over unbound variables".into()));
+        return Err(CompileError(
+            "variable equality over unbound variables".into(),
+        ));
     }
 
     // 3. Negations: anti-join against the positive part.
@@ -463,24 +457,21 @@ fn compile_conjunction(schema: &Schema, gs: &[Formula]) -> Result<AlgebraExpr, C
         let neg = match inner {
             // ¬(x = y) with both bound: a plain selection.
             Formula::Eq(Term::Var(a), Term::Var(b))
-                if attrs.contains(a) && attrs.contains(b) =>
+                if attrs.iter().any(|x| a == x) && attrs.iter().any(|x| b == x) =>
             {
                 expr = AlgebraExpr::Select(
                     Box::new(expr),
-                    Condition::NeqAttr(a.clone(), b.clone()),
+                    Condition::NeqAttr(a.to_string(), b.to_string()),
                 );
                 continue;
             }
             Formula::Eq(Term::Var(v), t) | Formula::Eq(t, Term::Var(v))
-                if attrs.contains(v) && t.is_ground() =>
+                if attrs.iter().any(|x| v == x) && t.is_ground() =>
             {
-                let value = Value::from_term(t).ok_or_else(|| {
-                    CompileError(format!("unsupported ground term `{t}`"))
-                })?;
-                expr = AlgebraExpr::Select(
-                    Box::new(expr),
-                    Condition::NeqConst(v.clone(), value),
-                );
+                let value = Value::from_term(t)
+                    .ok_or_else(|| CompileError(format!("unsupported ground term `{t}`")))?;
+                expr =
+                    AlgebraExpr::Select(Box::new(expr), Condition::NeqConst(v.to_string(), value));
                 continue;
             }
             other => compile_inner(schema, other)?,
@@ -553,9 +544,7 @@ mod tests {
         check_against_calculus("F(x, y) | (x = 9 & y = 9)");
         check_against_calculus("F(x, y) & !F(y, x)");
         // Fathers who are not grandsons of anyone.
-        check_against_calculus(
-            "(exists y. F(x, y)) & !(exists g. exists f. F(g, f) & F(f, x))"
-        );
+        check_against_calculus("(exists y. F(x, y)) & !(exists g. exists f. F(g, f) & F(f, x))");
     }
 
     #[test]
@@ -614,8 +603,6 @@ mod tests {
     #[test]
     fn forall_via_srnf() {
         // Fathers all of whose sons are 2 or 3.
-        check_against_calculus(
-            "(exists y. F(x, y)) & forall y. F(x, y) -> y = 2 | y = 3"
-        );
+        check_against_calculus("(exists y. F(x, y)) & forall y. F(x, y) -> y = 2 | y = 3");
     }
 }

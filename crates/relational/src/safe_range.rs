@@ -111,10 +111,7 @@ fn srnf_signed(f: &Formula, sign: bool) -> Formula {
 
 /// The range-restricted variables of an SRNF formula, or the reason the
 /// computation fails.
-pub fn range_restricted(
-    schema: &Schema,
-    f: &Formula,
-) -> Result<BTreeSet<String>, NotSafeRange> {
+pub fn range_restricted(schema: &Schema, f: &Formula) -> Result<BTreeSet<String>, NotSafeRange> {
     match f {
         Formula::True | Formula::False => Ok(BTreeSet::new()),
         Formula::Pred(name, args) => {
@@ -123,7 +120,7 @@ pub fn range_restricted(
                 let mut out = BTreeSet::new();
                 for t in args {
                     if let fq_logic::Term::Var(v) = t {
-                        out.insert(v.clone());
+                        out.insert(v.to_string());
                     }
                 }
                 Ok(out)
@@ -136,7 +133,7 @@ pub fn range_restricted(
             let mut out = BTreeSet::new();
             match (a, b) {
                 (fq_logic::Term::Var(v), t) | (t, fq_logic::Term::Var(v)) if t.is_ground() => {
-                    out.insert(v.clone());
+                    out.insert(v.to_string());
                 }
                 _ => {}
             }
@@ -159,10 +156,10 @@ pub fn range_restricted(
                 let mut changed = false;
                 for g in gs {
                     if let Formula::Eq(fq_logic::Term::Var(x), fq_logic::Term::Var(y)) = g {
-                        if out.contains(x) && out.insert(y.clone()) {
+                        if out.contains(x.as_str()) && out.insert(y.to_string()) {
                             changed = true;
                         }
-                        if out.contains(y) && out.insert(x.clone()) {
+                        if out.contains(y.as_str()) && out.insert(x.to_string()) {
                             changed = true;
                         }
                     }
@@ -275,7 +272,10 @@ mod tests {
 
     #[test]
     fn quantifier_over_unrestricted_var_fails() {
-        let err = check_safe_range(&fathers(), &parse_formula("exists y. x = x & y != 0").unwrap());
+        let err = check_safe_range(
+            &fathers(),
+            &parse_formula("exists y. x = x & y != 0").unwrap(),
+        );
         assert!(matches!(
             err,
             Err(NotSafeRange::UnrestrictedQuantifier { .. })

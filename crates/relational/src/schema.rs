@@ -5,12 +5,12 @@
 //! scheme constants — Theorem 3.1 works with "a database scheme that
 //! consists of one constant symbol c".
 
+use fq_json::{FromJson, JsonError, ToJson, Value};
 use fq_logic::{Signature, SymbolKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A database scheme: relation names with arities, plus scheme constants.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schema {
     relations: BTreeMap<String, usize>,
     constants: Vec<String>,
@@ -30,7 +30,10 @@ impl Schema {
     pub fn with_relation(mut self, name: impl Into<String>, arity: usize) -> Self {
         let name = name.into();
         if let Some(prev) = self.relations.insert(name.clone(), arity) {
-            assert_eq!(prev, arity, "relation `{name}` redeclared with different arity");
+            assert_eq!(
+                prev, arity,
+                "relation `{name}` redeclared with different arity"
+            );
         }
         self
     }
@@ -68,6 +71,24 @@ impl Schema {
             sig = sig.with(c, SymbolKind::SchemeConstant, 0);
         }
         sig
+    }
+}
+
+impl ToJson for Schema {
+    fn to_json(&self) -> Value {
+        fq_json::object([
+            ("relations", self.relations.to_json()),
+            ("constants", self.constants.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Schema {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(Schema {
+            relations: FromJson::from_json(fq_json::member(value, "relations")?)?,
+            constants: FromJson::from_json(fq_json::member(value, "constants")?)?,
+        })
     }
 }
 
@@ -115,10 +136,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = Schema::new().with_relation("F", 2).with_constant("c");
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Schema = serde_json::from_str(&json).unwrap();
+        let json = fq_json::to_string(&s);
+        let back: Schema = fq_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

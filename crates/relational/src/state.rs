@@ -1,14 +1,14 @@
 //! Database states and the active domain.
 
 use crate::schema::Schema;
+use fq_json::{FromJson, JsonError, ToJson};
 use fq_logic::{Formula, Term};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A domain element stored in a database: a natural number (numeric
 /// domains of Section 2) or a string over the trace alphabet (domain
 /// **T** of Section 3).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     Nat(u64),
     Str(String),
@@ -54,11 +54,32 @@ impl From<&str> for Value {
     }
 }
 
+// Keep the serde externally-tagged enum format (`{"Nat": 1}`) that the
+// files under `examples/data/` already use.
+impl ToJson for Value {
+    fn to_json(&self) -> fq_json::Value {
+        match self {
+            Value::Nat(n) => fq_json::object([("Nat", n.to_json())]),
+            Value::Str(s) => fq_json::object([("Str", s.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(value: &fq_json::Value) -> Result<Self, JsonError> {
+        match value.as_object() {
+            Some([(tag, payload)]) if tag == "Nat" => Ok(Value::Nat(u64::from_json(payload)?)),
+            Some([(tag, payload)]) if tag == "Str" => Ok(Value::Str(String::from_json(payload)?)),
+            _ => Err(JsonError::new("expected {\"Nat\": …} or {\"Str\": …}")),
+        }
+    }
+}
+
 /// A tuple of values.
 pub type Tuple = Vec<Value>;
 
 /// A database state: finite relations plus values for scheme constants.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct State {
     schema: Schema,
     relations: BTreeMap<String, BTreeSet<Tuple>>,
@@ -176,6 +197,26 @@ impl State {
     }
 }
 
+impl ToJson for State {
+    fn to_json(&self) -> fq_json::Value {
+        fq_json::object([
+            ("schema", self.schema.to_json()),
+            ("relations", self.relations.to_json()),
+            ("constants", self.constants.to_json()),
+        ])
+    }
+}
+
+impl FromJson for State {
+    fn from_json(value: &fq_json::Value) -> Result<Self, JsonError> {
+        Ok(State {
+            schema: FromJson::from_json(fq_json::member(value, "schema")?)?,
+            relations: FromJson::from_json(fq_json::member(value, "relations")?)?,
+            constants: FromJson::from_json(fq_json::member(value, "constants")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,10 +297,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = fathers();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: State = serde_json::from_str(&json).unwrap();
+        let json = fq_json::to_string(&s);
+        let back: State = fq_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 

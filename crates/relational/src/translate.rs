@@ -64,8 +64,7 @@ mod tests {
     fn relation_atom_expands_to_disjunction() {
         let q = parse_formula("F(x, y)").unwrap();
         let t = translate_to_domain_formula(&q, &fathers());
-        let expected =
-            parse_formula("(x = 1 & y = 2) | (x = 1 & y = 3)").unwrap();
+        let expected = parse_formula("(x = 1 & y = 2) | (x = 1 & y = 3)").unwrap();
         assert_eq!(t, expected);
     }
 
@@ -123,8 +122,7 @@ mod tests {
         // F(x, x) with state {(1,2),(1,3)}: no tuple matches.
         let q = parse_formula("exists x. F(x, x)").unwrap();
         let t = translate_to_domain_formula(&q, &fathers());
-        let expected =
-            parse_formula("exists x. (x = 1 & x = 2) | (x = 1 & x = 3)").unwrap();
+        let expected = parse_formula("exists x. (x = 1 & x = 2) | (x = 1 & x = 3)").unwrap();
         assert_eq!(t, expected);
     }
 }

@@ -52,7 +52,15 @@ pub fn run_exactly(k: u32) -> Machine {
     let mut m = Machine::new(k + 1);
     for q in 1..=k {
         for sym in [Sym::I, Sym::B] {
-            m.set_transition(q, sym, Trans { write: sym, mv: Move::Right, next: q + 1 });
+            m.set_transition(
+                q,
+                sym,
+                Trans {
+                    write: sym,
+                    mv: Move::Right,
+                    next: q + 1,
+                },
+            );
         }
     }
     m
@@ -80,12 +88,24 @@ pub fn reader(w: &str) -> Machine {
         m.set_transition(
             q,
             expected,
-            Trans { write: expected, mv: Move::Right, next: q + 1 },
+            Trans {
+                write: expected,
+                mv: Move::Right,
+                next: q + 1,
+            },
         );
         // The mismatching symbol stays undefined: halt.
     }
     for sym in [Sym::I, Sym::B] {
-        m.set_transition(n + 1, sym, Trans { write: sym, mv: Move::Right, next: n + 1 });
+        m.set_transition(
+            n + 1,
+            sym,
+            Trans {
+                write: sym,
+                mv: Move::Right,
+                next: n + 1,
+            },
+        );
     }
     m
 }
@@ -121,14 +141,38 @@ pub fn halt_on_prefix(w: &str) -> Machine {
     for (t, &expected) in word.iter().enumerate() {
         let q = t as u32 + 1;
         let next = if t + 1 == word.len() { n + 1 } else { q + 1 };
-        m.set_transition(q, expected, Trans { write: expected, mv: Move::Right, next });
+        m.set_transition(
+            q,
+            expected,
+            Trans {
+                write: expected,
+                mv: Move::Right,
+                next,
+            },
+        );
         let other = if expected == Sym::I { Sym::B } else { Sym::I };
-        m.set_transition(q, other, Trans { write: other, mv: Move::Right, next: sink });
+        m.set_transition(
+            q,
+            other,
+            Trans {
+                write: other,
+                mv: Move::Right,
+                next: sink,
+            },
+        );
     }
     // State n+1: all matched — halt (no transitions).
     // Sink: loop forever.
     for sym in [Sym::I, Sym::B] {
-        m.set_transition(sink, sym, Trans { write: sym, mv: Move::Right, next: sink });
+        m.set_transition(
+            sink,
+            sym,
+            Trans {
+                write: sym,
+                mv: Move::Right,
+                next: sink,
+            },
+        );
     }
     m
 }
@@ -193,7 +237,10 @@ pub fn trie_machine(spec: &TrieSpec) -> Result<Machine, TrieConflict> {
         let w = parse(u);
         if *j == 0 {
             // E_0 is unsatisfiable: every machine has at least one trace.
-            return Err(TrieConflict { prefix: String::new(), symbol: padded(&w, 0).to_char() });
+            return Err(TrieConflict {
+                prefix: String::new(),
+                symbol: padded(&w, 0).to_char(),
+            });
         }
         for t in 0..j - 1 {
             let prefix: Vec<Sym> = (0..t).map(|k| padded(&w, k)).collect();
@@ -203,7 +250,11 @@ pub fn trie_machine(spec: &TrieSpec) -> Result<Machine, TrieConflict> {
         halts.insert((prefix, padded(&w, j - 1)), ());
     }
 
-    if let Some(((prefix, sym), ())) = halts.iter().find(|(k, _)| defined.contains_key(k)).map(|(k, v)| (k.clone(), *v)) {
+    if let Some(((prefix, sym), ())) = halts
+        .iter()
+        .find(|(k, _)| defined.contains_key(k))
+        .map(|(k, v)| (k.clone(), *v))
+    {
         return Err(TrieConflict {
             prefix: crate::sym::word_to_string(&prefix),
             symbol: sym.to_char(),
@@ -241,12 +292,28 @@ pub fn trie_machine(spec: &TrieSpec) -> Result<Machine, TrieConflict> {
             let mut next_prefix = p.clone();
             next_prefix.push(sym);
             let next = state_of.get(&next_prefix).copied().unwrap_or(sink);
-            m.set_transition(q, sym, Trans { write: sym, mv: Move::Right, next });
+            m.set_transition(
+                q,
+                sym,
+                Trans {
+                    write: sym,
+                    mv: Move::Right,
+                    next,
+                },
+            );
         }
     }
     // Sink loops forever.
     for sym in [Sym::I, Sym::B] {
-        m.set_transition(sink, sym, Trans { write: sym, mv: Move::Right, next: sink });
+        m.set_transition(
+            sink,
+            sym,
+            Trans {
+                write: sym,
+                mv: Move::Right,
+                next: sink,
+            },
+        );
     }
     // The start state must be the empty prefix's state; our state numbering
     // assigned 1 to the lexicographically least prefix, which is the empty

@@ -42,7 +42,11 @@ impl MachineEnumerator {
         let d = digit - 1;
         let next = (d % n_states as usize) as u32 + 1;
         let rest = d / n_states as usize;
-        let write = if rest.is_multiple_of(2) { Sym::I } else { Sym::B };
+        let write = if rest.is_multiple_of(2) {
+            Sym::I
+        } else {
+            Sym::B
+        };
         let mv = match rest / 2 {
             0 => Move::Left,
             1 => Move::Right,

@@ -132,7 +132,10 @@ mod tests {
         let m = Machine::new(1);
         assert_eq!(
             run_bounded(&m, "111", 10),
-            RunOutcome::Halted { steps: 0, output: "111".into() }
+            RunOutcome::Halted {
+                steps: 0,
+                output: "111".into()
+            }
         );
     }
 

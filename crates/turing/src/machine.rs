@@ -71,7 +71,10 @@ impl Machine {
     ///
     /// Panics if `state` is out of range.
     pub fn transition(&self, state: u32, sym: Sym) -> Option<Trans> {
-        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        assert!(
+            state >= 1 && state <= self.n_states,
+            "state {state} out of range"
+        );
         self.delta[(state as usize - 1) * 2 + sym.index()]
     }
 
@@ -81,7 +84,10 @@ impl Machine {
     ///
     /// Panics if `state` or `trans.next` is out of range.
     pub fn set_transition(&mut self, state: u32, sym: Sym, trans: Trans) {
-        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        assert!(
+            state >= 1 && state <= self.n_states,
+            "state {state} out of range"
+        );
         assert!(
             trans.next >= 1 && trans.next <= self.n_states,
             "next state {} out of range",
@@ -92,13 +98,23 @@ impl Machine {
 
     /// Remove the transition for (state, symbol), making it a halt point.
     pub fn clear_transition(&mut self, state: u32, sym: Sym) {
-        assert!(state >= 1 && state <= self.n_states, "state {state} out of range");
+        assert!(
+            state >= 1 && state <= self.n_states,
+            "state {state} out of range"
+        );
         self.delta[(state as usize - 1) * 2 + sym.index()] = None;
     }
 
     /// Fluent transition definition for building machines in tests and the
     /// builders module.
-    pub fn with_transition(mut self, state: u32, sym: Sym, write: Sym, mv: Move, next: u32) -> Self {
+    pub fn with_transition(
+        mut self,
+        state: u32,
+        sym: Sym,
+        write: Sym,
+        mv: Move,
+        next: u32,
+    ) -> Self {
         self.set_transition(state, sym, Trans { write, mv, next });
         self
     }
@@ -134,7 +150,11 @@ impl Machine {
             m.set_transition(
                 q,
                 Sym::I,
-                Trans { write: Sym::I, mv: Move::Stay, next: q },
+                Trans {
+                    write: Sym::I,
+                    mv: Move::Stay,
+                    next: q,
+                },
             );
         }
         m
@@ -189,7 +209,11 @@ impl Machine {
                     m.set_transition(
                         q,
                         s,
-                        Trans { write: s, mv: Move::Stay, next: offset + 1 },
+                        Trans {
+                            write: s,
+                            mv: Move::Stay,
+                            next: offset + 1,
+                        },
                     );
                 }
             }
@@ -198,7 +222,11 @@ impl Machine {
             m.set_transition(
                 q + offset,
                 s,
-                Trans { write: t.write, mv: t.mv, next: t.next + offset },
+                Trans {
+                    write: t.write,
+                    mv: t.mv,
+                    next: t.next + offset,
+                },
             );
         }
         m

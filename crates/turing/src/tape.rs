@@ -60,7 +60,11 @@ impl Tape {
     /// The positions of the leftmost and rightmost non-blank cells, if any.
     pub fn nonblank_span(&self) -> Option<(isize, isize)> {
         let first = self.cells.iter().position(|&s| s == Sym::I)?;
-        let last = self.cells.iter().rposition(|&s| s == Sym::I).expect("first exists");
+        let last = self
+            .cells
+            .iter()
+            .rposition(|&s| s == Sym::I)
+            .expect("first exists");
         Some((first as isize - self.origin, last as isize - self.origin))
     }
 

@@ -251,7 +251,10 @@ mod tests {
         // (May still be valid if the last segment tolerated it — check
         // against the generator instead.)
         if let Some(info) = validate_trace(truncated) {
-            assert_eq!(trace_string(&m, &info.word, info.snapshots).as_deref(), Some(truncated));
+            assert_eq!(
+                trace_string(&m, &info.word, info.snapshots).as_deref(),
+                Some(truncated)
+            );
         }
     }
 

@@ -40,13 +40,19 @@ fn main() {
     let succ = FinRep::new(["x", "y"], parse_formula("y = x + 1").unwrap()).unwrap();
     let succ2 = FinRep::new(["y", "z"], parse_formula("z = y + 1").unwrap()).unwrap();
     let grand = succ.join(&succ2);
-    println!("succ ⋈ succ contains (3,4,5)? {}", grand.contains(&[3, 4, 5]).unwrap());
+    println!(
+        "succ ⋈ succ contains (3,4,5)? {}",
+        grand.contains(&[3, 4, 5]).unwrap()
+    );
     let skip = grand.project(&["x", "z"]).unwrap();
     println!(
         "project keeps it quantifier-free: {}",
         skip.formula().is_quantifier_free()
     );
-    println!("x+2 relation contains (3,5)? {}", skip.contains(&[3, 5]).unwrap());
+    println!(
+        "x+2 relation contains (3,5)? {}",
+        skip.contains(&[3, 5]).unwrap()
+    );
 
     // Selection turns the infinite +2 relation finite.
     let banded = skip

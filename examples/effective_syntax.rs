@@ -11,13 +11,11 @@
 
 use finite_queries::domains::{DecidableTheory, NatSucc, Presburger};
 use finite_queries::logic::parse_formula;
+use finite_queries::logic::Term;
 use finite_queries::relational::{translate_to_domain_formula, Schema, State, Value};
 use finite_queries::safety::enumerate::FormulaSpace;
 use finite_queries::safety::finitize;
-use finite_queries::safety::syntax::{
-    ActiveDomainSyntax, FinitizationSyntax, SuccessorSyntax,
-};
-use finite_queries::logic::Term;
+use finite_queries::safety::syntax::{ActiveDomainSyntax, FinitizationSyntax, SuccessorSyntax};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -44,7 +42,7 @@ fn main() {
     // finitizations of all formulas".
     let syntax = FinitizationSyntax {
         space: FormulaSpace {
-            predicates: vec![("<".to_string(), 2)],
+            predicates: vec![("<".into(), 2)],
             constants: vec![Term::Nat(0), Term::Nat(5)],
             variables: vec!["x".to_string()],
             unary_functions: vec![],
@@ -62,7 +60,9 @@ fn main() {
     println!("\n— Theorem 2.7: extended active domain over ⟨N,′⟩ —");
     let schema = Schema::new().with_relation("R", 1);
     let state = State::new(schema.clone()).with_tuple("R", vec![Value::Nat(5)]);
-    let succ = SuccessorSyntax { schema: schema.clone() };
+    let succ = SuccessorSyntax {
+        schema: schema.clone(),
+    };
     let queries = [
         ("finite   ", "exists y. R(y) & x = y''"),
         ("infinite ", "!R(x)"),

@@ -8,8 +8,8 @@
 
 use finite_queries::domains::{DecidableTheory, TraceDomain};
 use finite_queries::safety::negative::{
-    certify_total, refute_candidate_syntax, total_witnesses, CandidateSyntax,
-    ExactRuntimeSyntax, TotalityEnumerator,
+    certify_total, refute_candidate_syntax, total_witnesses, CandidateSyntax, ExactRuntimeSyntax,
+    TotalityEnumerator,
 };
 use finite_queries::safety::relative::{halting_instance, relative_safety_traces};
 use finite_queries::safety::safety::SafetyVerdict;

@@ -11,7 +11,9 @@
 
 use finite_queries::domains::{DecidableTheory, Presburger};
 use finite_queries::logic::parse_formula;
-use finite_queries::relational::{is_safe_range, translate_to_domain_formula, Schema, State, Value};
+use finite_queries::relational::{
+    is_safe_range, translate_to_domain_formula, Schema, State, Value,
+};
 use finite_queries::safety::finitize;
 use finite_queries::safety::relative::relative_safety_nat;
 use finite_queries::safety::syntax::ActiveDomainSyntax;
@@ -27,8 +29,14 @@ fn main() {
         ("sons of x", "F(x, y)"),
         ("two sons", "exists y z. y != z & F(x, y) & F(x, z)"),
         ("non-edges", "!F(x, y)"),
-        ("above all", "forall y. (exists p. F(y, p) | F(p, y)) -> x > y"),
-        ("below all", "forall y. (exists p. F(y, p) | F(p, y)) -> x < y"),
+        (
+            "above all",
+            "forall y. (exists p. F(y, p) | F(p, y)) -> x > y",
+        ),
+        (
+            "below all",
+            "forall y. (exists p. F(y, p) | F(p, y)) -> x < y",
+        ),
         ("diagonal", "x = y"),
     ];
 
@@ -64,11 +72,19 @@ fn main() {
 
     // Repairing an unsafe query with the active-domain syntax.
     println!("\nRepair with the active-domain effective syntax:");
-    let syntax = ActiveDomainSyntax { schema: schema.clone() };
+    let syntax = ActiveDomainSyntax {
+        schema: schema.clone(),
+    };
     let unsafe_q = parse_formula("!F(x, y)").unwrap();
     let repaired = syntax.transform(&unsafe_q);
-    println!("  ¬F(x,y)   safe-range: {}", is_safe_range(&schema, &unsafe_q));
-    println!("  transform safe-range: {}", is_safe_range(&schema, &repaired));
+    println!(
+        "  ¬F(x,y)   safe-range: {}",
+        is_safe_range(&schema, &unsafe_q)
+    );
+    println!(
+        "  transform safe-range: {}",
+        is_safe_range(&schema, &repaired)
+    );
     let vars = vec!["x".to_string(), "y".to_string()];
     println!(
         "  transform finite here: {}",

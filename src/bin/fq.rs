@@ -54,16 +54,16 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn load_state(path: &str) -> Result<State, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&text)?)
+    Ok(fq_json::from_str(&text)?)
 }
 
 fn load_schema(path: &str) -> Result<Schema, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     // Accept either a bare schema or a full state.
-    if let Ok(schema) = serde_json::from_str::<Schema>(&text) {
+    if let Ok(schema) = fq_json::from_str::<Schema>(&text) {
         return Ok(schema);
     }
-    Ok(serde_json::from_str::<State>(&text)?.schema().clone())
+    Ok(fq_json::from_str::<State>(&text)?.schema().clone())
 }
 
 fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -170,11 +170,7 @@ fn cmd_traces(args: &[String]) -> CliResult {
 }
 
 fn cmd_machines(args: &[String]) -> CliResult {
-    let n: usize = args
-        .first()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(10);
+    let n: usize = args.first().map(|s| s.parse()).transpose()?.unwrap_or(10);
     for (i, m) in finite_queries::turing::MachineEnumerator::new()
         .take(n)
         .enumerate()

@@ -11,13 +11,16 @@
 //! * [`domains`] — decidable domains, incl. the paper's trace domain **T**;
 //! * [`relational`] — schemas, states, active-domain semantics, algebra;
 //! * [`safety`] — the paper's contribution: finitization, effective-syntax
-//!   enumerators, relative-safety deciders, and the negative reductions.
+//!   enumerators, relative-safety deciders, and the negative reductions;
+//! * [`engine`] — the parallel, memoizing decision engine threaded through
+//!   the quantifier eliminations and the Theorem 3.1 dovetail.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the mapping
 //! from the paper's theorems to runnable experiments.
 
 pub use fq_core as safety;
 pub use fq_domains as domains;
+pub use fq_engine as engine;
 pub use fq_logic as logic;
 pub use fq_relational as relational;
 pub use fq_turing as turing;

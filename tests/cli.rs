@@ -68,7 +68,11 @@ fn decide_runs_every_domain() {
         ("nat", "exists y. forall x. y <= x", "true"),
         ("int", "exists y. forall x. y <= x", "false"),
         ("succ", "forall x. x' != 0", "true"),
-        ("presburger", "forall x. div(2, x, 0) | div(2, x, 1)", "true"),
+        (
+            "presburger",
+            "forall x. div(2, x, 0) | div(2, x, 1)",
+            "true",
+        ),
         ("words", "forall x. exists y. llex(x, y)", "true"),
         ("traces", "forall p. T(p) -> M(m(p))", "true"),
     ] {

@@ -49,8 +49,7 @@ fn section_1_unsafe_formulas() {
     // Footnote 4: infinite answer iff someone parented two or more sons.
     let vars = vec!["x".to_string(), "z".to_string()];
     assert!(!relative_safety_eq(&fathers_state(), &m_or_g, &vars).unwrap());
-    let no_double = State::new(schema)
-        .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)]);
+    let no_double = State::new(schema).with_tuple("F", vec![Value::Nat(1), Value::Nat(2)]);
     assert!(relative_safety_eq(&no_double, &m_or_g, &vars).unwrap());
 }
 
@@ -79,8 +78,7 @@ fn theorem_2_2_finitization_syntax_end_to_end() {
     let state = fathers_state();
     let unsafe_q = parse_formula("!F(x, x)").unwrap();
     assert!(!relative_safety_nat(&state, &unsafe_q, &["x".to_string()]).unwrap());
-    let translated =
-        finite_queries::relational::translate_to_domain_formula(&unsafe_q, &state);
+    let translated = finite_queries::relational::translate_to_domain_formula(&unsafe_q, &state);
     let fin = finitize(&translated);
     // The finitization of an infinite query is NOT equivalent to it…
     assert!(!Presburger.equivalent(&translated, &fin).unwrap());
@@ -127,8 +125,12 @@ fn decidability_of_the_theory_of_traces_end_to_end() {
     // and counting predicates.
     let decide = |s: &str| TraceDomain.decide(&parse_formula(s).unwrap()).unwrap();
     assert!(decide("forall x. M(x) | W(x) | T(x) | O(x)"));
-    assert!(decide("forall m0 w0. M(m0) & W(w0) -> exists p. P(m0, w0, p)"));
-    assert!(decide("forall p q. P(m(p), w(p), q) & T(p) & q = p -> T(q)"));
+    assert!(decide(
+        "forall m0 w0. M(m0) & W(w0) -> exists p. P(m0, w0, p)"
+    ));
+    assert!(decide(
+        "forall p q. P(m(p), w(p), q) & T(p) & q = p -> T(q)"
+    ));
     assert!(!decide("exists p. T(p) & O(p)"));
 }
 

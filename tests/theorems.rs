@@ -106,7 +106,9 @@ fn corollary_3_2_ordered_extension() {
     let phi = parse_formula("P(y, z, x)").unwrap();
     let fin = ext.finitize(&phi);
     assert!(fin.predicate_names().contains("llex"));
-    assert!(ext.decide(&parse_formula("forall x. x = x").unwrap()).is_err());
+    assert!(ext
+        .decide(&parse_formula("forall x. x = x").unwrap())
+        .is_err());
 }
 
 #[test]
@@ -134,7 +136,9 @@ fn corollary_a4_decidability_stress() {
     // A batch of mixed sentences through the Theorem A.3 elimination.
     let decide = |s: &str| TraceDomain.decide(&parse_formula(s).unwrap()).unwrap();
     // Every word has arbitrarily many distinct extensions.
-    assert!(decide("forall x. W(x) -> exists y. W(y) & y != x & B(\"\", y)"));
+    assert!(decide(
+        "forall x. W(x) -> exists y. W(y) & y != x & B(\"\", y)"
+    ));
     // No string is both a machine and has a nonempty w-projection.
     assert!(decide("forall x. M(x) -> w(x) = \"\""));
     // There are at least three distinct machines.

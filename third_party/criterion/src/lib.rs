@@ -1,0 +1,282 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The workspace vendors this implementation so benchmarks build and
+//! run without the crates.io registry. It keeps criterion's API shape
+//! for the surface the repo uses — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — and performs honest wall-clock
+//! measurement (warm-up, calibration, fixed sample count, min/mean/max
+//! report), but none of criterion's statistical analysis or plotting.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&config, id, f);
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.warm_up_time = dur;
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.measurement_time = dur;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, pick an iteration count that fits
+    /// the measurement window, then record `sample_size` samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_up_start = Instant::now();
+        let mut iters: u64 = 1;
+        let mut per_iter_secs;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            per_iter_secs = dt.as_secs_f64() / iters as f64;
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            if dt < Duration::from_millis(2) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        let sample_target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = if per_iter_secs > 0.0 {
+            ((sample_target / per_iter_secs).ceil() as u64).clamp(1, u64::MAX)
+        } else {
+            iters.max(1)
+        };
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples
+                .push(dt.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_one<F>(config: &Criterion, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+        sample_size: config.sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<60} (no measurement)");
+        return;
+    }
+    let min = bencher
+        .samples
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    println!(
+        "{id:<60} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Group benchmark target functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let config = Criterion::default()
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(5);
+        let mut c = config;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_is_sensible() {
+        assert_eq!(format_ns(12.0), "12.00 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+    }
+}

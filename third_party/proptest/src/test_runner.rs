@@ -1,0 +1,102 @@
+//! Deterministic test execution: config, RNG, runner, and failure type.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic: seeded from the test
+/// name, so every run of a given test sees the same case sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs a test body over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: String,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            seed,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run `body` for every case; panic (failing the `#[test]`) on the
+    /// first rejected case, reporting the case index and seed.
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            // Each case gets an independent stream so a failure report
+            // identifies exactly one replayable input.
+            let mut rng = TestRng::seed(self.seed.wrapping_add(u64::from(case)));
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest `{}` failed at case {}/{} (seed {:#x}):\n{}",
+                    self.name, case, self.config.cases, self.seed, e
+                );
+            }
+        }
+    }
+}
