@@ -1,0 +1,177 @@
+//! Pipeline benches: the compile → plan stage of `fq-query` on a
+//! repeated-query workload, cold (fresh executor, every plan computed
+//! from scratch — including the relative-safety quantifier-elimination
+//! precheck) versus warm (shared executor, plans served from the
+//! `query.plan` engine cache). Emits `BENCH_pipeline.json`; the headline
+//! row requires the warm path to be strictly faster than the cold one.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use fq_bench::report::{ExperimentReport, ExperimentResult};
+use fq_engine::Engine;
+use fq_query::{DomainId, Executor};
+use fq_relational::{Schema, State, Value};
+use std::time::Instant;
+
+/// Candidate budget for the enumerate-and-ask queries.
+const BUDGET: usize = 200;
+
+fn workload_state() -> State {
+    let schema = Schema::new().with_relation("F", 2);
+    let mut state = State::new(schema);
+    // A small branching father–son state. Deliberately paper-scale: the
+    // enumerate-and-ask precheck runs quantifier elimination over the
+    // state translation, whose cost grows steeply with the fact count —
+    // which is exactly why caching the plan (precheck included) pays.
+    for (a, b) in [(1u64, 2u64), (1, 3), (2, 4), (4, 5)] {
+        state.insert("F", vec![Value::Nat(a), Value::Nat(b)]);
+    }
+    state
+}
+
+/// One query per strategy, so the cache benefit covers every plan shape.
+fn workload_queries() -> Vec<(&'static str, DomainId)> {
+    vec![
+        ("exists y. F(x, y) & F(y, z)", DomainId::Eq),
+        ("exists y z. y != z & F(x, y) & F(x, z)", DomainId::Eq),
+        ("F(x, y) & x < y", DomainId::Nat),
+        ("!F(x, y)", DomainId::Nat),
+        ("exists x y. F(x, y)", DomainId::Nat),
+    ]
+}
+
+fn fresh_executor() -> Executor {
+    Executor::new(Engine::sequential()).with_max_candidates(BUDGET)
+}
+
+/// Plan every query in the workload once.
+fn plan_pass(exec: &Executor, state: &State, queries: &[(&str, DomainId)]) {
+    for (src, domain) in queries {
+        exec.plan(state, src, *domain).unwrap();
+    }
+}
+
+/// Execute every query in the workload once.
+fn execute_pass(exec: &Executor, state: &State, queries: &[(&str, DomainId)]) {
+    for (src, domain) in queries {
+        exec.execute(state, src, *domain).unwrap();
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("PIPE_plan_cache");
+    group.sample_size(10);
+    let state = workload_state();
+    let queries = workload_queries();
+
+    group.bench_with_input(BenchmarkId::new("plan", "cold"), &state, |b, s| {
+        b.iter(|| {
+            // A fresh executor per pass: every plan is recomputed, the
+            // enumerate-and-ask precheck runs its QE from scratch.
+            let exec = fresh_executor();
+            plan_pass(&exec, s, &queries);
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("plan", "warm"), &state, |b, s| {
+        let exec = fresh_executor();
+        plan_pass(&exec, s, &queries); // prime the plan cache
+        b.iter(|| plan_pass(&exec, s, &queries))
+    });
+
+    group.finish();
+}
+
+/// Median wall-clock over `samples` runs.
+fn median(samples: usize, mut run: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_micros()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn emit_report() {
+    let state = workload_state();
+    let queries = workload_queries();
+    let samples = 9;
+
+    let plan_cold = median(samples, || {
+        let exec = fresh_executor();
+        plan_pass(&exec, &state, &queries);
+    });
+
+    let warm_exec = fresh_executor();
+    plan_pass(&warm_exec, &state, &queries); // prime the plan cache
+    let plan_warm = median(samples, || plan_pass(&warm_exec, &state, &queries));
+
+    // Full execute pass on the warm executor, for context: how much of an
+    // end-to-end answer the (cached) planning stage accounts for.
+    let exec_warm = median(3, || execute_pass(&warm_exec, &state, &queries));
+
+    let reference = "fq-query compile → plan → execute pipeline".to_string();
+    let mut report = ExperimentReport::default();
+    report.results.push(ExperimentResult {
+        id: "PIPE_plan_cache/plan_cold".to_string(),
+        reference: reference.clone(),
+        claim: format!(
+            "plan {} queries (one per strategy), fresh executor: every plan computed",
+            queries.len()
+        ),
+        observed: format!("median {plan_cold} µs over {samples} runs"),
+        pass: true,
+        millis: plan_cold / 1000,
+    });
+    report.results.push(ExperimentResult {
+        id: "PIPE_plan_cache/plan_warm".to_string(),
+        reference: reference.clone(),
+        claim: "same workload, shared executor: plans served from query.plan cache".to_string(),
+        observed: format!("median {plan_warm} µs over {samples} runs"),
+        pass: true,
+        millis: plan_warm / 1000,
+    });
+    report.results.push(ExperimentResult {
+        id: "PIPE_plan_cache/speedup".to_string(),
+        reference: reference.clone(),
+        claim: "warm plan-cache pass is strictly faster than cold".to_string(),
+        observed: format!("{:.2}x (cold {plan_cold} µs / warm {plan_warm} µs)", {
+            plan_cold as f64 / plan_warm.max(1) as f64
+        }),
+        pass: plan_warm < plan_cold,
+        millis: 0,
+    });
+    report.results.push(ExperimentResult {
+        id: "PIPE_plan_cache/execute_warm".to_string(),
+        reference,
+        claim: format!(
+            "full execute pass, warm plans, budget {BUDGET}: \
+             execution cost on top of cached planning"
+        ),
+        observed: format!("median {exec_warm} µs over 3 runs"),
+        pass: true,
+        millis: exec_warm / 1000,
+    });
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json ({} rows)", report.results.len());
+    println!("{}", report.to_markdown());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_pipeline
+}
+
+fn main() {
+    benches();
+    emit_report();
+}

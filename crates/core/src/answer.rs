@@ -78,13 +78,13 @@ pub fn answer_query<D: DecidableTheory>(
             .into_iter()
             .chain(TupleEnumerator::new(domain, vars.len()))
         {
-            candidates_tried += 1;
-            if candidates_tried > max_candidates {
+            if candidates_tried == max_candidates {
                 return Ok(AnswerOutcome::BudgetExhausted {
                     found,
                     candidates_tried,
                 });
             }
+            candidates_tried += 1;
             if found.contains(&tuple) {
                 continue;
             }

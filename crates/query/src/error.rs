@@ -1,0 +1,88 @@
+//! Errors of the compile → plan → execute pipeline.
+
+use fq_domains::DomainError;
+use fq_logic::LogicError;
+
+/// Anything that can go wrong between receiving a query string and
+/// returning a [`crate::QueryOutcome`]. Every variant carries enough
+/// source context to be printed to a CLI user as-is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text does not parse.
+    Parse {
+        /// The offending query text.
+        source: String,
+        /// The parser's diagnosis.
+        error: LogicError,
+    },
+    /// A database relation is used with the wrong arity, or a scheme
+    /// symbol is used in a position its kind forbids.
+    Signature {
+        /// The offending query text.
+        source: String,
+        /// What the signature check found.
+        detail: String,
+    },
+    /// The domain name is not in the [`crate::DomainRegistry`].
+    UnknownDomain {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A schema (or state) file failed to load. Both parse attempts are
+    /// reported: the file is accepted either as a bare `Schema` or as a
+    /// full `State`, and a malformed file must not hide the schema
+    /// diagnosis behind the state one.
+    SchemaLoad {
+        /// The file path as given on the command line.
+        path: String,
+        /// Why the text is not a bare `Schema`.
+        schema_error: String,
+        /// Why the text is not a full `State` either.
+        state_error: String,
+    },
+    /// A domain decision procedure failed during planning or execution.
+    Domain(DomainError),
+    /// Active-domain evaluation failed (an uninterpreted symbol, most
+    /// commonly a predicate the chosen domain does not speak).
+    Eval(LogicError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse { source, error } => {
+                write!(f, "cannot parse query `{source}`: {error}")
+            }
+            QueryError::Signature { source, detail } => {
+                write!(f, "query `{source}` does not match the scheme: {detail}")
+            }
+            QueryError::UnknownDomain { name } => {
+                write!(
+                    f,
+                    "unknown domain `{name}` (expected one of {})",
+                    crate::registry::domain_names().join("|")
+                )
+            }
+            QueryError::SchemaLoad {
+                path,
+                schema_error,
+                state_error,
+            } => {
+                write!(
+                    f,
+                    "`{path}` is neither a schema nor a state:\n  as a schema: {schema_error}\n  as a state:  {state_error}"
+                )
+            }
+            QueryError::Domain(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<DomainError> for QueryError {
+    fn from(e: DomainError) -> Self {
+        QueryError::Domain(e)
+    }
+}

@@ -1,0 +1,356 @@
+//! Stage 3 — **execute**: run a planned query through the engine,
+//! memoizing plans in the `query.plan` namespace so a repeated query
+//! skips the whole compile + plan work (including any relative-safety
+//! precheck, the expensive part), and return a uniform [`QueryOutcome`].
+
+use crate::compile::{compile, CompiledQuery};
+use crate::error::QueryError;
+use crate::plan::{plan, PlannedQuery, QueryPlan};
+use crate::registry::{DomainId, DomainRegistry};
+use fq_core::answer::AnswerOutcome;
+use fq_engine::Engine;
+use fq_relational::{translate_to_domain_formula, Schema, State, Value};
+use std::cell::Cell;
+
+/// The memo namespace holding planned queries.
+pub const PLAN_CACHE_NAMESPACE: &str = "query.plan";
+
+/// Default candidate budget for the enumerate-and-ask strategy.
+pub const DEFAULT_MAX_CANDIDATES: usize = 10_000;
+
+/// How complete the returned answer is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// The answer is provably complete (algebra / active-domain on a
+    /// domain-independent query, or a certified enumerate-and-ask run).
+    Certified,
+    /// The candidate budget ran out; `rows` is a partial answer.
+    Partial {
+        candidates_tried: usize,
+        max_candidates: usize,
+    },
+    /// The query was a sentence; `value` is its truth in the state.
+    Decided { value: bool },
+}
+
+/// Engine and cache counters observed during one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Did the plan come from the `query.plan` cache?
+    pub plan_cached: bool,
+    /// Engine-wide memo hits after this execution.
+    pub engine_hits: usize,
+    /// Engine-wide memo misses after this execution.
+    pub engine_misses: usize,
+}
+
+/// The uniform result of the pipeline: answers, a completeness
+/// certificate, the plan that produced them, and engine statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutcome {
+    /// Answer variables, sorted (column order of `rows`).
+    pub vars: Vec<String>,
+    /// Answer tuples.
+    pub rows: Vec<Vec<Value>>,
+    /// Completeness certificate.
+    pub completeness: Completeness,
+    /// The plan that was executed.
+    pub plan: QueryPlan,
+    /// Engine and cache statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryOutcome {
+    /// Was the answer certified complete (or the sentence decided)?
+    pub fn is_complete(&self) -> bool {
+        !matches!(self.completeness, Completeness::Partial { .. })
+    }
+}
+
+/// The pipeline driver: one engine handle, one plan cache, every
+/// answering strategy behind a single entry point.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    engine: Engine,
+    registry: DomainRegistry,
+    max_candidates: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(Engine::sequential())
+    }
+}
+
+impl Executor {
+    pub fn new(engine: Engine) -> Self {
+        Executor {
+            engine,
+            registry: DomainRegistry,
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+        }
+    }
+
+    /// Replace the enumerate-and-ask candidate budget.
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
+        self.max_candidates = max_candidates;
+        self
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Stage 1 only: compile a query against a scheme.
+    pub fn compile(&self, schema: &Schema, source: &str) -> Result<CompiledQuery, QueryError> {
+        compile(schema, source, &self.engine)
+    }
+
+    /// Stages 1–2, memoized: compile and plan, returning the plan and
+    /// whether it came from the `query.plan` cache.
+    pub fn plan(
+        &self,
+        state: &State,
+        source: &str,
+        domain: DomainId,
+    ) -> Result<(PlannedQuery, bool), QueryError> {
+        let key = (
+            domain,
+            source.to_string(),
+            fq_json::to_string(state),
+            self.max_candidates,
+        );
+        let computed = Cell::new(false);
+        let planned = self.engine.cached(PLAN_CACHE_NAMESPACE, key, || {
+            computed.set(true);
+            let compiled = compile(state.schema(), source, &self.engine)?;
+            plan(&compiled, domain, state, self.max_candidates)
+        })?;
+        Ok((planned, !computed.get()))
+    }
+
+    /// The full pipeline: compile (cached), plan (cached), execute.
+    pub fn execute(
+        &self,
+        state: &State,
+        source: &str,
+        domain: DomainId,
+    ) -> Result<QueryOutcome, QueryError> {
+        let (planned, plan_cached) = self.plan(state, source, domain)?;
+        let mut outcome = self.run(state, &planned)?;
+        outcome.stats.plan_cached = plan_cached;
+        let (hits, misses) = self.engine.cache_stats();
+        outcome.stats.engine_hits = hits;
+        outcome.stats.engine_misses = misses;
+        Ok(outcome)
+    }
+
+    /// Convenience: decide a pure-domain sentence (no state).
+    pub fn decide(&self, domain: DomainId, source: &str) -> Result<bool, QueryError> {
+        let state = State::new(Schema::new());
+        let out = self.execute(&state, source, domain)?;
+        match out.completeness {
+            Completeness::Decided { value } => Ok(value),
+            _ => Err(QueryError::Domain(fq_domains::DomainError::NotASentence {
+                free: out.vars,
+            })),
+        }
+    }
+
+    /// Convenience: relative safety of a query in a state over a domain
+    /// (`None` where undecidable, i.e. over **T**).
+    pub fn relative_safety(
+        &self,
+        state: &State,
+        source: &str,
+        domain: DomainId,
+    ) -> Result<Option<bool>, QueryError> {
+        let compiled = self.compile(state.schema(), source)?;
+        self.registry
+            .relative_safety(domain, state, &compiled.normalized, &compiled.free_vars)
+            .map_err(QueryError::Domain)
+    }
+
+    /// Execute a planned query (stage 3 proper).
+    fn run(&self, state: &State, planned: &PlannedQuery) -> Result<QueryOutcome, QueryError> {
+        let compiled = &planned.compiled;
+        let vars = compiled.free_vars.clone();
+        let (rows, completeness) = match &planned.plan {
+            QueryPlan::Algebra { expr, .. } => {
+                let rel = expr.eval(state).reorder(&vars);
+                (rel.tuples.into_iter().collect(), Completeness::Certified)
+            }
+            QueryPlan::ActiveDomain { .. } => {
+                let rows = self
+                    .registry
+                    .eval_active(planned.domain, state, &compiled.normalized, &vars)
+                    .map_err(QueryError::Eval)?;
+                (rows, Completeness::Certified)
+            }
+            QueryPlan::EnumerateAndAsk { max_candidates, .. } => {
+                let out = self.registry.answer(
+                    planned.domain,
+                    state,
+                    &compiled.normalized,
+                    &vars,
+                    *max_candidates,
+                )?;
+                match out {
+                    AnswerOutcome::Complete(rows) => (rows, Completeness::Certified),
+                    AnswerOutcome::BudgetExhausted {
+                        found,
+                        candidates_tried,
+                    } => (
+                        found,
+                        Completeness::Partial {
+                            candidates_tried,
+                            max_candidates: *max_candidates,
+                        },
+                    ),
+                }
+            }
+            QueryPlan::QeDecide { .. } => {
+                let sentence = translate_to_domain_formula(&compiled.normalized, state);
+                let value = self
+                    .registry
+                    .decide(planned.domain, &sentence, &self.engine)?;
+                (Vec::new(), Completeness::Decided { value })
+            }
+        };
+        Ok(QueryOutcome {
+            vars,
+            rows,
+            completeness,
+            plan: planned.plan.clone(),
+            stats: ExecStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_engine::EngineConfig;
+
+    fn fathers() -> State {
+        let schema = Schema::new().with_relation("F", 2);
+        State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+            .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)])
+    }
+
+    #[test]
+    fn algebra_path_answers_the_m_query() {
+        let exec = Executor::default();
+        let out = exec
+            .execute(
+                &fathers(),
+                "exists y z. y != z & F(x, y) & F(x, z)",
+                DomainId::Eq,
+            )
+            .unwrap();
+        assert_eq!(out.plan.strategy(), "algebra");
+        assert_eq!(out.rows, vec![vec![Value::Nat(1)]]);
+        assert!(out.is_complete());
+    }
+
+    #[test]
+    fn active_domain_path_interprets_comparisons() {
+        let exec = Executor::default();
+        let out = exec
+            .execute(&fathers(), "exists y. F(x, y) & x < y", DomainId::Nat)
+            .unwrap();
+        assert_eq!(out.plan.strategy(), "active-domain");
+        assert_eq!(out.rows, vec![vec![Value::Nat(1)], vec![Value::Nat(2)]]);
+    }
+
+    #[test]
+    fn enumerate_path_completes_on_finite_unsafe_query() {
+        let exec = Executor::default();
+        let out = exec
+            .execute(
+                &fathers(),
+                "(forall y. (exists p. F(y, p) | F(p, y)) -> y < x) & \
+                 forall z. z < x -> exists y. (exists p. F(y, p) | F(p, y)) & z <= y",
+                DomainId::Presburger,
+            )
+            .unwrap();
+        assert_eq!(out.plan.strategy(), "enumerate-and-ask");
+        assert_eq!(out.rows, vec![vec![Value::Nat(5)]]);
+        assert!(out.is_complete());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_answer() {
+        let exec = Executor::default().with_max_candidates(50);
+        let out = exec.execute(&fathers(), "!F(x, y)", DomainId::Nat).unwrap();
+        assert_eq!(out.plan.strategy(), "enumerate-and-ask");
+        match out.completeness {
+            Completeness::Partial {
+                candidates_tried,
+                max_candidates,
+            } => {
+                assert_eq!(candidates_tried, 50);
+                assert_eq!(max_candidates, 50);
+            }
+            other => panic!("unexpected completeness {other:?}"),
+        }
+        assert!(!out.rows.is_empty(), "partial tuples must be kept");
+    }
+
+    #[test]
+    fn sentence_path_decides() {
+        let exec = Executor::default();
+        let out = exec
+            .execute(&fathers(), "exists x y. F(x, y)", DomainId::Nat)
+            .unwrap();
+        assert_eq!(out.plan.strategy(), "qe-decide");
+        assert_eq!(out.completeness, Completeness::Decided { value: true });
+        let no = exec
+            .execute(&fathers(), "exists x. F(x, x)", DomainId::Nat)
+            .unwrap();
+        assert_eq!(no.completeness, Completeness::Decided { value: false });
+    }
+
+    #[test]
+    fn pure_domain_decide_needs_no_state() {
+        let exec = Executor::default();
+        assert!(exec
+            .decide(DomainId::Nat, "exists y. forall x. y <= x")
+            .unwrap());
+        assert!(!exec
+            .decide(DomainId::Int, "exists y. forall x. y <= x")
+            .unwrap());
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeats_and_misses_across_states() {
+        let exec = Executor::new(Engine::new(EngineConfig::default()));
+        let state = fathers();
+        let (_, cached) = exec.plan(&state, "!F(x, y)", DomainId::Nat).unwrap();
+        assert!(!cached, "first plan is computed");
+        let (_, cached) = exec.plan(&state, "!F(x, y)", DomainId::Nat).unwrap();
+        assert!(cached, "second plan comes from query.plan");
+        // A different state invalidates the key.
+        let other = fathers().with_tuple("F", vec![Value::Nat(7), Value::Nat(8)]);
+        let (_, cached) = exec.plan(&other, "!F(x, y)", DomainId::Nat).unwrap();
+        assert!(!cached, "state change must miss");
+        // A different domain invalidates the key too.
+        let (_, cached) = exec.plan(&state, "!F(x, y)", DomainId::Eq).unwrap();
+        assert!(!cached, "domain change must miss");
+    }
+
+    #[test]
+    fn executions_agree_between_cold_and_warm_plans() {
+        let exec = Executor::default();
+        let state = fathers();
+        let src = "exists y. F(x, y) & F(y, z)";
+        let cold = exec.execute(&state, src, DomainId::Eq).unwrap();
+        let warm = exec.execute(&state, src, DomainId::Eq).unwrap();
+        assert!(!cold.stats.plan_cached);
+        assert!(warm.stats.plan_cached);
+        assert_eq!(cold.rows, warm.rows);
+        assert_eq!(cold.plan, warm.plan);
+    }
+}

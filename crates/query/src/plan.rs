@@ -1,0 +1,269 @@
+//! Stage 2 — **plan**: choose an execution strategy for a compiled
+//! query and record *why* it was chosen.
+//!
+//! The choice mirrors the paper's taxonomy. A safe-range query is
+//! domain-independent and compiles to relational algebra (Codd's
+//! theorem); a safe-range query whose atoms the algebra cannot express
+//! falls back to active-domain evaluation (sound for exactly the
+//! domain-independent queries); everything else goes through the
+//! Section 1.1 enumerate-and-ask loop, preceded by a relative-safety
+//! check (Theorems 2.5/2.6/3.3) that predicts whether the loop can
+//! terminate; and a sentence needs no enumeration at all — translate
+//! the state into it (Section 1.1) and hand it to the domain's decision
+//! procedure.
+
+use crate::compile::CompiledQuery;
+use crate::error::QueryError;
+use crate::registry::{DomainId, DomainRegistry};
+use fq_relational::algebra::{compile as compile_algebra, AlgebraExpr};
+use fq_relational::State;
+
+/// What the relative-safety precheck said about the answer in this
+/// state, before any enumeration started.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precheck {
+    /// The answer is certified finite — enumerate-and-ask will
+    /// terminate with a complete answer.
+    Finite,
+    /// The answer is certified infinite — only a budgeted partial
+    /// answer is possible.
+    Infinite,
+    /// Relative safety is undecidable over this domain (Theorem 3.3):
+    /// the loop runs under an honest budget.
+    Undecidable,
+}
+
+/// The chosen execution strategy, with its justification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryPlan {
+    /// Safe-range ⟹ compile to relational algebra and evaluate over the
+    /// stored relations only.
+    Algebra {
+        expr: AlgebraExpr,
+        justification: String,
+    },
+    /// Safe-range but outside the algebra fragment ⟹ active-domain
+    /// evaluation (equivalent for domain-independent queries).
+    ActiveDomain { justification: String },
+    /// Not safe-range ⟹ the Section 1.1 enumerate-and-ask loop with an
+    /// explicit candidate budget, after a relative-safety precheck.
+    EnumerateAndAsk {
+        precheck: Precheck,
+        max_candidates: usize,
+        justification: String,
+    },
+    /// A sentence ⟹ translate the state into the query (Section 1.1)
+    /// and decide it over the domain theory.
+    QeDecide { justification: String },
+}
+
+impl QueryPlan {
+    /// Short strategy name for reports and tests.
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            QueryPlan::Algebra { .. } => "algebra",
+            QueryPlan::ActiveDomain { .. } => "active-domain",
+            QueryPlan::EnumerateAndAsk { .. } => "enumerate-and-ask",
+            QueryPlan::QeDecide { .. } => "qe-decide",
+        }
+    }
+
+    /// Why this strategy was chosen.
+    pub fn justification(&self) -> &str {
+        match self {
+            QueryPlan::Algebra { justification, .. }
+            | QueryPlan::ActiveDomain { justification }
+            | QueryPlan::EnumerateAndAsk { justification, .. }
+            | QueryPlan::QeDecide { justification } => justification,
+        }
+    }
+}
+
+/// A compiled query with its chosen plan — the unit the executor runs
+/// and the plan cache stores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedQuery {
+    pub compiled: CompiledQuery,
+    pub domain: DomainId,
+    pub plan: QueryPlan,
+}
+
+impl PlannedQuery {
+    /// Multi-line human-readable explanation of the plan.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("query:      {}\n", self.compiled.source));
+        out.push_str(&format!("normalized: {}\n", self.compiled.normalized));
+        out.push_str(&format!(
+            "answer:     {}\n",
+            if self.compiled.free_vars.is_empty() {
+                "boolean (sentence)".to_string()
+            } else {
+                format!("({})", self.compiled.free_vars.join(", "))
+            }
+        ));
+        out.push_str(&format!("domain:     {}\n", self.domain));
+        out.push_str(&format!("strategy:   {}\n", self.plan.strategy()));
+        out.push_str(&format!("why:        {}", self.plan.justification()));
+        out
+    }
+}
+
+/// Choose a plan for `compiled` over `domain` in `state`.
+///
+/// The choice is deterministic: the same (query, domain, state) triple
+/// always yields the same plan, which is what makes the plan cache
+/// semantically transparent.
+pub fn plan(
+    compiled: &CompiledQuery,
+    domain: DomainId,
+    state: &State,
+    max_candidates: usize,
+) -> Result<PlannedQuery, QueryError> {
+    let registry = DomainRegistry;
+    let chosen = if compiled.is_sentence() {
+        QueryPlan::QeDecide {
+            justification: format!(
+                "the query is a sentence: fold the state into it (§1.1 translation) and \
+                 decide it with the {} decision procedure",
+                domain
+            ),
+        }
+    } else {
+        match compiled.safe_range() {
+            Ok(()) => match compile_algebra(&compiled.schema, &compiled.query) {
+                Ok(expr) => QueryPlan::Algebra {
+                    expr,
+                    justification: "the query is safe-range, hence domain-independent; \
+                                    compiled to relational algebra (Codd's theorem) and \
+                                    evaluated over the stored relations only"
+                        .to_string(),
+                },
+                Err(e) => QueryPlan::ActiveDomain {
+                    justification: format!(
+                        "the query is safe-range, hence domain-independent, but outside \
+                         the algebra fragment ({e}); active-domain evaluation is \
+                         equivalent for domain-independent queries"
+                    ),
+                },
+            },
+            Err(not_sr) => {
+                let precheck = match registry.relative_safety(
+                    domain,
+                    state,
+                    &compiled.normalized,
+                    &compiled.free_vars,
+                )? {
+                    Some(true) => Precheck::Finite,
+                    Some(false) => Precheck::Infinite,
+                    None => Precheck::Undecidable,
+                };
+                let outlook = match precheck {
+                    Precheck::Finite => {
+                        "relative safety certifies a FINITE answer in this state, so \
+                         enumerate-and-ask (§1.1) terminates with a complete answer"
+                    }
+                    Precheck::Infinite => {
+                        "relative safety certifies an INFINITE answer in this state, so \
+                         only a budgeted partial answer is possible"
+                    }
+                    Precheck::Undecidable => {
+                        "relative safety is undecidable over T (Theorem 3.3), so the loop \
+                         runs under an honest budget"
+                    }
+                };
+                QueryPlan::EnumerateAndAsk {
+                    precheck,
+                    max_candidates,
+                    justification: format!(
+                        "the query is not safe-range ({not_sr}); {outlook} \
+                         (budget: {max_candidates} candidates)"
+                    ),
+                }
+            }
+        }
+    };
+    Ok(PlannedQuery {
+        compiled: compiled.clone(),
+        domain,
+        plan: chosen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use fq_engine::Engine;
+    use fq_relational::{Schema, Value};
+
+    fn fathers() -> State {
+        let schema = Schema::new().with_relation("F", 2);
+        State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
+            .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)])
+    }
+
+    fn plan_for(src: &str, domain: DomainId) -> PlannedQuery {
+        let state = fathers();
+        let engine = Engine::sequential();
+        let compiled = compile(state.schema(), src, &engine).unwrap();
+        plan(&compiled, domain, &state, 100).unwrap()
+    }
+
+    #[test]
+    fn safe_range_relational_query_plans_to_algebra() {
+        let p = plan_for("exists y. F(x, y) & F(y, z)", DomainId::Eq);
+        assert_eq!(p.plan.strategy(), "algebra");
+        assert!(p.plan.justification().contains("safe-range"));
+    }
+
+    #[test]
+    fn safe_range_with_domain_predicate_plans_to_active_domain() {
+        let p = plan_for("exists y. F(x, y) & x < y", DomainId::Nat);
+        assert_eq!(p.plan.strategy(), "active-domain");
+        assert!(p
+            .plan
+            .justification()
+            .contains("outside the algebra fragment"));
+    }
+
+    #[test]
+    fn unsafe_query_plans_to_enumerate_and_ask() {
+        let p = plan_for("!F(x, y)", DomainId::Nat);
+        match &p.plan {
+            QueryPlan::EnumerateAndAsk { precheck, .. } => {
+                assert_eq!(*precheck, Precheck::Infinite);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        // A finite-but-unsafe query prechecks Finite.
+        let p = plan_for(
+            "(forall y. (exists p. F(y, p) | F(p, y)) -> y < x) & \
+             forall z. z < x -> exists y. (exists p. F(y, p) | F(p, y)) & z <= y",
+            DomainId::Presburger,
+        );
+        match &p.plan {
+            QueryPlan::EnumerateAndAsk { precheck, .. } => {
+                assert_eq!(*precheck, Precheck::Finite);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sentences_plan_to_qe_decide() {
+        let p = plan_for("exists x y. F(x, y)", DomainId::Eq);
+        assert_eq!(p.plan.strategy(), "qe-decide");
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        for src in ["exists y. F(x, y)", "!F(x, y)", "exists x. F(x, x)"] {
+            let a = plan_for(src, DomainId::Nat);
+            let b = plan_for(src, DomainId::Nat);
+            assert_eq!(a, b, "{src}");
+        }
+    }
+}

@@ -1,20 +1,17 @@
 //! The paper's Section 1 example in depth: the father–son database.
 //!
 //! Builds a genealogy, runs the paper's M(x) ("more than one son") and
-//! G(x, z) ("grandfather") queries, demonstrates why M ∨ G is *unsafe*
-//! exactly when someone has at least two sons (the paper's footnote 4),
-//! and compiles the safe queries into relational algebra (Codd's
-//! theorem).
+//! G(x, z) ("grandfather") queries through the pipeline, demonstrates
+//! why M ∨ G is *unsafe* exactly when someone has at least two sons
+//! (the paper's footnote 4), and shows the planner compiling the safe
+//! queries into relational algebra (Codd's theorem).
 //!
 //! ```sh
 //! cargo run --example genealogy
 //! ```
 
-use finite_queries::logic::parse_formula;
-use finite_queries::relational::active_eval::{eval_query, NoOps};
-use finite_queries::relational::algebra::compile;
-use finite_queries::relational::{is_safe_range, Schema, State, Value};
-use finite_queries::safety::relative::relative_safety_eq;
+use finite_queries::query::{DomainId, Executor, QueryPlan};
+use finite_queries::relational::{Schema, State, Value};
 
 fn person(n: u64) -> Value {
     Value::Nat(n)
@@ -31,49 +28,55 @@ fn main() {
         .with_tuple("F", vec![person(2), person(4)])
         .with_tuple("F", vec![person(4), person(5)]);
 
-    let m = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
-    let g = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
-    let m_or_g = parse_formula(
-        "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))",
-    )
-    .unwrap();
+    let m = "exists y z. y != z & F(x, y) & F(x, z)";
+    let g = "exists y. F(x, y) & F(y, z)";
+    let m_or_g = "(exists y. exists w. y != w & F(x, y) & F(x, w)) | (exists y. F(x, y) & F(y, z))";
 
     println!("state: {} father–son facts", state.size());
 
-    // Answer the two safe queries.
-    let m_ans = eval_query(&state, &NoOps, &m, &["x".to_string()]).unwrap();
-    println!("M(x)  — fathers of ≥2 sons: {m_ans:?}");
-    let g_ans = eval_query(&state, &NoOps, &g, &["x".to_string(), "z".to_string()]).unwrap();
-    println!("G(x,z) — grandfather pairs: {g_ans:?}");
+    let exec = Executor::default();
 
-    // The syntactic test agrees: M and G are safe-range, M ∨ G is not.
-    println!("M safe-range:    {}", is_safe_range(&schema, &m));
-    println!("G safe-range:    {}", is_safe_range(&schema, &g));
-    println!("M∨G safe-range:  {}", is_safe_range(&schema, &m_or_g));
+    // Answer the two safe queries through the pipeline.
+    let m_out = exec.execute(&state, m, DomainId::Eq).unwrap();
+    println!("M(x)  — fathers of ≥2 sons: {:?}", m_out.rows);
+    let g_out = exec.execute(&state, g, DomainId::Eq).unwrap();
+    println!("G(x,z) — grandfather pairs: {:?}", g_out.rows);
+
+    // The planner agrees with the syntactic test: M and G compile to
+    // algebra, M ∨ G cannot.
+    for (name, src) in [("M", m), ("G", g), ("M∨G", m_or_g)] {
+        let (planned, _) = exec.plan(&state, src, DomainId::Eq).unwrap();
+        println!("{name:<4} strategy: {}", planned.plan.strategy());
+    }
 
     // The paper's footnote: "M(x) ∨ G(x, z) only gives an infinite answer
     // if there is a person who parented two or more sons".
-    let vars = vec!["x".to_string(), "z".to_string()];
     println!(
         "M∨G finite in this state (someone has 2 sons): {}",
-        relative_safety_eq(&state, &m_or_g, &vars).unwrap()
+        exec.relative_safety(&state, m_or_g, DomainId::Eq)
+            .unwrap()
+            .unwrap()
     );
     let single_sons = State::new(schema.clone())
         .with_tuple("F", vec![person(1), person(2)])
         .with_tuple("F", vec![person(2), person(4)]);
     println!(
         "M∨G finite in a single-son state:              {}",
-        relative_safety_eq(&single_sons, &m_or_g, &vars).unwrap()
+        exec.relative_safety(&single_sons, m_or_g, DomainId::Eq)
+            .unwrap()
+            .unwrap()
     );
 
-    // Codd's theorem: compile the safe queries to relational algebra and
-    // evaluate — same answers, pure algebra.
-    let expr = compile(&schema, &g).unwrap();
-    let rel = expr.eval(&state);
-    println!(
-        "G compiled to algebra: attrs {:?}, {} tuples",
-        rel.attrs,
-        rel.tuples.len()
-    );
-    assert_eq!(rel.tuples.len(), g_ans.len());
+    // Codd's theorem, as the planner applies it: the safe query's plan
+    // carries the compiled algebra expression.
+    let (planned, _) = exec.plan(&state, g, DomainId::Eq).unwrap();
+    if let QueryPlan::Algebra { expr, .. } = &planned.plan {
+        let rel = expr.eval(&state);
+        println!(
+            "G compiled to algebra: attrs {:?}, {} tuples",
+            rel.attrs,
+            rel.tuples.len()
+        );
+        assert_eq!(rel.tuples.len(), g_out.rows.len());
+    }
 }

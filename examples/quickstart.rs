@@ -1,15 +1,12 @@
-//! Quickstart: define a scheme, load a state, ask queries, check safety.
+//! Quickstart: define a scheme, load a state, ask queries through the
+//! compile → plan → execute pipeline, check safety.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use finite_queries::domains::NatOrder;
-use finite_queries::logic::parse_formula;
-use finite_queries::relational::active_eval::{eval_query, NoOps};
-use finite_queries::relational::{is_safe_range, Schema, State, Value};
-use finite_queries::safety::answer::answer_query;
-use finite_queries::safety::relative::relative_safety_nat;
+use finite_queries::query::{DomainId, Executor};
+use finite_queries::relational::{Schema, State, Value};
 
 fn main() {
     // The paper's running example: a father–son relation F.
@@ -19,31 +16,47 @@ fn main() {
         .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)])
         .with_tuple("F", vec![Value::Nat(2), Value::Nat(4)]);
 
-    // M(x): "those x's who have more than one son".
-    let m = parse_formula("exists y z. y != z & F(x, y) & F(x, z)").unwrap();
-    let answers = eval_query(&state, &NoOps, &m, &["x".to_string()]).unwrap();
-    println!("M(x) answers: {answers:?}");
+    let exec = Executor::default();
+
+    // M(x): "those x's who have more than one son". The planner sees the
+    // query is safe-range and compiles it to relational algebra.
+    let m = "exists y z. y != z & F(x, y) & F(x, z)";
+    let out = exec.execute(&state, m, DomainId::Eq).unwrap();
+    println!(
+        "M(x) answers: {:?} (strategy: {})",
+        out.rows,
+        out.plan.strategy()
+    );
 
     // The syntactic safety check (an effective syntax for
     // domain-independent queries):
-    println!("M(x) safe-range?     {}", is_safe_range(&schema, &m));
-    let unsafe_q = parse_formula("!F(x, y)").unwrap();
-    println!("¬F(x,y) safe-range?  {}", is_safe_range(&schema, &unsafe_q));
+    let compiled_m = exec.compile(&schema, m).unwrap();
+    println!("M(x) safe-range?     {}", compiled_m.safe_range().is_ok());
+    let unsafe_q = "!F(x, y)";
+    let compiled_neg = exec.compile(&schema, unsafe_q).unwrap();
+    println!("¬F(x,y) safe-range?  {}", compiled_neg.safe_range().is_ok());
 
     // Relative safety over ⟨N, <⟩ (Theorem 2.5): is the answer finite in
     // THIS state, even if the formula is unsafe in general?
-    let vars = vec!["x".to_string(), "y".to_string()];
     println!(
         "¬F(x,y) finite here? {}",
-        relative_safety_nat(&state, &unsafe_q, &vars).unwrap()
+        exec.relative_safety(&state, unsafe_q, DomainId::Nat)
+            .unwrap()
+            .unwrap()
     );
 
-    // The Section 1.1 algorithm: answer a query by enumerate-and-ask,
-    // with termination certified by the domain's decision procedure.
-    let out = answer_query(&NatOrder, &state, &m, &["x".to_string()], 1000).unwrap();
+    // The Section 1.1 algorithm: an unsafe query goes down the
+    // enumerate-and-ask path, with termination certified by the domain's
+    // decision procedure. The plan records why.
+    let (planned, _) = exec.plan(&state, unsafe_q, DomainId::Nat).unwrap();
+    println!("¬F(x,y) plan: {}", planned.plan.strategy());
+    println!("  why: {}", planned.plan.justification());
+    let out = exec
+        .execute(&state, "exists y. F(x, y) & F(y, z)", DomainId::Nat)
+        .unwrap();
     println!(
-        "enumerate-and-ask: {:?} (complete: {})",
-        out.found(),
+        "G(x,z) via the pipeline: {:?} (complete: {})",
+        out.rows,
         out.is_complete()
     );
 }

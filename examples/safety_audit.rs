@@ -2,20 +2,17 @@
 //!
 //! For each query: the syntactic safe-range test, the Theorem 2.2
 //! finitization equivalence over Presburger, the Theorem 2.5 relative
-//! safety in a concrete state, and the effective-syntax transforms that
-//! repair the unsafe ones.
+//! safety in a concrete state, the strategy the planner picks — and the
+//! effective-syntax transforms that repair the unsafe ones.
 //!
 //! ```sh
 //! cargo run --example safety_audit
 //! ```
 
 use finite_queries::domains::{DecidableTheory, Presburger};
-use finite_queries::logic::parse_formula;
-use finite_queries::relational::{
-    is_safe_range, translate_to_domain_formula, Schema, State, Value,
-};
+use finite_queries::query::{DomainId, Executor};
+use finite_queries::relational::{translate_to_domain_formula, Schema, State, Value};
 use finite_queries::safety::finitize;
-use finite_queries::safety::relative::relative_safety_nat;
 use finite_queries::safety::syntax::ActiveDomainSyntax;
 
 fn main() {
@@ -40,33 +37,44 @@ fn main() {
         ("diagonal", "x = y"),
     ];
 
+    let exec = Executor::default();
+
     println!(
-        "{:<12} {:>11} {:>15} {:>15}",
+        "{:<12} {:>11} {:>15} {:>15}   strategy",
         "query", "safe-range", "finite (always)", "finite (state)"
     );
     for (name, src) in queries {
-        let q = parse_formula(src).unwrap();
-        let vars: Vec<String> = q.free_vars().into_iter().collect();
+        let compiled = exec.compile(&schema, src).unwrap();
 
         // 1. Syntactic test (sound for domain independence, incomplete).
-        let sr = is_safe_range(&schema, &q);
+        let sr = compiled.safe_range().is_ok();
 
         // 2. Semantic finiteness over Presburger, universally: the query
         //    is finite in EVERY state iff its translation is equivalent to
         //    its finitization for the worst case we can test — here we
         //    check the given state's translation against the finitization
         //    of the *open* formula (sound for this state).
-        let translated = translate_to_domain_formula(&q, &state);
+        let translated = translate_to_domain_formula(&compiled.query, &state);
         let finite_semantically = Presburger
             .equivalent(&translated, &finitize(&translated))
             .unwrap();
 
         // 3. Relative safety (Theorem 2.5) in the concrete state.
-        let finite_here = relative_safety_nat(&state, &q, &vars).unwrap();
+        let finite_here = exec
+            .relative_safety(&state, src, DomainId::Nat)
+            .unwrap()
+            .unwrap();
+
+        // 4. What the planner decides to do about it.
+        let (planned, _) = exec.plan(&state, src, DomainId::Nat).unwrap();
 
         println!(
-            "{:<12} {:>11} {:>15} {:>15}",
-            name, sr, finite_semantically, finite_here
+            "{:<12} {:>11} {:>15} {:>15}   {}",
+            name,
+            sr,
+            finite_semantically,
+            finite_here,
+            planned.plan.strategy()
         );
     }
 
@@ -75,19 +83,19 @@ fn main() {
     let syntax = ActiveDomainSyntax {
         schema: schema.clone(),
     };
-    let unsafe_q = parse_formula("!F(x, y)").unwrap();
-    let repaired = syntax.transform(&unsafe_q);
-    println!(
-        "  ¬F(x,y)   safe-range: {}",
-        is_safe_range(&schema, &unsafe_q)
-    );
+    let unsafe_q = exec.compile(&schema, "!F(x, y)").unwrap();
+    let repaired = syntax.transform(&unsafe_q.query);
+    println!("  ¬F(x,y)   safe-range: {}", unsafe_q.safe_range().is_ok());
+    let repaired_src = repaired.to_string();
+    let compiled_repair = exec.compile(&schema, &repaired_src).unwrap();
     println!(
         "  transform safe-range: {}",
-        is_safe_range(&schema, &repaired)
+        compiled_repair.safe_range().is_ok()
     );
-    let vars = vec!["x".to_string(), "y".to_string()];
     println!(
         "  transform finite here: {}",
-        relative_safety_nat(&state, &repaired, &vars).unwrap()
+        exec.relative_safety(&state, &repaired_src, DomainId::Nat)
+            .unwrap()
+            .unwrap()
     );
 }

@@ -11,9 +11,7 @@
 //! cargo run --example trace_database
 //! ```
 
-use finite_queries::domains::{DecidableTheory, TraceDomain};
-use finite_queries::logic::parse_formula;
-use finite_queries::relational::active_eval::{eval_query, TraceOps};
+use finite_queries::query::{DomainId, Executor};
 use finite_queries::relational::{Schema, State, Value};
 use finite_queries::turing::trace::trace_string;
 use finite_queries::turing::{builders, encode_machine};
@@ -37,20 +35,25 @@ fn main() {
     }
     println!("stored {} traces", state.size());
 
-    // Which logged strings are traces of the scanner in word "11"?
+    let exec = Executor::default();
+
+    // Which logged strings are traces of the scanner in word "11"? The
+    // planner routes the safe-range query to active-domain evaluation
+    // with the trace-domain operations interpreted.
     let enc = encode_machine(&scanner);
-    let q = parse_formula(&format!("Log(p) & P(\"{enc}\", \"11\", p)")).unwrap();
-    let ans = eval_query(&state, &TraceOps, &q, &["p".to_string()]).unwrap();
-    println!("scanner traces in \"11\": {}", ans.len());
+    let q = format!("Log(p) & P(\"{enc}\", \"11\", p)");
+    let out = exec.execute(&state, &q, DomainId::Traces).unwrap();
+    println!("scanner traces in \"11\": {}", out.rows.len());
 
     // Group logs by input word using the Reach function w(·).
-    let by_word = parse_formula("Log(p) & w(p) = \"1&1\"").unwrap();
-    let ans = eval_query(&state, &TraceOps, &by_word, &["p".to_string()]).unwrap();
-    println!("logs with input word \"1&1\": {}", ans.len());
+    let out = exec
+        .execute(&state, "Log(p) & w(p) = \"1&1\"", DomainId::Traces)
+        .unwrap();
+    println!("logs with input word \"1&1\": {}", out.rows.len());
 
     // Pure-domain questions, decided by the Theorem A.3 quantifier
     // elimination (no state involved):
-    let decide = |s: &str| TraceDomain.decide(&parse_formula(s).unwrap()).unwrap();
+    let decide = |s: &str| exec.decide(DomainId::Traces, s).unwrap();
 
     // "Does the scanner have more than three traces in '111'?" — it halts
     // after 3 steps there, so it has exactly 4.

@@ -1,26 +1,30 @@
 //! `fq` — command-line interface to the finite-queries library.
 //!
 //! ```text
-//! fq check  <schema.json> <query>            safe-range test + diagnostics
-//! fq eval   <state.json>  <query>            active-domain evaluation
-//! fq safe   <state.json>  <query> [domain]   relative safety (eq|nat|int|succ)
-//! fq decide <domain> <sentence>              decide a pure-domain sentence
-//!                                            (eq|nat|int|succ|presburger|words|traces)
-//! fq traces <machine-string> <word> [k]      run a machine, print its traces
-//! fq machines [n]                            list the first n machine encodings
+//! fq check   <schema.json> <query>             safe-range test + diagnostics
+//! fq eval    <state.json>  <query> [domain]    execute through the pipeline
+//! fq plan    <state.json>  <query> [domain]    print the chosen plan
+//! fq explain <state.json>  <query> [domain]    plan + execute + statistics
+//! fq safe    <state.json>  <query> [domain]    relative safety
+//! fq decide  <domain> <sentence>               decide a pure-domain sentence
+//! fq traces  <machine-string> <word> [k]       run a machine, print its traces
+//! fq machines [n]                              list the first n machine encodings
 //! ```
 //!
-//! States and schemas are JSON in the `fq-relational` serde format; see
+//! Domains are the registry names `eq|nat|int|succ|presburger|words|traces`;
+//! when omitted, the domain is inferred from the query's symbols. States
+//! and schemas are JSON in the `fq-relational` serde format; see
 //! `examples/data/` for samples.
+//!
+//! Every query-answering command routes through the `fq-query` pipeline:
+//! **compile** (parse + scheme check + normalization) → **plan** (strategy
+//! choice with justification, memoized in the engine's `query.plan`
+//! namespace) → **execute** (uniform outcome with a completeness
+//! certificate).
 
-use finite_queries::domains::{
-    DecidableTheory, EqDomain, IntOrder, NatOrder, NatSucc, Presburger, TraceDomain, WordsLlex,
-};
 use finite_queries::logic::parse_formula;
-use finite_queries::relational::active_eval::{eval_query, NatOps, NoOps, TraceOps};
-use finite_queries::relational::safe_range::check_safe_range;
+use finite_queries::query::{Completeness, DomainId, Executor, QueryError};
 use finite_queries::relational::{Schema, State};
-use finite_queries::safety::relative;
 use finite_queries::turing::trace::{count_traces, trace_string, TraceCount};
 use std::process::ExitCode;
 
@@ -29,13 +33,15 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("safe") => cmd_safe(&args[1..]),
         Some("decide") => cmd_decide(&args[1..]),
         Some("traces") => cmd_traces(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fq <check|eval|safe|decide|traces|machines> …\n\
+                "usage: fq <check|eval|plan|explain|safe|decide|traces|machines> …\n\
                  see `src/bin/fq.rs` for the full synopsis"
             );
             return ExitCode::from(2);
@@ -53,17 +59,32 @@ fn main() -> ExitCode {
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn load_state(path: &str) -> Result<State, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(fq_json::from_str(&text)?)
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    fq_json::from_str(&text).map_err(|e| format!("`{path}` is not a valid state: {e}").into())
 }
 
-fn load_schema(path: &str) -> Result<Schema, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    // Accept either a bare schema or a full state.
-    if let Ok(schema) = fq_json::from_str::<Schema>(&text) {
-        return Ok(schema);
-    }
-    Ok(fq_json::from_str::<State>(&text)?.schema().clone())
+/// Accept either a bare schema or a full state. A file that is neither
+/// reports **both** parse failures — a malformed schema must not be
+/// diagnosed as a malformed state.
+fn load_schema(path: &str) -> Result<Schema, QueryError> {
+    let text = std::fs::read_to_string(path).map_err(|e| QueryError::SchemaLoad {
+        path: path.to_string(),
+        schema_error: e.to_string(),
+        state_error: e.to_string(),
+    })?;
+    let schema_error = match fq_json::from_str::<Schema>(&text) {
+        Ok(schema) => return Ok(schema),
+        Err(e) => e,
+    };
+    let state_error = match fq_json::from_str::<State>(&text) {
+        Ok(state) => return Ok(state.schema().clone()),
+        Err(e) => e,
+    };
+    Err(QueryError::SchemaLoad {
+        path: path.to_string(),
+        schema_error: schema_error.to_string(),
+        state_error: state_error.to_string(),
+    })
 }
 
 fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -72,10 +93,30 @@ fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> 
         .ok_or_else(|| format!("missing argument: {what}"))
 }
 
+/// The domain argument, or the one inferred from the query's symbols.
+fn domain_arg(
+    args: &[String],
+    i: usize,
+    query: &str,
+) -> Result<DomainId, Box<dyn std::error::Error>> {
+    match args.get(i) {
+        Some(name) => Ok(DomainId::parse(name)?),
+        None => Ok(DomainId::infer(&parse_formula(query)?)),
+    }
+}
+
+fn print_rows(vars: &[String], rows: &[Vec<finite_queries::relational::Value>]) {
+    println!("{}", vars.join("\t"));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+}
+
 fn cmd_check(args: &[String]) -> CliResult {
     let schema = load_schema(arg(args, 0, "schema.json")?)?;
-    let query = parse_formula(arg(args, 1, "query")?)?;
-    match check_safe_range(&schema, &query) {
+    let compiled = Executor::default().compile(&schema, arg(args, 1, "query")?)?;
+    match compiled.safe_range() {
         Ok(()) => println!("safe-range: the query is domain-independent"),
         Err(e) => println!("NOT safe-range: {e}"),
     }
@@ -84,57 +125,98 @@ fn cmd_check(args: &[String]) -> CliResult {
 
 fn cmd_eval(args: &[String]) -> CliResult {
     let state = load_state(arg(args, 0, "state.json")?)?;
-    let query = parse_formula(arg(args, 1, "query")?)?;
-    let vars: Vec<String> = query.free_vars().into_iter().collect();
-    // Try plain relational first, then numeric, then trace ops.
-    let rows = eval_query(&state, &NoOps, &query, &vars)
-        .or_else(|_| eval_query(&state, &NatOps, &query, &vars))
-        .or_else(|_| eval_query(&state, &TraceOps, &query, &vars))?;
-    println!("{}", vars.join("\t"));
-    for row in rows {
-        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-        println!("{}", cells.join("\t"));
+    let query = arg(args, 1, "query")?;
+    let domain = domain_arg(args, 2, query)?;
+    let out = Executor::default().execute(&state, query, domain)?;
+    match out.completeness {
+        Completeness::Decided { value } => println!("{value}"),
+        Completeness::Certified => print_rows(&out.vars, &out.rows),
+        Completeness::Partial {
+            candidates_tried,
+            max_candidates,
+        } => {
+            print_rows(&out.vars, &out.rows);
+            println!(
+                "-- PARTIAL: budget exhausted after {candidates_tried}/{max_candidates} candidates"
+            );
+        }
     }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> CliResult {
+    let state = load_state(arg(args, 0, "state.json")?)?;
+    let query = arg(args, 1, "query")?;
+    let domain = domain_arg(args, 2, query)?;
+    let (planned, _) = Executor::default().plan(&state, query, domain)?;
+    println!("strategy: {}", planned.plan.strategy());
+    println!("why:      {}", planned.plan.justification());
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> CliResult {
+    let state = load_state(arg(args, 0, "state.json")?)?;
+    let query = arg(args, 1, "query")?;
+    let domain = domain_arg(args, 2, query)?;
+    let exec = Executor::default();
+    let (planned, _) = exec.plan(&state, query, domain)?;
+    println!("{}", planned.explain());
+    let out = exec.execute(&state, query, domain)?;
+    println!("---");
+    match out.completeness {
+        Completeness::Decided { value } => println!("decided:    {value}"),
+        Completeness::Certified => {
+            println!(
+                "answer:     {} tuple(s), certified complete",
+                out.rows.len()
+            );
+            print_rows(&out.vars, &out.rows);
+        }
+        Completeness::Partial {
+            candidates_tried,
+            max_candidates,
+        } => {
+            println!(
+                "answer:     {} tuple(s), PARTIAL ({candidates_tried}/{max_candidates} candidates tried)",
+                out.rows.len()
+            );
+            print_rows(&out.vars, &out.rows);
+        }
+    }
+    println!(
+        "stats:      plan-cache {}, engine memo {} hit(s) / {} miss(es)",
+        if out.stats.plan_cached { "hit" } else { "miss" },
+        out.stats.engine_hits,
+        out.stats.engine_misses
+    );
     Ok(())
 }
 
 fn cmd_safe(args: &[String]) -> CliResult {
     let state = load_state(arg(args, 0, "state.json")?)?;
-    let query = parse_formula(arg(args, 1, "query")?)?;
-    let domain = args.get(2).map(String::as_str).unwrap_or("nat");
-    let vars: Vec<String> = query.free_vars().into_iter().collect();
-    let finite = match domain {
-        "eq" => relative::relative_safety_eq(&state, &query, &vars)?,
-        "nat" => relative::relative_safety_nat(&state, &query, &vars)?,
-        "int" => relative::relative_safety_int(&state, &query, &vars)?,
-        "succ" => relative::relative_safety_succ(&state, &query, &vars)?,
-        other => return Err(format!("unknown domain `{other}` (eq|nat|int|succ)").into()),
+    let query = arg(args, 1, "query")?;
+    let domain = match args.get(2) {
+        Some(name) => DomainId::parse(name)?,
+        None => DomainId::Nat,
     };
-    println!(
-        "the answer of `{query}` in this state is {} over domain `{domain}`",
-        if finite { "FINITE" } else { "INFINITE" }
-    );
+    match Executor::default().relative_safety(&state, query, domain)? {
+        Some(finite) => println!(
+            "the answer of `{query}` in this state is {} over domain `{}`",
+            if finite { "FINITE" } else { "INFINITE" },
+            domain.key()
+        ),
+        None => println!(
+            "relative safety over `{}` is undecidable (Theorem 3.3); \
+             use `fq eval … traces` for a budgeted partial answer",
+            domain.key()
+        ),
+    }
     Ok(())
 }
 
 fn cmd_decide(args: &[String]) -> CliResult {
-    let domain = arg(args, 0, "domain")?;
-    let sentence = parse_formula(arg(args, 1, "sentence")?)?;
-    let value = match domain {
-        "eq" => EqDomain.decide(&sentence)?,
-        "nat" => NatOrder.decide(&sentence)?,
-        "int" => IntOrder.decide(&sentence)?,
-        "succ" => NatSucc.decide(&sentence)?,
-        "presburger" => Presburger.decide(&sentence)?,
-        "words" => WordsLlex.decide(&sentence)?,
-        "traces" => TraceDomain.decide(&sentence)?,
-        other => {
-            return Err(format!(
-                "unknown domain `{other}` (eq|nat|int|succ|presburger|words|traces)"
-            )
-            .into())
-        }
-    };
+    let domain = DomainId::parse(arg(args, 0, "domain")?)?;
+    let value = Executor::default().decide(domain, arg(args, 1, "sentence")?)?;
     println!("{value}");
     Ok(())
 }

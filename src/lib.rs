@@ -13,7 +13,9 @@
 //! * [`safety`] — the paper's contribution: finitization, effective-syntax
 //!   enumerators, relative-safety deciders, and the negative reductions;
 //! * [`engine`] — the parallel, memoizing decision engine threaded through
-//!   the quantifier eliminations and the Theorem 3.1 dovetail.
+//!   the quantifier eliminations and the Theorem 3.1 dovetail;
+//! * [`query`] — the unified compile → plan → execute pipeline with
+//!   explain output and engine-backed plan caching.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the mapping
 //! from the paper's theorems to runnable experiments.
@@ -22,5 +24,6 @@ pub use fq_core as safety;
 pub use fq_domains as domains;
 pub use fq_engine as engine;
 pub use fq_logic as logic;
+pub use fq_query as query;
 pub use fq_relational as relational;
 pub use fq_turing as turing;

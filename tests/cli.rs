@@ -106,6 +106,105 @@ fn machines_lists_the_enumeration() {
     assert_eq!(out.lines().count(), 3);
 }
 
+/// The state file shipped in the repo, so the plan/explain tests run
+/// against the same data the README walkthrough uses.
+fn repo_fathers_json() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/fathers.json").to_string()
+}
+
+#[test]
+fn plan_prints_a_strategy_per_route() {
+    let state = repo_fathers_json();
+    for (query, domain, strategy) in [
+        ("exists y. F(x, y) & F(y, z)", "eq", "algebra"),
+        ("F(x, y) & x < y", "nat", "active-domain"),
+        ("!F(x, y)", "nat", "enumerate-and-ask"),
+        ("exists x y. F(x, y)", "nat", "qe-decide"),
+    ] {
+        let (out, err, ok) = fq(&["plan", &state, query, domain]);
+        assert!(ok, "{query}: {err}");
+        assert!(
+            out.contains(&format!("strategy: {strategy}")),
+            "{query} should plan as {strategy}, got:\n{out}"
+        );
+        assert!(
+            out.contains("why:"),
+            "{query} must justify its plan:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn plan_is_deterministic_across_invocations() {
+    let state = repo_fathers_json();
+    let run = || fq(&["plan", &state, "!F(x, y)", "nat"]).0;
+    let first = run();
+    assert_eq!(first, run());
+    assert_eq!(first, run());
+}
+
+#[test]
+fn explain_shows_plan_answer_and_stats() {
+    let state = repo_fathers_json();
+    let (out, err, ok) = fq(&["explain", &state, "exists y. F(x, y) & F(y, z)", "eq"]);
+    assert!(ok, "{err}");
+    for needle in [
+        "strategy:",
+        "why:",
+        "certified complete",
+        "plan-cache",
+        "engine memo",
+    ] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+    // The answer table itself rides along.
+    assert!(out.contains("1\t4"));
+}
+
+#[test]
+fn explain_decides_sentences() {
+    let state = repo_fathers_json();
+    let (out, _, ok) = fq(&["explain", &state, "exists x y. F(x, y)", "nat"]);
+    assert!(ok);
+    assert!(out.contains("strategy:   qe-decide"), "{out}");
+    assert!(out.contains("decided:    true"), "{out}");
+}
+
+#[test]
+fn explain_reports_partial_answers_with_budget() {
+    let state = repo_fathers_json();
+    let (out, _, ok) = fq(&["explain", &state, "!F(x, y)", "nat"]);
+    assert!(ok);
+    assert!(out.contains("PARTIAL"), "{out}");
+    assert!(out.contains("candidates tried"), "{out}");
+}
+
+#[test]
+fn bad_schema_file_reports_both_parse_failures() {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, r#"{"neither": "schema nor state"}"#).unwrap();
+    let path = path.to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["check", &path, "F(x, y)"]);
+    assert!(!ok, "a bad schema file must fail the command");
+    assert!(
+        err.contains("neither a schema nor a state"),
+        "diagnostic should name the problem: {err}"
+    );
+    assert!(
+        err.contains("as a schema:") && err.contains("as a state:"),
+        "diagnostic should report BOTH parse attempts: {err}"
+    );
+}
+
+#[test]
+fn missing_schema_file_fails_with_path() {
+    let (_, err, ok) = fq(&["plan", "/nonexistent/nowhere.json", "F(x, y)"]);
+    assert!(!ok);
+    assert!(err.contains("nowhere.json"), "{err}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let (_, err, ok) = fq(&[]);

@@ -2,8 +2,8 @@
 //!
 //! The workspace vendors this implementation so that builds never need
 //! the crates.io registry. It keeps proptest's *API shape* — the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map` /
-//! `prop_recursive`, [`Just`], `prop_oneof!`, `any::<T>()`, range and
+//! `Strategy` trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, `Just`, `prop_oneof!`, `any::<T>()`, range and
 //! tuple strategies, `collection::{vec, btree_set}`, regex-literal
 //! string strategies, and the `proptest!` / `prop_assert*` macros — but
 //! only *generates* random values; there is no shrinking. A failing
