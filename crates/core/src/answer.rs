@@ -13,6 +13,7 @@
 //! tuple is found.
 
 use fq_domains::{DecidableTheory, Domain, DomainError};
+use fq_engine::Engine;
 use fq_logic::{Formula, Term};
 use fq_relational::{translate_to_domain_formula, State};
 
@@ -52,6 +53,39 @@ pub fn answer_query<D: DecidableTheory>(
     vars: &[String],
     max_candidates: usize,
 ) -> Result<AnswerOutcome<D::Elem>, DomainError> {
+    // A private engine still pays off within one call: the loop restarts
+    // its candidate scan after every discovered tuple, re-deciding the
+    // same instantiated sentences.
+    answer_query_with(
+        domain,
+        state,
+        query,
+        vars,
+        max_candidates,
+        &Engine::sequential(),
+    )
+}
+
+/// [`answer_query`] with the decision procedure routed through `engine`:
+/// each decided sentence is memoized (keyed by the domain type and the
+/// sentence), so the outer loop's restarted candidate scans — and warm
+/// re-executions sharing the engine — skip the quantifier eliminations
+/// entirely.
+pub fn answer_query_with<D: DecidableTheory>(
+    domain: &D,
+    state: &State,
+    query: &Formula,
+    vars: &[String],
+    max_candidates: usize,
+    engine: &Engine,
+) -> Result<AnswerOutcome<D::Elem>, DomainError> {
+    let decide = |sentence: &Formula| -> Result<bool, DomainError> {
+        engine.cached(
+            "core.answer.decide",
+            (std::any::type_name::<D>(), sentence.clone()),
+            || domain.decide_with(sentence, engine),
+        )
+    };
     let phi = translate_to_domain_formula(query, state);
     let mut found: Vec<Vec<D::Elem>> = Vec::new();
     let mut candidates_tried = 0usize;
@@ -66,7 +100,7 @@ pub fn answer_query<D: DecidableTheory>(
         let check_feasible = vars.len() <= 1 || found.len() <= 4;
         if check_feasible {
             let another = exists_another(&phi, vars, &found, domain);
-            if !domain.decide(&another)? {
+            if !decide(&another)? {
                 return Ok(AnswerOutcome::Complete(found));
             }
         }
@@ -89,7 +123,7 @@ pub fn answer_query<D: DecidableTheory>(
                 continue;
             }
             let instantiated = instantiate(&phi, vars, &tuple, domain);
-            if domain.decide(&instantiated)? {
+            if decide(&instantiated)? {
                 found.push(tuple);
                 discovered = true;
                 break;

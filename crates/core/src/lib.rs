@@ -52,6 +52,6 @@ pub mod relative;
 pub mod safety;
 pub mod syntax;
 
-pub use answer::{answer_query, AnswerOutcome};
+pub use answer::{answer_query, answer_query_with, AnswerOutcome};
 pub use finitize::finitize;
 pub use safety::{totality_query, SafetyVerdict};

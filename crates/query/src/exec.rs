@@ -9,7 +9,7 @@ use crate::plan::{plan, PlannedQuery, QueryPlan};
 use crate::registry::{DomainId, DomainRegistry};
 use fq_core::answer::AnswerOutcome;
 use fq_engine::Engine;
-use fq_relational::{translate_to_domain_formula, Schema, State, Value};
+use fq_relational::{translate_to_domain_formula, OpStat, PhysicalPlan, Schema, State, Value};
 use std::cell::Cell;
 
 /// The memo namespace holding planned queries.
@@ -58,6 +58,9 @@ pub struct QueryOutcome {
     pub plan: QueryPlan,
     /// Engine and cache statistics.
     pub stats: ExecStats,
+    /// Physical operator cardinalities (algebra strategy only; empty for
+    /// the other strategies).
+    pub operators: Vec<OpStat>,
 }
 
 impl QueryOutcome {
@@ -175,15 +178,24 @@ impl Executor {
     fn run(&self, state: &State, planned: &PlannedQuery) -> Result<QueryOutcome, QueryError> {
         let compiled = &planned.compiled;
         let vars = compiled.free_vars.clone();
+        let mut operators = Vec::new();
         let (rows, completeness) = match &planned.plan {
-            QueryPlan::Algebra { expr, .. } => {
-                let rel = expr.eval(state).reorder(&vars);
+            QueryPlan::Algebra { optimized, .. } => {
+                let report = PhysicalPlan::compile(optimized).execute_with_stats(state);
+                operators = report.operators;
+                let rel = report.relation.reorder(&vars);
                 (rel.tuples.into_iter().collect(), Completeness::Certified)
             }
             QueryPlan::ActiveDomain { .. } => {
                 let rows = self
                     .registry
-                    .eval_active(planned.domain, state, &compiled.normalized, &vars)
+                    .eval_active(
+                        planned.domain,
+                        state,
+                        &compiled.normalized,
+                        &vars,
+                        &self.engine,
+                    )
                     .map_err(QueryError::Eval)?;
                 (rows, Completeness::Certified)
             }
@@ -194,6 +206,7 @@ impl Executor {
                     &compiled.normalized,
                     &vars,
                     *max_candidates,
+                    &self.engine,
                 )?;
                 match out {
                     AnswerOutcome::Complete(rows) => (rows, Completeness::Certified),
@@ -223,6 +236,7 @@ impl Executor {
             completeness,
             plan: planned.plan.clone(),
             stats: ExecStats::default(),
+            operators,
         })
     }
 }

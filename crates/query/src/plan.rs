@@ -16,6 +16,7 @@ use crate::compile::CompiledQuery;
 use crate::error::QueryError;
 use crate::registry::{DomainId, DomainRegistry};
 use fq_relational::algebra::{compile as compile_algebra, AlgebraExpr};
+use fq_relational::optimize::optimize;
 use fq_relational::State;
 
 /// What the relative-safety precheck said about the answer in this
@@ -39,7 +40,15 @@ pub enum QueryPlan {
     /// Safe-range ⟹ compile to relational algebra and evaluate over the
     /// stored relations only.
     Algebra {
+        /// The direct Codd translation (kept as the reference form).
         expr: AlgebraExpr,
+        /// The rewritten expression the physical executor runs —
+        /// equivalent to `expr` on every state (the optimizer preserves
+        /// the tuple set and attribute order).
+        optimized: AlgebraExpr,
+        /// The rewrites applied, in order (plans are per-state, so
+        /// state-statistics-driven decisions are cache-safe).
+        rewrites: Vec<String>,
         justification: String,
     },
     /// Safe-range but outside the algebra fragment ⟹ active-domain
@@ -77,6 +86,14 @@ impl QueryPlan {
             | QueryPlan::QeDecide { justification } => justification,
         }
     }
+
+    /// The optimizer rewrites applied (algebra plans only).
+    pub fn rewrites(&self) -> &[String] {
+        match self {
+            QueryPlan::Algebra { rewrites, .. } => rewrites,
+            _ => &[],
+        }
+    }
 }
 
 /// A compiled query with its chosen plan — the unit the executor runs
@@ -105,6 +122,16 @@ impl PlannedQuery {
         out.push_str(&format!("domain:     {}\n", self.domain));
         out.push_str(&format!("strategy:   {}\n", self.plan.strategy()));
         out.push_str(&format!("why:        {}", self.plan.justification()));
+        if let QueryPlan::Algebra { rewrites, .. } = &self.plan {
+            if rewrites.is_empty() {
+                out.push_str("\nrewrites:   none (expression already canonical)");
+            } else {
+                out.push_str("\nrewrites:");
+                for r in rewrites {
+                    out.push_str(&format!("\n  - {r}"));
+                }
+            }
+        }
         out
     }
 }
@@ -132,13 +159,18 @@ pub fn plan(
     } else {
         match compiled.safe_range() {
             Ok(()) => match compile_algebra(&compiled.schema, &compiled.query) {
-                Ok(expr) => QueryPlan::Algebra {
-                    expr,
-                    justification: "the query is safe-range, hence domain-independent; \
-                                    compiled to relational algebra (Codd's theorem) and \
-                                    evaluated over the stored relations only"
-                        .to_string(),
-                },
+                Ok(expr) => {
+                    let opt = optimize(&expr, state);
+                    QueryPlan::Algebra {
+                        expr,
+                        optimized: opt.expr,
+                        rewrites: opt.rewrites,
+                        justification: "the query is safe-range, hence domain-independent; \
+                                        compiled to relational algebra (Codd's theorem) and \
+                                        evaluated over the stored relations only"
+                            .to_string(),
+                    }
+                }
                 Err(e) => QueryPlan::ActiveDomain {
                     justification: format!(
                         "the query is safe-range, hence domain-independent, but outside \

@@ -3,7 +3,7 @@
 //! to be copy-pasted into each CLI command and example.
 
 use crate::error::QueryError;
-use fq_core::answer::{answer_query, AnswerOutcome};
+use fq_core::answer::{answer_query_with, AnswerOutcome};
 use fq_core::relative;
 use fq_domains::{
     DecidableTheory, DomainError, EqDomain, IntOrder, NatOrder, NatSucc, Presburger, TraceDomain,
@@ -11,7 +11,7 @@ use fq_domains::{
 };
 use fq_engine::Engine;
 use fq_logic::Formula;
-use fq_relational::active_eval::{eval_query, NatOps, NoOps, TraceOps};
+use fq_relational::active_eval::{eval_query_with, NatOps, NoOps, TraceOps};
 use fq_relational::{State, Value};
 
 /// The decidable domains the pipeline can plan against.
@@ -230,7 +230,9 @@ impl DomainRegistry {
     }
 
     /// The Section 1.1 enumerate-and-ask loop over the domain, answers
-    /// converted to [`Value`] tuples.
+    /// converted to [`Value`] tuples. Decide results are memoized in the
+    /// engine (`core.answer.decide`), so the loop's restarted candidate
+    /// scans and warm re-executions skip the quantifier eliminations.
     pub fn answer(
         &self,
         id: DomainId,
@@ -238,39 +240,58 @@ impl DomainRegistry {
         query: &Formula,
         vars: &[String],
         max_candidates: usize,
+        engine: &Engine,
     ) -> Result<AnswerOutcome<Value>, DomainError> {
         match id {
-            DomainId::Eq => answer_query(&EqDomain, state, query, vars, max_candidates)
-                .map(|o| convert(o, |n| Value::Nat(*n))),
-            DomainId::Nat => answer_query(&NatOrder, state, query, vars, max_candidates)
-                .map(|o| convert(o, |n| Value::Nat(*n))),
-            DomainId::Int => answer_query(&IntOrder, state, query, vars, max_candidates)
-                .map(|o| convert(o, int_value)),
-            DomainId::Succ => answer_query(&NatSucc, state, query, vars, max_candidates)
-                .map(|o| convert(o, |n| Value::Nat(*n))),
-            DomainId::Presburger => answer_query(&Presburger, state, query, vars, max_candidates)
-                .map(|o| convert(o, |n| Value::Nat(*n))),
-            DomainId::Words => answer_query(&WordsLlex, state, query, vars, max_candidates)
-                .map(|o| convert(o, |s: &String| Value::Str(s.clone()))),
-            DomainId::Traces => answer_query(&TraceDomain, state, query, vars, max_candidates)
-                .map(|o| convert(o, |s: &String| Value::Str(s.clone()))),
+            DomainId::Eq => {
+                answer_query_with(&EqDomain, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |n| Value::Nat(*n)))
+            }
+            DomainId::Nat => {
+                answer_query_with(&NatOrder, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |n| Value::Nat(*n)))
+            }
+            DomainId::Int => {
+                answer_query_with(&IntOrder, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, int_value))
+            }
+            DomainId::Succ => {
+                answer_query_with(&NatSucc, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |n| Value::Nat(*n)))
+            }
+            DomainId::Presburger => {
+                answer_query_with(&Presburger, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |n| Value::Nat(*n)))
+            }
+            DomainId::Words => {
+                answer_query_with(&WordsLlex, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |s: &String| Value::Str(s.clone())))
+            }
+            DomainId::Traces => {
+                answer_query_with(&TraceDomain, state, query, vars, max_candidates, engine)
+                    .map(|o| convert(o, |s: &String| Value::Str(s.clone())))
+            }
         }
     }
 
-    /// Active-domain evaluation with the domain's operations interpreted.
+    /// Active-domain evaluation with the domain's operations interpreted,
+    /// slot-compiled and fanned out across the engine's workers.
     pub fn eval_active(
         &self,
         id: DomainId,
         state: &State,
         query: &Formula,
         vars: &[String],
+        engine: &Engine,
     ) -> Result<Vec<Vec<Value>>, fq_logic::LogicError> {
         match id {
-            DomainId::Eq => eval_query(state, &NoOps, query, vars),
+            DomainId::Eq => eval_query_with(state, &NoOps, query, vars, engine),
             DomainId::Nat | DomainId::Int | DomainId::Succ | DomainId::Presburger => {
-                eval_query(state, &NatOps, query, vars)
+                eval_query_with(state, &NatOps, query, vars, engine)
             }
-            DomainId::Words | DomainId::Traces => eval_query(state, &TraceOps, query, vars),
+            DomainId::Words | DomainId::Traces => {
+                eval_query_with(state, &TraceOps, query, vars, engine)
+            }
         }
     }
 }

@@ -6,7 +6,10 @@
 //! used by the effective syntaxes of Section 2.
 
 use crate::state::{State, Tuple, Value};
-use fq_logic::eval::{solutions, Interpretation};
+use fq_engine::Engine;
+use fq_logic::eval::{
+    compile_slots, solutions, solutions_slots, solutions_slots_fixed, Interpretation,
+};
 use fq_logic::{Formula, LogicError};
 
 /// Interpretation of domain functions and predicates over [`Value`]s.
@@ -187,7 +190,7 @@ impl<D: DomainOps> Interpretation for QueryInterp<'_, D> {
 
     fn pred(&self, name: &str, args: &[Value]) -> Result<bool, LogicError> {
         if self.state.schema().arity(name).is_some() {
-            return Ok(self.state.contains(name, &args.to_vec()));
+            return Ok(self.state.contains(name, args));
         }
         self.ops.pred(name, args)
     }
@@ -204,6 +207,34 @@ pub fn eval_query<D: DomainOps>(
     let universe: Vec<Value> = state.query_active_domain(query).into_iter().collect();
     let interp = QueryInterp::new(state, ops);
     solutions(&interp, &universe, free_vars, query)
+}
+
+/// Slot-compiled, engine-parallel [`eval_query`]: the formula is
+/// compiled once (variable names → frame slots), and the outermost free
+/// variable is fanned out across the engine's workers. `parallel_map`
+/// returns chunks in universe order, so the concatenated rows are
+/// bit-identical to the sequential string-env enumeration.
+pub fn eval_query_with<D: DomainOps + Sync>(
+    state: &State,
+    ops: &D,
+    query: &Formula,
+    free_vars: &[String],
+    engine: &Engine,
+) -> Result<Vec<Tuple>, LogicError> {
+    let universe: Vec<Value> = state.query_active_domain(query).into_iter().collect();
+    let interp = QueryInterp::new(state, ops);
+    let compiled = compile_slots(query, free_vars);
+    if free_vars.is_empty() || universe.len() < 2 || engine.threads() < 2 {
+        return solutions_slots(&interp, &universe, &compiled);
+    }
+    let chunks: Vec<Result<Vec<Tuple>, LogicError>> = engine.parallel_map(&universe, |e| {
+        solutions_slots_fixed(&interp, &universe, &compiled, std::slice::from_ref(e))
+    });
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
 }
 
 /// Evaluate a query over an explicitly supplied universe (used by the
@@ -315,6 +346,27 @@ mod tests {
     fn unknown_symbols_error() {
         let q = parse_formula("exists x. Weird(x)").unwrap();
         assert!(eval_boolean(&fathers(), &NoOps, &q).is_err());
+    }
+
+    #[test]
+    fn eval_query_with_matches_string_env_evaluator() {
+        for threads in [1, 4] {
+            let engine = Engine::new(fq_engine::EngineConfig {
+                threads,
+                ..Default::default()
+            });
+            for (src, vars) in [
+                ("exists y z. y != z & F(x, y) & F(x, z)", vec!["x"]),
+                ("exists y. F(x, y) & F(y, z)", vec!["x", "z"]),
+                ("F(x, y) | F(y, x)", vec!["x", "y"]),
+            ] {
+                let q = parse_formula(src).unwrap();
+                let vars: Vec<String> = vars.into_iter().map(String::from).collect();
+                let naive = eval_query(&fathers(), &NoOps, &q, &vars).unwrap();
+                let fast = eval_query_with(&fathers(), &NoOps, &q, &vars, &engine).unwrap();
+                assert_eq!(naive, fast, "{src} ({threads} threads)");
+            }
+        }
     }
 
     #[test]

@@ -43,13 +43,17 @@
 
 pub mod active_eval;
 pub mod algebra;
+pub mod optimize;
+pub mod physical;
 pub mod safe_range;
 pub mod schema;
 pub mod state;
 pub mod translate;
 
-pub use active_eval::eval_query;
+pub use active_eval::{eval_query, eval_query_with};
 pub use algebra::{AlgebraExpr, Relation};
+pub use optimize::{optimize, OptimizedExpr};
+pub use physical::{ExecReport, OpStat, PhysicalPlan};
 pub use safe_range::is_safe_range;
 pub use schema::Schema;
 pub use state::{State, Value};

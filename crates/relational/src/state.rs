@@ -159,8 +159,10 @@ impl State {
         self.relations.get(relation).into_iter().flatten()
     }
 
-    /// Whether a tuple is present.
-    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+    /// Whether a tuple is present. Takes a slice so hot loops (the
+    /// active-domain evaluator's predicate checks) need no `Vec`
+    /// allocation per membership test.
+    pub fn contains(&self, relation: &str, tuple: &[Value]) -> bool {
         self.relations
             .get(relation)
             .is_some_and(|r| r.contains(tuple))
@@ -169,6 +171,12 @@ impl State {
     /// Total number of stored tuples.
     pub fn size(&self) -> usize {
         self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Number of tuples stored in one relation (0 for undeclared names).
+    /// The optimizer's cardinality estimates start from these counts.
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, |r| r.len())
     }
 
     /// The **active domain of the state**: every value stored in a
@@ -232,8 +240,8 @@ mod tests {
     #[test]
     fn insert_and_contains() {
         let s = fathers();
-        assert!(s.contains("F", &vec![Value::Nat(1), Value::Nat(2)]));
-        assert!(!s.contains("F", &vec![Value::Nat(2), Value::Nat(1)]));
+        assert!(s.contains("F", &[Value::Nat(1), Value::Nat(2)]));
+        assert!(!s.contains("F", &[Value::Nat(2), Value::Nat(1)]));
         assert_eq!(s.size(), 2);
     }
 
@@ -293,7 +301,7 @@ mod tests {
     fn string_values() {
         let schema = Schema::new().with_relation("R", 1);
         let s = State::new(schema).with_tuple("R", vec![Value::Str("1&1".into())]);
-        assert!(s.contains("R", &vec![Value::Str("1&1".into())]));
+        assert!(s.contains("R", &[Value::Str("1&1".into())]));
     }
 
     #[test]

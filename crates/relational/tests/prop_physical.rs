@@ -1,0 +1,171 @@
+//! Property tests for the optimized execution layer: the logical
+//! rewriter and physical executor must be **bit-identical** to the naive
+//! `AlgebraExpr::eval` backend (tuples *and* attribute order), and the
+//! slot-compiled evaluator must match the string-keyed `solutions` —
+//! including on the engine-parallel fan-out path.
+
+use fq_engine::{Engine, EngineConfig};
+use fq_logic::{Formula, Term};
+use fq_relational::active_eval::{eval_query, eval_query_with, NoOps};
+use fq_relational::algebra::{compile, AlgebraExpr, Condition};
+use fq_relational::optimize::optimize;
+use fq_relational::physical::PhysicalPlan;
+use fq_relational::safe_range::is_safe_range;
+use fq_relational::schema::Schema;
+use fq_relational::state::{State, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new().with_relation("R", 2).with_relation("S", 1)
+}
+
+fn arb_state() -> impl Strategy<Value = State> {
+    (
+        proptest::collection::btree_set((0u64..5, 0u64..5), 0..6),
+        proptest::collection::btree_set(0u64..5, 0..4),
+    )
+        .prop_map(|(r, s)| {
+            let mut state = State::new(schema());
+            for (a, b) in r {
+                state.insert("R", vec![Value::Nat(a), Value::Nat(b)]);
+            }
+            for a in s {
+                state.insert("S", vec![Value::Nat(a)]);
+            }
+            state
+        })
+}
+
+/// Random queries in the style of the `prop.rs` generator: range-giving
+/// atoms, conjunction, attribute-compatible disjunction, negation
+/// (filtered through the safe-range check), and existentials.
+fn arb_query() -> impl Strategy<Value = Formula> {
+    let v = || prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Term::var);
+    let atom = prop_oneof![
+        (v(), v()).prop_map(|(a, b)| Formula::pred("R", vec![a, b])),
+        v().prop_map(|a| Formula::pred("S", vec![a])),
+        (v(), 0u64..5).prop_map(|(a, k)| Formula::eq(a, Term::Nat(k))),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            1 => inner.clone().prop_map(|a| Formula::Or(vec![a.clone(), a])),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Formula::And(vec![a, Formula::Not(Box::new(b))])
+            }),
+            2 => (prop_oneof![Just("x"), Just("y"), Just("z")], inner.clone())
+                .prop_map(|(v, b)| Formula::exists(v, b)),
+        ]
+    })
+}
+
+/// Random raw algebra expressions (not necessarily from the compiler),
+/// to exercise rewriter/executor shapes the Codd translation never
+/// produces — cross products, unions of reordered branches, extends.
+fn arb_expr() -> impl Strategy<Value = AlgebraExpr> {
+    let base = prop_oneof![
+        Just(AlgebraExpr::Base {
+            name: "R".into(),
+            attrs: vec!["x".into(), "y".into()],
+        }),
+        Just(AlgebraExpr::Base {
+            name: "R".into(),
+            attrs: vec!["y".into(), "z".into()],
+        }),
+        Just(AlgebraExpr::Base {
+            name: "S".into(),
+            attrs: vec!["x".into()],
+        }),
+        Just(AlgebraExpr::Base {
+            name: "S".into(),
+            attrs: vec!["w".into()],
+        }),
+        (0u64..5).prop_map(|k| AlgebraExpr::Singleton(vec![("x".into(), Value::Nat(k))])),
+    ];
+    base.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| AlgebraExpr::Join(Box::new(a), Box::new(b))),
+            1 => inner.clone().prop_map(|a| {
+                // Union with itself keeps the attribute sets compatible.
+                AlgebraExpr::Union(Box::new(a.clone()), Box::new(a))
+            }),
+            1 => inner.clone().prop_map(|a| {
+                AlgebraExpr::Diff(Box::new(a.clone()), Box::new(a))
+            }),
+            2 => (inner.clone(), 0u64..5).prop_map(|(a, k)| {
+                let attr = a.attrs().first().cloned().unwrap_or_else(|| "x".into());
+                AlgebraExpr::Select(Box::new(a), Condition::EqConst(attr, Value::Nat(k)))
+            }),
+            1 => inner.clone().prop_map(|a| {
+                let attrs = a.attrs();
+                let keep: Vec<String> = attrs.iter().skip(attrs.len() / 2).cloned().collect();
+                AlgebraExpr::Project(Box::new(a), keep)
+            }),
+            1 => inner.clone().prop_map(|a| {
+                let src = a.attrs().first().cloned().unwrap_or_else(|| "x".into());
+                let new = format!("{src}2");
+                if a.attrs().contains(&new) {
+                    a
+                } else {
+                    AlgebraExpr::Extend(Box::new(a), new, src)
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn optimized_physical_matches_naive_on_compiled_queries(
+        state in arb_state(),
+        q in arb_query(),
+    ) {
+        if !is_safe_range(state.schema(), &q) {
+            return Ok(());
+        }
+        let Ok(expr) = compile(state.schema(), &q) else {
+            return Ok(());
+        };
+        let naive = expr.eval(&state);
+        let physical = PhysicalPlan::compile(&expr).execute(&state);
+        prop_assert_eq!(&naive, &physical, "physical ≠ naive: {}", q);
+        let opt = optimize(&expr, &state);
+        prop_assert_eq!(opt.expr.attrs(), expr.attrs(), "rewrite changed attrs: {}", q);
+        let optimized = PhysicalPlan::compile(&opt.expr).execute(&state);
+        prop_assert_eq!(&naive, &optimized, "optimized ≠ naive: {} ({:?})", q, opt.rewrites);
+    }
+
+    #[test]
+    fn optimized_physical_matches_naive_on_raw_expressions(
+        state in arb_state(),
+        expr in arb_expr(),
+    ) {
+        let naive = expr.eval(&state);
+        let physical = PhysicalPlan::compile(&expr).execute(&state);
+        prop_assert_eq!(&naive, &physical, "physical ≠ naive: {:?}", expr);
+        let opt = optimize(&expr, &state);
+        prop_assert_eq!(opt.expr.attrs(), expr.attrs(), "rewrite changed attrs");
+        let optimized = PhysicalPlan::compile(&opt.expr).execute(&state);
+        prop_assert_eq!(&naive, &optimized, "optimized ≠ naive: {:?} → {:?}", expr, opt.rewrites);
+    }
+
+    #[test]
+    fn slot_compiled_evaluation_matches_string_env(
+        state in arb_state(),
+        q in arb_query(),
+        threads in 1usize..4,
+    ) {
+        let vars: Vec<String> = q.free_vars().into_iter().collect();
+        let engine = Engine::new(EngineConfig { threads, ..EngineConfig::default() });
+        let reference = eval_query(&state, &NoOps, &q, &vars);
+        let slotted = eval_query_with(&state, &NoOps, &q, &vars, &engine);
+        match (reference, slotted) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "rows differ: {}", q),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string(), "errors differ: {}", q),
+            (a, b) => prop_assert!(false, "outcome mismatch on {}: {:?} vs {:?}", q, a, b),
+        }
+    }
+}

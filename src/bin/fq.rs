@@ -183,6 +183,12 @@ fn cmd_explain(args: &[String]) -> CliResult {
             print_rows(&out.vars, &out.rows);
         }
     }
+    if !out.operators.is_empty() {
+        println!("operators:  (bottom-up, rows produced)");
+        for op in &out.operators {
+            println!("  {:>6}  {}", op.rows, op.op);
+        }
+    }
     println!(
         "stats:      plan-cache {}, engine memo {} hit(s) / {} miss(es)",
         if out.stats.plan_cached { "hit" } else { "miss" },
