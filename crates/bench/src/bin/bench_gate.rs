@@ -1,0 +1,139 @@
+//! Bench regression gate: compare a fresh `BENCH_*.json` run against a
+//! committed baseline and fail when the median per-experiment slowdown
+//! exceeds 30%.
+//!
+//! Usage: `bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...]`
+//!
+//! Experiments are matched by id; rows whose baseline took under 2 ms
+//! are skipped (their timings are dominated by noise). The gate passes
+//! trivially when no row is comparable — a baseline of all-fast
+//! experiments should not block CI.
+
+use fq_bench::report::ExperimentReport;
+use std::process::ExitCode;
+
+/// The slowdown the gate tolerates: fresh may take up to 1.3× baseline.
+const MAX_MEDIAN_RATIO: f64 = 1.3;
+
+/// Baselines faster than this are too noisy to compare.
+const MIN_BASELINE_MILLIS: u128 = 2;
+
+/// Per-experiment slowdown ratios (fresh / baseline), matched by id and
+/// restricted to rows with a trustworthy baseline.
+fn ratios(baseline: &ExperimentReport, fresh: &ExperimentReport) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for b in &baseline.results {
+        if b.millis < MIN_BASELINE_MILLIS {
+            continue;
+        }
+        if let Some(f) = fresh.results.iter().find(|f| f.id == b.id) {
+            out.push((b.id.clone(), f.millis as f64 / b.millis as f64));
+        }
+    }
+    out
+}
+
+/// The median of the slowdown ratios, `None` when nothing is comparable.
+fn median_ratio(ratios: &[(String, f64)]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    let mut rs: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    rs.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    Some(rs[rs.len() / 2])
+}
+
+fn load(path: &str) -> Result<ExperimentReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("`{path}`: {e}"))?;
+    fq_json::from_str(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for pair in args.chunks(2) {
+        let (bpath, fpath) = (&pair[0], &pair[1]);
+        let (baseline, fresh) = match (load(bpath), load(fpath)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rs = ratios(&baseline, &fresh);
+        for (id, r) in &rs {
+            println!("  {r:>6.2}x  {id}");
+        }
+        match median_ratio(&rs) {
+            None => println!("{bpath} vs {fpath}: no comparable rows, skipping"),
+            Some(m) if m > MAX_MEDIAN_RATIO => {
+                eprintln!(
+                    "{bpath} vs {fpath}: median slowdown {m:.2}x exceeds {MAX_MEDIAN_RATIO}x"
+                );
+                failed = true;
+            }
+            Some(m) => {
+                println!("{bpath} vs {fpath}: median ratio {m:.2}x within {MAX_MEDIAN_RATIO}x, ok")
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_bench::report::ExperimentResult;
+
+    fn report(rows: &[(&str, u128)]) -> ExperimentReport {
+        ExperimentReport {
+            results: rows
+                .iter()
+                .map(|(id, millis)| ExperimentResult {
+                    id: id.to_string(),
+                    reference: String::new(),
+                    claim: String::new(),
+                    observed: String::new(),
+                    pass: true,
+                    millis: *millis,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn noisy_and_unmatched_rows_are_skipped() {
+        let baseline = report(&[("fast", 1), ("slow", 100), ("gone", 50)]);
+        let fresh = report(&[("fast", 500), ("slow", 110)]);
+        let rs = ratios(&baseline, &fresh);
+        assert_eq!(rs.len(), 1, "only `slow` is comparable: {rs:?}");
+        assert_eq!(rs[0].0, "slow");
+        assert!((rs[0].1 - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_gates_at_thirty_percent() {
+        let baseline = report(&[("a", 100), ("b", 100), ("c", 100)]);
+        let ok = report(&[("a", 125), ("b", 90), ("c", 129)]);
+        let m = median_ratio(&ratios(&baseline, &ok)).unwrap();
+        assert!(m <= MAX_MEDIAN_RATIO, "{m}");
+        let bad = report(&[("a", 200), ("b", 90), ("c", 150)]);
+        let m = median_ratio(&ratios(&baseline, &bad)).unwrap();
+        assert!(m > MAX_MEDIAN_RATIO, "{m}");
+    }
+
+    #[test]
+    fn empty_comparison_passes() {
+        let baseline = report(&[("fast", 1)]);
+        let fresh = report(&[("fast", 1000)]);
+        assert_eq!(median_ratio(&ratios(&baseline, &fresh)), None);
+    }
+}

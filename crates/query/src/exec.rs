@@ -33,7 +33,7 @@ pub enum Completeness {
     Decided { value: bool },
 }
 
-/// Engine and cache counters observed during one execution.
+/// Engine, cache, and storage counters observed during one execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Did the plan come from the `query.plan` cache?
@@ -42,6 +42,13 @@ pub struct ExecStats {
     pub engine_hits: usize,
     /// Engine-wide memo misses after this execution.
     pub engine_misses: usize,
+    /// Entries in the state's interning dictionary (strings plus
+    /// naturals too large to store inline).
+    pub dict_entries: usize,
+    /// Interned strings among those entries.
+    pub dict_strings: usize,
+    /// Tuples in the state's columnar store, across all relations.
+    pub stored_rows: usize,
 }
 
 /// The uniform result of the pipeline: answers, a completeness
@@ -145,6 +152,9 @@ impl Executor {
         let (hits, misses) = self.engine.cache_stats();
         outcome.stats.engine_hits = hits;
         outcome.stats.engine_misses = misses;
+        outcome.stats.dict_entries = state.dict().len();
+        outcome.stats.dict_strings = state.dict().strings();
+        outcome.stats.stored_rows = state.size();
         Ok(outcome)
     }
 
@@ -353,6 +363,16 @@ mod tests {
         // A different domain invalidates the key too.
         let (_, cached) = exec.plan(&state, "!F(x, y)", DomainId::Eq).unwrap();
         assert!(!cached, "domain change must miss");
+    }
+
+    #[test]
+    fn exec_stats_surface_storage_counters() {
+        let exec = Executor::default();
+        let state = fathers().with_tuple("F", vec![Value::Str("zed".into()), Value::Nat(9)]);
+        let out = exec.execute(&state, "F(x, y)", DomainId::Eq).unwrap();
+        assert_eq!(out.stats.stored_rows, 4);
+        assert_eq!(out.stats.dict_entries, 1, "only the string interns");
+        assert_eq!(out.stats.dict_strings, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! used by the effective syntaxes of Section 2.
 
 use crate::state::{State, Tuple, Value};
+use crate::val::{SharedOverlay, Val};
 use fq_engine::Engine;
 use fq_logic::eval::{
     compile_slots, solutions, solutions_slots, solutions_slots_fixed, Interpretation,
@@ -209,11 +210,64 @@ pub fn eval_query<D: DomainOps>(
     solutions(&interp, &universe, free_vars, query)
 }
 
+/// The word-level interpretation used by the slot evaluator: frames bind
+/// one-word [`Val`]s instead of heap [`Value`]s, scheme-relation
+/// membership is a binary search over the state's columnar store, and
+/// query values absent from the state dictionary (literals, function
+/// results) are interned into a [`SharedOverlay`], so word equality
+/// remains semantic equality across the whole evaluation.
+struct ValInterp<'a, D: DomainOps> {
+    state: &'a State,
+    ops: &'a D,
+    overlay: SharedOverlay<'a>,
+}
+
+impl<D: DomainOps> Interpretation for ValInterp<'_, D> {
+    type Elem = Val;
+
+    fn nat(&self, n: u64) -> Result<Val, LogicError> {
+        Ok(match Val::inline_nat(n) {
+            Some(v) => v,
+            None => self.overlay.encode(&Value::Nat(n)),
+        })
+    }
+
+    fn str_lit(&self, s: &str) -> Result<Val, LogicError> {
+        Ok(self.overlay.encode(&Value::Str(s.to_string())))
+    }
+
+    fn named_const(&self, name: &str) -> Result<Val, LogicError> {
+        let v = self
+            .state
+            .constant(name)
+            .ok_or_else(|| LogicError::eval(format!("scheme constant `{name}` has no value")))?;
+        Ok(self.overlay.encode(v))
+    }
+
+    fn func(&self, name: &str, args: &[Val]) -> Result<Val, LogicError> {
+        let decoded: Vec<Value> = args.iter().map(|&v| self.overlay.decode(v)).collect();
+        let out = self.ops.func(name, &decoded)?;
+        Ok(self.overlay.encode(&out))
+    }
+
+    fn pred(&self, name: &str, args: &[Val]) -> Result<bool, LogicError> {
+        if self.state.schema().arity(name).is_some() {
+            // Overlay words (ids past the base dictionary) are values no
+            // stored tuple contains; `contains_vals` rejects them.
+            return Ok(self.state.contains_vals(name, args));
+        }
+        let decoded: Vec<Value> = args.iter().map(|&v| self.overlay.decode(v)).collect();
+        self.ops.pred(name, &decoded)
+    }
+}
+
 /// Slot-compiled, engine-parallel [`eval_query`]: the formula is
-/// compiled once (variable names → frame slots), and the outermost free
-/// variable is fanned out across the engine's workers. `parallel_map`
-/// returns chunks in universe order, so the concatenated rows are
-/// bit-identical to the sequential string-env enumeration.
+/// compiled once (variable names → frame slots), frames bind compact
+/// [`Val`] words, and the outermost free variable is fanned out across
+/// the engine's workers. The universe is the active domain encoded in
+/// its semantic (`BTreeSet`) order and `parallel_map` returns chunks in
+/// universe order, so the decoded rows are bit-identical to the
+/// sequential string-env enumeration over [`Value`]s.
 pub fn eval_query_with<D: DomainOps + Sync>(
     state: &State,
     ops: &D,
@@ -221,20 +275,34 @@ pub fn eval_query_with<D: DomainOps + Sync>(
     free_vars: &[String],
     engine: &Engine,
 ) -> Result<Vec<Tuple>, LogicError> {
-    let universe: Vec<Value> = state.query_active_domain(query).into_iter().collect();
-    let interp = QueryInterp::new(state, ops);
+    let interp = ValInterp {
+        state,
+        ops,
+        overlay: SharedOverlay::new(state.dict()),
+    };
+    let universe: Vec<Val> = state
+        .query_active_domain(query)
+        .iter()
+        .map(|v| interp.overlay.encode(v))
+        .collect();
     let compiled = compile_slots(query, free_vars);
-    if free_vars.is_empty() || universe.len() < 2 || engine.threads() < 2 {
-        return solutions_slots(&interp, &universe, &compiled);
-    }
-    let chunks: Vec<Result<Vec<Tuple>, LogicError>> = engine.parallel_map(&universe, |e| {
-        solutions_slots_fixed(&interp, &universe, &compiled, std::slice::from_ref(e))
-    });
-    let mut out = Vec::new();
-    for chunk in chunks {
-        out.extend(chunk?);
-    }
-    Ok(out)
+    let rows: Vec<Vec<Val>> = if free_vars.is_empty() || universe.len() < 2 || engine.threads() < 2
+    {
+        solutions_slots(&interp, &universe, &compiled)?
+    } else {
+        let chunks: Vec<Result<Vec<Vec<Val>>, LogicError>> = engine.parallel_map(&universe, |e| {
+            solutions_slots_fixed(&interp, &universe, &compiled, std::slice::from_ref(e))
+        });
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        out
+    };
+    Ok(rows
+        .into_iter()
+        .map(|row| row.iter().map(|&v| interp.overlay.decode(v)).collect())
+        .collect())
 }
 
 /// Evaluate a query over an explicitly supplied universe (used by the

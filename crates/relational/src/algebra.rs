@@ -119,7 +119,7 @@ impl AlgebraExpr {
         match self {
             AlgebraExpr::Base { name, attrs } => Relation {
                 attrs: attrs.clone(),
-                tuples: state.tuples(name).cloned().collect(),
+                tuples: state.tuples(name).collect(),
             },
             AlgebraExpr::Empty(attrs) => Relation::empty(attrs.clone()),
             AlgebraExpr::Singleton(cols) => {

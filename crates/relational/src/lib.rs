@@ -49,6 +49,7 @@ pub mod safe_range;
 pub mod schema;
 pub mod state;
 pub mod translate;
+pub mod val;
 
 pub use active_eval::{eval_query, eval_query_with};
 pub use algebra::{AlgebraExpr, Relation};
@@ -56,5 +57,6 @@ pub use optimize::{optimize, OptimizedExpr};
 pub use physical::{ExecReport, OpStat, PhysicalPlan};
 pub use safe_range::is_safe_range;
 pub use schema::Schema;
-pub use state::{State, Value};
+pub use state::{State, StateError, Value};
 pub use translate::translate_to_domain_formula;
+pub use val::{ColStats, Dict, OverlayDict, SharedOverlay, VRel, Val};

@@ -14,7 +14,8 @@
 //! subtree is wrapped in a `Project` restoring the original order.
 
 use crate::algebra::{AlgebraExpr, Condition};
-use crate::state::State;
+use crate::state::{State, Value};
+use crate::val::ColStats;
 use std::collections::BTreeSet;
 
 /// An optimized expression plus the human-readable log of rewrites
@@ -46,10 +47,15 @@ pub fn optimize(expr: &AlgebraExpr, state: &State) -> OptimizedExpr {
     }
 }
 
-/// Estimated output cardinality, from stored relation sizes. A crude
-/// upper-bound heuristic: equality selections keep a quarter, joins with
-/// a shared key keep the larger input, attribute-disjoint joins are
-/// cross products.
+/// Estimated output cardinality. Where an attribute traces back to a
+/// stored column, the estimate uses that column's statistics (distinct
+/// count, min/max) from the [`State`]'s columnar store: an equality
+/// selection keeps `rows / distinct` tuples — zero when the constant
+/// falls outside the column's value range or is interned nowhere in the
+/// state — and an equijoin keeps `|A|·|B| / max(distinct keys)`. Where
+/// no statistics apply, the old coarse heuristics remain: equality
+/// selections keep a quarter, joins with a shared key keep the larger
+/// input, attribute-disjoint joins are cross products.
 pub fn estimate(expr: &AlgebraExpr, state: &State) -> usize {
     match expr {
         AlgebraExpr::Base { name, .. } => state.relation_size(name),
@@ -58,7 +64,14 @@ pub fn estimate(expr: &AlgebraExpr, state: &State) -> usize {
         AlgebraExpr::Select(e, cond) => {
             let n = estimate(e, state);
             match cond {
-                Condition::EqAttr(..) | Condition::EqConst(..) => n.div_ceil(4),
+                Condition::EqConst(attr, v) => match column_of(e, attr, state) {
+                    Some(stats) => eq_const_estimate(n, stats, v, state),
+                    None => n.div_ceil(4),
+                },
+                Condition::EqAttr(a, _) => match column_of(e, a, state) {
+                    Some(stats) => n.div_ceil(stats.distinct.max(1)).max(usize::from(n > 0)),
+                    None => n.div_ceil(4),
+                },
                 Condition::NeqAttr(..) | Condition::NeqConst(..) => n,
             }
         }
@@ -67,13 +80,69 @@ pub fn estimate(expr: &AlgebraExpr, state: &State) -> usize {
             let (ea, eb) = (estimate(a, state), estimate(b, state));
             let shared = a.attrs().iter().any(|x| b.attrs().contains(x));
             if shared {
-                ea.max(eb)
+                join_estimate(a, b, ea, eb, state)
             } else {
                 ea.saturating_mul(eb)
             }
         }
         AlgebraExpr::Union(a, b) => estimate(a, state).saturating_add(estimate(b, state)),
         AlgebraExpr::Diff(a, _) => estimate(a, state),
+    }
+}
+
+/// Equality-selection estimate from column statistics: uniform
+/// `rows / distinct`, clamped to zero when the constant provably matches
+/// no stored value — outside the column's [min, max] window, or a string
+/// or oversized natural the state's dictionary never interned (small
+/// naturals are inline words and can't be ruled out by the dictionary).
+fn eq_const_estimate(n: usize, stats: &ColStats, v: &Value, state: &State) -> usize {
+    let (Some(min), Some(max)) = (&stats.min, &stats.max) else {
+        return 0; // empty column
+    };
+    if v < min || v > max {
+        return 0;
+    }
+    if state.dict().lookup(v).is_none() {
+        return 0;
+    }
+    n.div_ceil(stats.distinct.max(1)).max(usize::from(n > 0))
+}
+
+/// Equijoin estimate: `|A|·|B| / max(distinct key values)` when the
+/// (single) shared attribute resolves to stored columns on both sides,
+/// else the coarse `max(|A|, |B|)` bound.
+fn join_estimate(a: &AlgebraExpr, b: &AlgebraExpr, ea: usize, eb: usize, state: &State) -> usize {
+    let shared: Vec<String> = a
+        .attrs()
+        .into_iter()
+        .filter(|x| b.attrs().contains(x))
+        .collect();
+    if let [key] = shared.as_slice() {
+        if let (Some(sa), Some(sb)) = (column_of(a, key, state), column_of(b, key, state)) {
+            let d = sa.distinct.max(sb.distinct).max(1);
+            let est = ea.saturating_mul(eb) / d;
+            return est.max(usize::from(ea > 0 && eb > 0));
+        }
+    }
+    ea.max(eb)
+}
+
+/// Trace an attribute through selections, projections, and extensions to
+/// the stored base column it reads, and return that column's statistics.
+/// `None` when the attribute is computed (singletons, unions, joins) or
+/// the relation is not stored.
+fn column_of<'s>(expr: &AlgebraExpr, attr: &str, state: &'s State) -> Option<&'s ColStats> {
+    match expr {
+        AlgebraExpr::Base { name, attrs } => {
+            let idx = attrs.iter().position(|a| a == attr)?;
+            state.column_stats(name)?.get(idx)
+        }
+        AlgebraExpr::Select(e, _) | AlgebraExpr::Project(e, _) => column_of(e, attr, state),
+        AlgebraExpr::Extend(e, new, src) => {
+            let follow = if attr == new { src } else { attr };
+            column_of(e, follow, state)
+        }
+        _ => None,
     }
 }
 

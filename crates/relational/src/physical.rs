@@ -2,25 +2,32 @@
 //!
 //! [`PhysicalPlan::compile`] lowers an [`AlgebraExpr`] into operators
 //! whose attribute references are resolved to column indexes once, at
-//! compile time. Execution then works on plain `Vec<Tuple>` streams:
+//! compile time. Execution works on columnar word streams — flat,
+//! arity-strided `Vec<Val>` buffers fed directly from the [`State`]'s
+//! dictionary-encoded store:
 //!
-//! * **hash join** — build a hash table on the shared-attribute key of
-//!   the smaller input and probe with the larger, replacing the naive
-//!   O(|A|·|B|) nested loop;
-//! * **streaming select/project/extend** — no intermediate `BTreeSet`
+//! * **hash join** — build a hash table keyed on bare `u64` words (a
+//!   single-word fast path for one-column keys) over the smaller input
+//!   and probe with the larger, with no per-probe allocation or string
+//!   hashing;
+//! * **streaming select/project/extend** — no intermediate
 //!   materialization; duplicates are eliminated only where they can
 //!   arise (narrowing projections and unions), so every stream stays
 //!   duplicate-free and operator row counts equal logical cardinalities;
 //! * **memoized base scans** — a relation referenced twice in the plan
 //!   is materialized once per execution.
 //!
-//! The final result is collected into the same `BTreeSet`-backed
-//! [`Relation`] the naive [`AlgebraExpr::eval`] produces, so the two
-//! backends are bit-identical (attribute order included).
+//! Plans are state-independent, so plan constants stay as [`Value`]s and
+//! are encoded per execution through an [`OverlayDict`] (query constants
+//! need not exist in the state's dictionary). The final result decodes
+//! into the same `BTreeSet`-backed [`Relation`] the naive
+//! [`AlgebraExpr::eval`] produces, so the two backends are bit-identical
+//! (attribute order included).
 
 use crate::algebra::{AlgebraExpr, Condition, Relation};
 use crate::state::{State, Tuple, Value};
-use std::collections::{BTreeSet, HashMap};
+use crate::val::{OverlayDict, Val};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Per-operator execution statistics: a rendered operator label and the
 /// number of (duplicate-free) rows it produced.
@@ -38,7 +45,9 @@ pub struct ExecReport {
     pub operators: Vec<OpStat>,
 }
 
-/// A column-index-resolved selection condition.
+/// A column-index-resolved selection condition. Constants stay decoded
+/// so the plan remains state-independent; they are resolved to words at
+/// execution time.
 #[derive(Clone, Debug)]
 enum PCond {
     EqCol(usize, usize),
@@ -47,19 +56,48 @@ enum PCond {
     NeqConst(usize, Value),
 }
 
-impl PCond {
-    fn keep(&self, t: &[Value]) -> bool {
+/// A [`PCond`] with its constant resolved against one execution's
+/// overlay. A constant the combined dictionary has never seen can match
+/// no stream word: equality keeps nothing, inequality keeps everything.
+enum RCond {
+    EqCol(usize, usize),
+    NeqCol(usize, usize),
+    EqWord(usize, Val),
+    NeqWord(usize, Val),
+    KeepNone,
+    KeepAll,
+}
+
+impl RCond {
+    fn resolve(cond: &PCond, overlay: &OverlayDict<'_>) -> RCond {
+        match cond {
+            PCond::EqCol(i, j) => RCond::EqCol(*i, *j),
+            PCond::NeqCol(i, j) => RCond::NeqCol(*i, *j),
+            PCond::EqConst(i, v) => match overlay.lookup(v) {
+                Some(w) => RCond::EqWord(*i, w),
+                None => RCond::KeepNone,
+            },
+            PCond::NeqConst(i, v) => match overlay.lookup(v) {
+                Some(w) => RCond::NeqWord(*i, w),
+                None => RCond::KeepAll,
+            },
+        }
+    }
+
+    fn keep(&self, t: &[Val]) -> bool {
         match self {
-            PCond::EqCol(i, j) => t[*i] == t[*j],
-            PCond::NeqCol(i, j) => t[*i] != t[*j],
-            PCond::EqConst(i, v) => t[*i] == *v,
-            PCond::NeqConst(i, v) => t[*i] != *v,
+            RCond::EqCol(i, j) => t[*i] == t[*j],
+            RCond::NeqCol(i, j) => t[*i] != t[*j],
+            RCond::EqWord(i, w) => t[*i] == *w,
+            RCond::NeqWord(i, w) => t[*i] != *w,
+            RCond::KeepNone => false,
+            RCond::KeepAll => true,
         }
     }
 }
 
 /// A physical operator. Attribute names are gone; every reference is a
-/// column index into the input stream's tuples.
+/// column index into the input stream's rows.
 #[derive(Clone, Debug)]
 enum PNode {
     Scan {
@@ -136,14 +174,21 @@ impl PhysicalPlan {
     pub fn execute_with_stats(&self, state: &State) -> ExecReport {
         let mut cx = ExecContext {
             state,
+            overlay: OverlayDict::new(state.dict()),
             scans: HashMap::new(),
             stats: Vec::new(),
         };
-        let rows = run(&self.root, &mut cx);
+        let out = run(&self.root, &mut cx);
+        // Decoding sorts implicitly: the `BTreeSet` restores the
+        // canonical tuple order regardless of stream order.
+        let tuples: BTreeSet<Tuple> = out
+            .rows()
+            .map(|row| row.iter().map(|&v| cx.overlay.decode(v)).collect())
+            .collect();
         ExecReport {
             relation: Relation {
                 attrs: self.attrs.clone(),
-                tuples: rows.into_iter().collect::<BTreeSet<Tuple>>(),
+                tuples,
             },
             operators: cx.stats,
         }
@@ -243,14 +288,50 @@ fn lower(expr: &AlgebraExpr) -> PNode {
     }
 }
 
+/// A flat, arity-strided stream of word rows. `rows` is explicit so
+/// zero-arity streams (sentence subplans) keep their cardinality.
+#[derive(Clone, Debug)]
+struct VStream {
+    arity: usize,
+    rows: usize,
+    data: Vec<Val>,
+}
+
+impl VStream {
+    fn empty(arity: usize) -> VStream {
+        VStream {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    fn row(&self, i: usize) -> &[Val] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn rows(&self) -> impl Iterator<Item = &[Val]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    fn push(&mut self, row: &[Val]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+}
+
 struct ExecContext<'a> {
     state: &'a State,
+    /// Query constants absent from the state dictionary get overlay ids,
+    /// so singleton tuples and filter constants share the word space.
+    overlay: OverlayDict<'a>,
     /// Base relations materialized in this execution, by name.
-    scans: HashMap<String, Vec<Tuple>>,
+    scans: HashMap<String, VStream>,
     stats: Vec<OpStat>,
 }
 
-/// Evaluate a node to a duplicate-free tuple stream.
+/// Evaluate a node to a duplicate-free word stream.
 ///
 /// Invariant: every stream returned here is duplicate-free. Scans and
 /// singletons are sets; filters, permutations, extends, and differences
@@ -259,41 +340,65 @@ struct ExecContext<'a> {
 /// projections and unions are the only duplicate sources, and both
 /// dedup. Row counts therefore equal the logical cardinalities of the
 /// naive backend.
-fn run(node: &PNode, cx: &mut ExecContext<'_>) -> Vec<Tuple> {
-    let (label, rows) = match node {
+fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
+    let (label, out) = match node {
         PNode::Scan { name } => {
-            let rows = match cx.scans.get(name) {
-                Some(rows) => rows.clone(),
+            let out = match cx.scans.get(name) {
+                Some(s) => s.clone(),
                 None => {
-                    let rows: Vec<Tuple> = cx.state.tuples(name).cloned().collect();
-                    cx.scans.insert(name.clone(), rows.clone());
-                    rows
+                    let s = match cx.state.vrel(name) {
+                        Some(rel) => VStream {
+                            arity: rel.arity(),
+                            rows: rel.rows(),
+                            data: rel.data().to_vec(),
+                        },
+                        None => VStream::empty(0),
+                    };
+                    cx.scans.insert(name.clone(), s.clone());
+                    s
                 }
             };
-            (format!("scan {name}"), rows)
+            (format!("scan {name}"), out)
         }
-        PNode::Empty => ("empty".to_string(), Vec::new()),
-        PNode::Singleton { tuple } => ("const".to_string(), vec![tuple.clone()]),
+        PNode::Empty => ("empty".to_string(), VStream::empty(0)),
+        PNode::Singleton { tuple } => {
+            let mut out = VStream::empty(tuple.len());
+            let row: Vec<Val> = tuple.iter().map(|v| cx.overlay.encode(v)).collect();
+            out.push(&row);
+            ("const".to_string(), out)
+        }
         PNode::Filter { input, cond } => {
-            let mut rows = run(input, cx);
-            rows.retain(|t| cond.keep(t));
-            ("filter".to_string(), rows)
+            let s = run(input, cx);
+            let cond = RCond::resolve(cond, &cx.overlay);
+            let mut out = VStream::empty(s.arity);
+            for row in s.rows() {
+                if cond.keep(row) {
+                    out.push(row);
+                }
+            }
+            ("filter".to_string(), out)
         }
         PNode::ProjectPerm { input, idx } => {
-            let rows = run(input, cx);
-            let rows = rows
-                .into_iter()
-                .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
-                .collect();
-            ("project(permute)".to_string(), rows)
+            let s = run(input, cx);
+            let mut out = VStream::empty(idx.len());
+            out.data.reserve(s.rows * idx.len());
+            for row in s.rows() {
+                out.data.extend(idx.iter().map(|&i| row[i]));
+                out.rows += 1;
+            }
+            ("project(permute)".to_string(), out)
         }
         PNode::ProjectNarrow { input, idx } => {
-            let rows = run(input, cx);
-            let set: BTreeSet<Tuple> = rows
-                .into_iter()
-                .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
-                .collect();
-            ("project(dedup)".to_string(), set.into_iter().collect())
+            let s = run(input, cx);
+            let mut seen: HashSet<Vec<Val>> = HashSet::with_capacity(s.rows);
+            let mut out = VStream::empty(idx.len());
+            for row in s.rows() {
+                let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
+                if seen.insert(narrow.clone()) {
+                    out.push(&narrow);
+                }
+            }
+            ("project(dedup)".to_string(), out)
         }
         PNode::HashJoin {
             left,
@@ -302,92 +407,142 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> Vec<Tuple> {
             rkey,
             rextra,
         } => {
-            let lrows = run(left, cx);
-            let rrows = run(right, cx);
-            let rows = hash_join(&lrows, &rrows, lkey, rkey, rextra);
-            (
-                format!("hash-join (left {} × right {})", lrows.len(), rrows.len()),
-                rows,
-            )
+            let l = run(left, cx);
+            let r = run(right, cx);
+            let label = format!("hash-join (left {} × right {})", l.rows, r.rows);
+            (label, hash_join(&l, &r, lkey, rkey, rextra))
         }
         PNode::Union { left, right, rperm } => {
-            let lrows = run(left, cx);
-            let rrows = run(right, cx);
-            let mut set: BTreeSet<Tuple> = lrows.into_iter().collect();
-            set.extend(
-                rrows
-                    .into_iter()
-                    .map(|t| rperm.iter().map(|&i| t[i].clone()).collect::<Tuple>()),
-            );
-            ("union(dedup)".to_string(), set.into_iter().collect())
+            let l = run(left, cx);
+            let r = run(right, cx);
+            let mut seen: HashSet<Vec<Val>> = HashSet::with_capacity(l.rows + r.rows);
+            let mut out = VStream::empty(rperm.len());
+            for row in l.rows() {
+                if seen.insert(row.to_vec()) {
+                    out.push(row);
+                }
+            }
+            for row in r.rows() {
+                let aligned: Vec<Val> = rperm.iter().map(|&i| row[i]).collect();
+                if seen.insert(aligned.clone()) {
+                    out.push(&aligned);
+                }
+            }
+            ("union(dedup)".to_string(), out)
         }
         PNode::Diff { left, right, rperm } => {
-            let lrows = run(left, cx);
-            let rrows = run(right, cx);
-            let remove: BTreeSet<Tuple> = rrows
-                .into_iter()
-                .map(|t| rperm.iter().map(|&i| t[i].clone()).collect())
+            let l = run(left, cx);
+            let r = run(right, cx);
+            let remove: HashSet<Vec<Val>> = r
+                .rows()
+                .map(|row| rperm.iter().map(|&i| row[i]).collect())
                 .collect();
-            let rows: Vec<Tuple> = lrows.into_iter().filter(|t| !remove.contains(t)).collect();
-            ("diff".to_string(), rows)
+            let mut out = VStream::empty(l.arity);
+            for row in l.rows() {
+                if !remove.contains(row) {
+                    out.push(row);
+                }
+            }
+            ("diff".to_string(), out)
         }
         PNode::Extend { input, src } => {
-            let rows = run(input, cx);
-            let rows = rows
-                .into_iter()
-                .map(|mut t| {
-                    t.push(t[*src].clone());
-                    t
-                })
-                .collect();
-            ("extend".to_string(), rows)
+            let s = run(input, cx);
+            let mut out = VStream::empty(s.arity + 1);
+            out.data.reserve(s.rows * (s.arity + 1));
+            for row in s.rows() {
+                out.data.extend_from_slice(row);
+                out.data.push(row[*src]);
+                out.rows += 1;
+            }
+            ("extend".to_string(), out)
         }
     };
     cx.stats.push(OpStat {
         op: label,
-        rows: rows.len(),
+        rows: out.rows,
     });
-    rows
+    out
 }
 
-/// Build/probe hash join. The build side is the smaller input; the
-/// output layout is always `left ++ right[rextra]` regardless of which
-/// side was built, matching the logical Join's attribute list.
+/// Build/probe hash join on word keys. The build side is the smaller
+/// input; the output layout is always `left ++ right[rextra]` regardless
+/// of which side was built, matching the logical Join's attribute list.
+/// One-column keys hash a single `u64`; wider keys hash a small word
+/// vector. An empty key is the cross-product case.
 fn hash_join(
-    lrows: &[Tuple],
-    rrows: &[Tuple],
+    l: &VStream,
+    r: &VStream,
     lkey: &[usize],
     rkey: &[usize],
     rextra: &[usize],
-) -> Vec<Tuple> {
-    let key_of =
-        |t: &Tuple, key: &[usize]| -> Vec<Value> { key.iter().map(|&i| t[i].clone()).collect() };
-    let mut out = Vec::new();
-    if lrows.len() <= rrows.len() {
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        for t in lrows {
-            table.entry(key_of(t, lkey)).or_default().push(t);
+) -> VStream {
+    let mut out = VStream::empty(l.arity + rextra.len());
+    let emit = |out: &mut VStream, lrow: &[Val], rrow: &[Val]| {
+        out.data.extend_from_slice(lrow);
+        out.data.extend(rextra.iter().map(|&j| rrow[j]));
+        out.rows += 1;
+    };
+    if lkey.is_empty() {
+        out.data.reserve(l.rows * r.rows * out.arity);
+        for lrow in l.rows() {
+            for rrow in r.rows() {
+                emit(&mut out, lrow, rrow);
+            }
         }
-        for tb in rrows {
-            if let Some(matches) = table.get(&key_of(tb, rkey)) {
-                for ta in matches {
-                    let mut t = (*ta).clone();
-                    t.extend(rextra.iter().map(|&j| tb[j].clone()));
-                    out.push(t);
+        return out;
+    }
+    if lkey.len() == 1 {
+        // Single-word key: hash bare u64s, no per-probe allocation.
+        let (lk, rk) = (lkey[0], rkey[0]);
+        if l.rows <= r.rows {
+            let mut table: HashMap<Val, Vec<u32>> = HashMap::with_capacity(l.rows);
+            for (i, lrow) in l.rows().enumerate() {
+                table.entry(lrow[lk]).or_default().push(i as u32);
+            }
+            for rrow in r.rows() {
+                if let Some(matches) = table.get(&rrow[rk]) {
+                    for &i in matches {
+                        emit(&mut out, l.row(i as usize), rrow);
+                    }
+                }
+            }
+        } else {
+            let mut table: HashMap<Val, Vec<u32>> = HashMap::with_capacity(r.rows);
+            for (j, rrow) in r.rows().enumerate() {
+                table.entry(rrow[rk]).or_default().push(j as u32);
+            }
+            for lrow in l.rows() {
+                if let Some(matches) = table.get(&lrow[lk]) {
+                    for &j in matches {
+                        emit(&mut out, lrow, r.row(j as usize));
+                    }
+                }
+            }
+        }
+        return out;
+    }
+    let key_of = |row: &[Val], key: &[usize]| -> Vec<Val> { key.iter().map(|&i| row[i]).collect() };
+    if l.rows <= r.rows {
+        let mut table: HashMap<Vec<Val>, Vec<u32>> = HashMap::with_capacity(l.rows);
+        for (i, lrow) in l.rows().enumerate() {
+            table.entry(key_of(lrow, lkey)).or_default().push(i as u32);
+        }
+        for rrow in r.rows() {
+            if let Some(matches) = table.get(&key_of(rrow, rkey)) {
+                for &i in matches {
+                    emit(&mut out, l.row(i as usize), rrow);
                 }
             }
         }
     } else {
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        for t in rrows {
-            table.entry(key_of(t, rkey)).or_default().push(t);
+        let mut table: HashMap<Vec<Val>, Vec<u32>> = HashMap::with_capacity(r.rows);
+        for (j, rrow) in r.rows().enumerate() {
+            table.entry(key_of(rrow, rkey)).or_default().push(j as u32);
         }
-        for ta in lrows {
-            if let Some(matches) = table.get(&key_of(ta, lkey)) {
-                for tb in matches {
-                    let mut t = ta.clone();
-                    t.extend(rextra.iter().map(|&j| tb[j].clone()));
-                    out.push(t);
+        for lrow in l.rows() {
+            if let Some(matches) = table.get(&key_of(lrow, lkey)) {
+                for &j in matches {
+                    emit(&mut out, lrow, r.row(j as usize));
                 }
             }
         }
@@ -443,6 +598,21 @@ mod tests {
             "x = 2 & (exists z. F(y, z) & x != 0)",
             "(exists y. F(x, y)) & forall y. F(x, y) -> y = 2 | y = 3",
             "exists x y. F(x, y)",
+        ] {
+            check(q);
+        }
+    }
+
+    #[test]
+    fn constants_outside_the_state_dictionary_are_handled() {
+        // "zz" is nowhere in the state: equality selections must keep
+        // nothing, inequality selections everything, and singleton
+        // values must flow through unions and filters via overlay words.
+        for q in [
+            "F(x, y) & y != \"zz\"",
+            "F(x, y) | (x = \"zz\" & y = \"zz\")",
+            "(F(x, y) | (x = \"zz\" & y = \"zz\")) & x != \"zz\"",
+            "(F(x, y) | (x = \"zz\" & y = \"zz\")) & x = \"zz\"",
         ] {
             check(q);
         }

@@ -1,9 +1,18 @@
 //! Database states and the active domain.
+//!
+//! Storage is columnar and dictionary-encoded: each [`State`] owns a
+//! [`Dict`] interning strings and large naturals, and each relation is a
+//! [`VRel`] — a flat, arity-strided, semantically sorted `Vec<Val>`.
+//! [`Value`] survives as the boundary type (JSON, CLI, query results);
+//! everything is encoded on insertion and decoded at the edges, so the
+//! public surface (and the on-disk JSON format) is unchanged.
 
 use crate::schema::Schema;
+use crate::val::{ColStats, Dict, VRel, Val};
 use fq_json::{FromJson, JsonError, ToJson};
 use fq_logic::{Formula, Term};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
 
 /// A domain element stored in a database: a natural number (numeric
 /// domains of Section 2) or a string over the trace alphabet (domain
@@ -78,25 +87,69 @@ impl FromJson for Value {
 /// A tuple of values.
 pub type Tuple = Vec<Value>;
 
+/// Why an insertion or constant assignment was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// The relation is not declared in the scheme.
+    UnknownRelation { relation: String },
+    /// The tuple's length disagrees with the declared arity.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// The constant is not declared in the scheme.
+    UnknownConstant { name: String },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::UnknownRelation { relation } => {
+                write!(f, "relation `{relation}` not in the scheme")
+            }
+            StateError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tuple arity mismatch for `{relation}`: the scheme declares \
+                 arity {expected}, the tuple has {got} component(s)"
+            ),
+            StateError::UnknownConstant { name } => {
+                write!(f, "constant `{name}` not in the scheme")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
 /// A database state: finite relations plus values for scheme constants.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct State {
     schema: Schema,
-    relations: BTreeMap<String, BTreeSet<Tuple>>,
+    dict: Dict,
+    relations: BTreeMap<String, VRel>,
     constants: BTreeMap<String, Value>,
+    /// Cached [`State::active_domain`]; cleared by every mutation.
+    ad_cache: OnceLock<BTreeSet<Value>>,
 }
 
 impl State {
     /// The empty state of a scheme.
     pub fn new(schema: Schema) -> Self {
         let mut relations = BTreeMap::new();
-        for (name, _) in schema.relations() {
-            relations.insert(name.to_string(), BTreeSet::new());
+        for (name, arity) in schema.relations() {
+            relations.insert(name.to_string(), VRel::new(arity));
         }
         State {
             schema,
+            dict: Dict::default(),
             relations,
             constants: BTreeMap::new(),
+            ad_cache: OnceLock::new(),
         }
     }
 
@@ -105,23 +158,63 @@ impl State {
         &self.schema
     }
 
+    /// The state's interning dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Insert a tuple, reporting scheme violations as a [`StateError`]
+    /// instead of panicking (the `FromJson` load path routes through
+    /// this, turning malformed state files into diagnostics).
+    pub fn try_insert(
+        &mut self,
+        relation: &str,
+        tuple: impl Into<Tuple>,
+    ) -> Result<(), StateError> {
+        let tuple = tuple.into();
+        let arity = self
+            .schema
+            .arity(relation)
+            .ok_or_else(|| StateError::UnknownRelation {
+                relation: relation.to_string(),
+            })?;
+        if tuple.len() != arity {
+            return Err(StateError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        let row: Vec<Val> = tuple.iter().map(|v| self.dict.encode(v)).collect();
+        self.relations
+            .get_mut(relation)
+            .expect("initialized in new()")
+            .insert(&row, &self.dict);
+        self.ad_cache.take();
+        Ok(())
+    }
+
     /// Insert a tuple.
     ///
     /// # Panics
     ///
     /// Panics if the relation is not in the scheme or the tuple has the
-    /// wrong arity.
+    /// wrong arity. Programmatic construction keeps this; fallible
+    /// callers (file loading) use [`State::try_insert`].
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) {
-        let tuple = tuple.into();
-        let arity = self
-            .schema
-            .arity(relation)
-            .unwrap_or_else(|| panic!("relation `{relation}` not in the scheme"));
-        assert_eq!(tuple.len(), arity, "tuple arity mismatch for `{relation}`");
-        self.relations
-            .get_mut(relation)
-            .expect("initialized in new()")
-            .insert(tuple);
+        if let Err(e) = self.try_insert(relation, tuple) {
+            match e {
+                StateError::UnknownRelation { relation } => {
+                    panic!("relation `{relation}` not in the scheme")
+                }
+                StateError::ArityMismatch { relation, .. } => {
+                    panic!("tuple arity mismatch for `{relation}`")
+                }
+                StateError::UnknownConstant { name } => {
+                    panic!("constant `{name}` not in the scheme")
+                }
+            }
+        }
     }
 
     /// Fluent insertion.
@@ -130,17 +223,32 @@ impl State {
         self
     }
 
+    /// Set the value of a scheme constant, reporting an undeclared name
+    /// as a [`StateError`].
+    pub fn try_set_constant(
+        &mut self,
+        name: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), StateError> {
+        if !self.schema.constants().iter().any(|c| c == name) {
+            return Err(StateError::UnknownConstant {
+                name: name.to_string(),
+            });
+        }
+        self.constants.insert(name.to_string(), value.into());
+        self.ad_cache.take();
+        Ok(())
+    }
+
     /// Set the value of a scheme constant.
     ///
     /// # Panics
     ///
     /// Panics if the constant is not declared in the scheme.
     pub fn set_constant(&mut self, name: &str, value: impl Into<Value>) {
-        assert!(
-            self.schema.constants().iter().any(|c| c == name),
-            "constant `{name}` not in the scheme"
-        );
-        self.constants.insert(name.to_string(), value.into());
+        if let Err(e) = self.try_set_constant(name, value) {
+            panic!("{e}");
+        }
     }
 
     /// Fluent constant assignment.
@@ -154,42 +262,90 @@ impl State {
         self.constants.get(name)
     }
 
-    /// The tuples of a relation (empty for undeclared names).
-    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
-        self.relations.get(relation).into_iter().flatten()
+    /// The stored constants (boundary use: serialization).
+    pub fn constants(&self) -> &BTreeMap<String, Value> {
+        &self.constants
+    }
+
+    /// The columnar store of a relation (`None` for undeclared names).
+    pub fn vrel(&self, relation: &str) -> Option<&VRel> {
+        self.relations.get(relation)
+    }
+
+    /// Per-column statistics of a relation, computed lazily.
+    pub fn column_stats(&self, relation: &str) -> Option<&[ColStats]> {
+        self.relations.get(relation).map(|r| r.stats(&self.dict))
+    }
+
+    /// The tuples of a relation, decoded, in semantic sorted order
+    /// (empty for undeclared names).
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = Tuple> + '_ {
+        self.relations
+            .get(relation)
+            .into_iter()
+            .flat_map(|r| r.decoded(&self.dict))
     }
 
     /// Whether a tuple is present. Takes a slice so hot loops (the
     /// active-domain evaluator's predicate checks) need no `Vec`
     /// allocation per membership test.
     pub fn contains(&self, relation: &str, tuple: &[Value]) -> bool {
+        let Some(rel) = self.relations.get(relation) else {
+            return false;
+        };
+        if tuple.len() != rel.arity() {
+            return false;
+        }
+        let mut row = Vec::with_capacity(tuple.len());
+        for v in tuple {
+            // A value the dictionary has never seen is in no stored tuple.
+            match self.dict.lookup(v) {
+                Some(val) => row.push(val),
+                None => return false,
+            }
+        }
+        rel.contains(&row, &self.dict)
+    }
+
+    /// Word-level membership: `vals` must come from this state's
+    /// dictionary (overlay ids, which denote values no stored tuple
+    /// contains, make the answer `false` immediately).
+    pub fn contains_vals(&self, relation: &str, vals: &[Val]) -> bool {
+        if vals
+            .iter()
+            .any(|v| v.id().is_some_and(|id| id >= self.dict.len()))
+        {
+            return false;
+        }
         self.relations
             .get(relation)
-            .is_some_and(|r| r.contains(tuple))
+            .is_some_and(|r| r.contains(vals, &self.dict))
     }
 
     /// Total number of stored tuples.
     pub fn size(&self) -> usize {
-        self.relations.values().map(|r| r.len()).sum()
+        self.relations.values().map(|r| r.rows()).sum()
     }
 
     /// Number of tuples stored in one relation (0 for undeclared names).
     /// The optimizer's cardinality estimates start from these counts.
     pub fn relation_size(&self, relation: &str) -> usize {
-        self.relations.get(relation).map_or(0, |r| r.len())
+        self.relations.get(relation).map_or(0, |r| r.rows())
     }
 
     /// The **active domain of the state**: every value stored in a
-    /// relation or assigned to a scheme constant.
-    pub fn active_domain(&self) -> BTreeSet<Value> {
-        let mut out = BTreeSet::new();
-        for rel in self.relations.values() {
-            for tuple in rel {
-                out.extend(tuple.iter().cloned());
+    /// relation or assigned to a scheme constant. Cached on the state;
+    /// insertions and constant assignments invalidate the cache.
+    pub fn active_domain(&self) -> &BTreeSet<Value> {
+        self.ad_cache.get_or_init(|| {
+            let mut words: std::collections::HashSet<Val> = std::collections::HashSet::new();
+            for rel in self.relations.values() {
+                words.extend(rel.data().iter().copied());
             }
-        }
-        out.extend(self.constants.values().cloned());
-        out
+            let mut out: BTreeSet<Value> = words.into_iter().map(|v| self.dict.decode(v)).collect();
+            out.extend(self.constants.values().cloned());
+            out
+        })
     }
 
     /// The active domain of a *query in this state*: the state's active
@@ -197,7 +353,7 @@ impl State {
     /// constants used in the querying formula and/or elements contained
     /// in the database relations").
     pub fn query_active_domain(&self, query: &Formula) -> BTreeSet<Value> {
-        let mut out = self.active_domain();
+        let mut out = self.active_domain().clone();
         let (nats, strs) = query.literal_constants();
         out.extend(nats.into_iter().map(Value::Nat));
         out.extend(strs.into_iter().map(Value::Str));
@@ -205,11 +361,50 @@ impl State {
     }
 }
 
+// Word representations differ between dictionaries, so equality decodes:
+// two states are equal iff they store the same schema, tuples, and
+// constants, exactly as the old `BTreeSet<Tuple>` representation's
+// derived equality behaved.
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.constants == other.constants
+            && self.relations.len() == other.relations.len()
+            && self
+                .relations
+                .iter()
+                .zip(other.relations.iter())
+                .all(|((ka, ra), (kb, rb))| {
+                    ka == kb
+                        && ra.rows() == rb.rows()
+                        && ra.decoded(&self.dict).eq(rb.decoded(&other.dict))
+                })
+    }
+}
+
+impl Eq for State {}
+
 impl ToJson for State {
     fn to_json(&self) -> fq_json::Value {
+        // Reproduce the legacy `BTreeMap<String, BTreeSet<Tuple>>` shape
+        // byte-for-byte: object keys in name order, each an array of
+        // tuple arrays in semantic sorted order (the `VRel` row order).
+        let relations = fq_json::Value::Object(
+            self.relations
+                .iter()
+                .map(|(name, rel)| {
+                    (
+                        name.clone(),
+                        fq_json::Value::Array(
+                            rel.decoded(&self.dict).map(|t| t.to_json()).collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
         fq_json::object([
             ("schema", self.schema.to_json()),
-            ("relations", self.relations.to_json()),
+            ("relations", relations),
             ("constants", self.constants.to_json()),
         ])
     }
@@ -217,11 +412,25 @@ impl ToJson for State {
 
 impl FromJson for State {
     fn from_json(value: &fq_json::Value) -> Result<Self, JsonError> {
-        Ok(State {
-            schema: FromJson::from_json(fq_json::member(value, "schema")?)?,
-            relations: FromJson::from_json(fq_json::member(value, "relations")?)?,
-            constants: FromJson::from_json(fq_json::member(value, "constants")?)?,
-        })
+        let schema: Schema = FromJson::from_json(fq_json::member(value, "schema")?)?;
+        let mut state = State::new(schema);
+        let relations: BTreeMap<String, Vec<Tuple>> =
+            FromJson::from_json(fq_json::member(value, "relations")?)?;
+        for (name, tuples) in relations {
+            for tuple in tuples {
+                state
+                    .try_insert(&name, tuple)
+                    .map_err(|e| JsonError::new(format!("state relations: {e}")))?;
+            }
+        }
+        let constants: BTreeMap<String, Value> =
+            FromJson::from_json(fq_json::member(value, "constants")?)?;
+        for (name, v) in constants {
+            state
+                .try_set_constant(&name, v)
+                .map_err(|e| JsonError::new(format!("state constants: {e}")))?;
+        }
+        Ok(state)
     }
 }
 
@@ -267,6 +476,30 @@ mod tests {
     }
 
     #[test]
+    fn try_insert_reports_scheme_violations() {
+        let mut s = fathers();
+        assert_eq!(
+            s.try_insert("G", vec![Value::Nat(1)]),
+            Err(StateError::UnknownRelation {
+                relation: "G".into()
+            })
+        );
+        assert_eq!(
+            s.try_insert("F", vec![Value::Nat(1)]),
+            Err(StateError::ArityMismatch {
+                relation: "F".into(),
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(s.size(), 2, "failed insertions store nothing");
+        assert!(s
+            .try_insert("F", vec![Value::Nat(9), Value::Nat(9)])
+            .is_ok());
+        assert_eq!(s.size(), 3);
+    }
+
+    #[test]
     fn active_domain_collects_everything() {
         let schema = Schema::new().with_relation("F", 2).with_constant("c");
         let s = State::new(schema)
@@ -274,9 +507,21 @@ mod tests {
             .with_constant("c", 9u64);
         let ad = s.active_domain();
         assert_eq!(
-            ad.into_iter().collect::<Vec<_>>(),
+            ad.iter().cloned().collect::<Vec<_>>(),
             vec![Value::Nat(1), Value::Nat(2), Value::Nat(9)]
         );
+    }
+
+    #[test]
+    fn active_domain_cache_invalidates_on_mutation() {
+        let schema = Schema::new().with_relation("F", 2).with_constant("c");
+        let mut s = State::new(schema).with_tuple("F", vec![Value::Nat(1), Value::Nat(2)]);
+        assert_eq!(s.active_domain().len(), 2);
+        s.insert("F", vec![Value::Nat(1), Value::Nat(5)]);
+        assert!(s.active_domain().contains(&Value::Nat(5)));
+        s.set_constant("c", 9u64);
+        assert!(s.active_domain().contains(&Value::Nat(9)));
+        assert_eq!(s.active_domain().len(), 4);
     }
 
     #[test]
@@ -313,10 +558,40 @@ mod tests {
     }
 
     #[test]
+    fn json_rejects_scheme_violations_with_diagnostics() {
+        let bad_arity = r#"{"schema": {"relations": {"F": 2}, "constants": []},
+            "relations": {"F": [[{"Nat": 1}]]}, "constants": {}}"#;
+        let e = fq_json::from_str::<State>(bad_arity).unwrap_err();
+        assert!(e.to_string().contains("arity mismatch"), "{e}");
+        let bad_name = r#"{"schema": {"relations": {"F": 2}, "constants": []},
+            "relations": {"G": [[{"Nat": 1}, {"Nat": 2}]]}, "constants": {}}"#;
+        let e = fq_json::from_str::<State>(bad_name).unwrap_err();
+        assert!(e.to_string().contains("not in the scheme"), "{e}");
+        let bad_const = r#"{"schema": {"relations": {"F": 2}, "constants": []},
+            "relations": {"F": []}, "constants": {"c": {"Nat": 1}}}"#;
+        let e = fq_json::from_str::<State>(bad_const).unwrap_err();
+        assert!(e.to_string().contains("not in the scheme"), "{e}");
+    }
+
+    #[test]
     fn value_term_round_trip() {
         for v in [Value::Nat(5), Value::Str("1*".into())] {
             assert_eq!(Value::from_term(&v.to_term()), Some(v));
         }
         assert_eq!(Value::from_term(&Term::var("x")), None);
+    }
+
+    #[test]
+    fn word_membership_matches_value_membership() {
+        let schema = Schema::new().with_relation("R", 2);
+        let s = State::new(schema)
+            .with_tuple("R", vec![Value::Nat(1), Value::Str("a".into())])
+            .with_tuple("R", vec![Value::Str("b".into()), Value::Nat(u64::MAX)]);
+        let row: Vec<_> = [Value::Nat(1), Value::Str("a".into())]
+            .iter()
+            .map(|v| s.dict().lookup(v).unwrap())
+            .collect();
+        assert!(s.contains_vals("R", &row));
+        assert!(!s.contains_vals("R", &[row[1], row[0]]));
     }
 }

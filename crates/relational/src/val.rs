@@ -1,0 +1,610 @@
+//! Compact value words, the per-state dictionary, and columnar storage.
+//!
+//! A [`Val`] is one machine word. Naturals below 2⁶³ are stored inline;
+//! everything else (large naturals, strings) is an id into a [`Dict`] of
+//! interned entries. Interning is canonical — a value has exactly one
+//! word per dictionary — so word equality *is* semantic equality, and
+//! hash joins and frame bindings work on bare `u64`s.
+//!
+//! Word *order* is not semantic (dictionary ids are assigned in
+//! insertion order, not sort order): use [`Dict::cmp_vals`] wherever the
+//! legacy [`Value`] ordering (`Nat < Str`, naturals numerically, strings
+//! byte-lexicographically) matters.
+//!
+//! [`VRel`] stores a relation as a flat arity-strided `Vec<Val>` kept in
+//! semantic sorted order without duplicates, so decoding yields exactly
+//! the tuple sequence the old `BTreeSet<Tuple>` representation produced,
+//! and membership is a binary search over words. Per-column min/max and
+//! distinct counts ([`ColStats`]) are computed lazily and feed the
+//! optimizer's cardinality estimates.
+
+use crate::state::{Tuple, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The tag bit: set for dictionary ids, clear for inline naturals.
+const TAG: u64 = 1 << 63;
+
+/// A database value packed into one word: an inline natural (`n < 2⁶³`)
+/// or a dictionary id. Equality and hashing are word operations; the
+/// derived `Ord` is **not** the semantic [`Value`] order — use
+/// [`Dict::cmp_vals`] for that.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Val(u64);
+
+impl Val {
+    /// The inline word for a small natural, if it fits.
+    pub fn inline_nat(n: u64) -> Option<Val> {
+        (n & TAG == 0).then_some(Val(n))
+    }
+
+    /// The natural stored inline, if this word is untagged.
+    pub fn as_inline_nat(self) -> Option<u64> {
+        (self.0 & TAG == 0).then_some(self.0)
+    }
+
+    /// The dictionary id, if this word is tagged.
+    pub fn id(self) -> Option<usize> {
+        (self.0 & TAG != 0).then_some((self.0 & !TAG) as usize)
+    }
+
+    fn from_id(id: usize) -> Val {
+        Val(TAG | id as u64)
+    }
+
+    /// The raw word.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Val {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.as_inline_nat() {
+            Some(n) => write!(f, "Val({n})"),
+            None => write!(f, "Val(#{})", (self.0 & !TAG)),
+        }
+    }
+}
+
+/// An interned dictionary entry: a natural too large to inline, or a
+/// string.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum DictEntry {
+    Big(u64),
+    Str(Arc<str>),
+}
+
+/// A borrowed view of a decoded word, cheap enough for comparators.
+enum View<'a> {
+    Nat(u64),
+    Str(&'a str),
+}
+
+impl View<'_> {
+    fn cmp(&self, other: &View<'_>) -> Ordering {
+        // Mirrors the derived `Ord` on `Value`: Nat < Str, naturals
+        // numerically, strings byte-lexicographically.
+        match (self, other) {
+            (View::Nat(a), View::Nat(b)) => a.cmp(b),
+            (View::Nat(_), View::Str(_)) => Ordering::Less,
+            (View::Str(_), View::Nat(_)) => Ordering::Greater,
+            (View::Str(a), View::Str(b)) => a.cmp(b),
+        }
+    }
+}
+
+/// The per-[`State`](crate::State) append-only interning dictionary.
+/// Every stored string and large natural has exactly one id, so two
+/// words from the same dictionary are equal iff they denote the same
+/// value.
+#[derive(Clone, Debug, Default)]
+pub struct Dict {
+    entries: Vec<DictEntry>,
+    bigs: HashMap<u64, u32>,
+    strs: HashMap<Arc<str>, u32>,
+}
+
+impl Dict {
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of interned strings.
+    pub fn strings(&self) -> usize {
+        self.strs.len()
+    }
+
+    /// Intern a value, returning its canonical word.
+    pub fn encode(&mut self, v: &Value) -> Val {
+        match v {
+            Value::Nat(n) => match Val::inline_nat(*n) {
+                Some(val) => val,
+                None => match self.bigs.get(n) {
+                    Some(&id) => Val::from_id(id as usize),
+                    None => {
+                        let id = self.entries.len() as u32;
+                        self.entries.push(DictEntry::Big(*n));
+                        self.bigs.insert(*n, id);
+                        Val::from_id(id as usize)
+                    }
+                },
+            },
+            Value::Str(s) => match self.strs.get(s.as_str()) {
+                Some(&id) => Val::from_id(id as usize),
+                None => {
+                    let id = self.entries.len() as u32;
+                    let arc: Arc<str> = Arc::from(s.as_str());
+                    self.entries.push(DictEntry::Str(arc.clone()));
+                    self.strs.insert(arc, id);
+                    Val::from_id(id as usize)
+                }
+            },
+        }
+    }
+
+    /// The word for a value **without** interning. `None` means the
+    /// value is not in the dictionary (hence in no stored tuple).
+    pub fn lookup(&self, v: &Value) -> Option<Val> {
+        match v {
+            Value::Nat(n) => match Val::inline_nat(*n) {
+                Some(val) => Some(val),
+                None => self.bigs.get(n).map(|&id| Val::from_id(id as usize)),
+            },
+            Value::Str(s) => self
+                .strs
+                .get(s.as_str())
+                .map(|&id| Val::from_id(id as usize)),
+        }
+    }
+
+    fn view(&self, v: Val) -> View<'_> {
+        match v.as_inline_nat() {
+            Some(n) => View::Nat(n),
+            None => match &self.entries[v.id().expect("tagged")] {
+                DictEntry::Big(n) => View::Nat(*n),
+                DictEntry::Str(s) => View::Str(s),
+            },
+        }
+    }
+
+    /// Decode a word back into a [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not in this dictionary.
+    pub fn decode(&self, v: Val) -> Value {
+        match self.view(v) {
+            View::Nat(n) => Value::Nat(n),
+            View::Str(s) => Value::Str(s.to_string()),
+        }
+    }
+
+    /// Render a word exactly as [`Value`]'s `Display` would.
+    pub fn display(&self, v: Val) -> String {
+        match self.view(v) {
+            View::Nat(n) => n.to_string(),
+            View::Str(s) => format!("\"{s}\""),
+        }
+    }
+
+    /// The semantic order of two words, identical to comparing their
+    /// decoded [`Value`]s.
+    pub fn cmp_vals(&self, a: Val, b: Val) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        self.view(a).cmp(&self.view(b))
+    }
+
+    /// Lexicographic semantic order of two rows.
+    pub fn cmp_rows(&self, a: &[Val], b: &[Val]) -> Ordering {
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            match self.cmp_vals(x, y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+}
+
+/// A read-only base dictionary plus an appendable overlay, for values a
+/// query mentions that no stored tuple contains (literal constants,
+/// singleton tuples, domain-function results). Overlay ids start at
+/// `base.len()`, so base words stay valid and word equality still means
+/// semantic equality across the combined id space.
+#[derive(Debug)]
+pub struct OverlayDict<'a> {
+    base: &'a Dict,
+    extra: Vec<DictEntry>,
+    bigs: HashMap<u64, u32>,
+    strs: HashMap<Arc<str>, u32>,
+}
+
+impl<'a> OverlayDict<'a> {
+    pub fn new(base: &'a Dict) -> Self {
+        OverlayDict {
+            base,
+            extra: Vec::new(),
+            bigs: HashMap::new(),
+            strs: HashMap::new(),
+        }
+    }
+
+    /// The underlying state dictionary.
+    pub fn base(&self) -> &'a Dict {
+        self.base
+    }
+
+    /// Intern a value, preferring the base dictionary's word.
+    pub fn encode(&mut self, v: &Value) -> Val {
+        if let Some(val) = self.base.lookup(v) {
+            return val;
+        }
+        match v {
+            Value::Nat(n) => match self.bigs.get(n) {
+                Some(&id) => Val::from_id(id as usize),
+                None => {
+                    let id = (self.base.len() + self.extra.len()) as u32;
+                    self.extra.push(DictEntry::Big(*n));
+                    self.bigs.insert(*n, id);
+                    Val::from_id(id as usize)
+                }
+            },
+            Value::Str(s) => match self.strs.get(s.as_str()) {
+                Some(&id) => Val::from_id(id as usize),
+                None => {
+                    let id = (self.base.len() + self.extra.len()) as u32;
+                    let arc: Arc<str> = Arc::from(s.as_str());
+                    self.extra.push(DictEntry::Str(arc.clone()));
+                    self.strs.insert(arc, id);
+                    Val::from_id(id as usize)
+                }
+            },
+        }
+    }
+
+    /// The word for a value if already interned in base or overlay.
+    pub fn lookup(&self, v: &Value) -> Option<Val> {
+        if let Some(val) = self.base.lookup(v) {
+            return Some(val);
+        }
+        match v {
+            Value::Nat(n) => self.bigs.get(n).map(|&id| Val::from_id(id as usize)),
+            Value::Str(s) => self
+                .strs
+                .get(s.as_str())
+                .map(|&id| Val::from_id(id as usize)),
+        }
+    }
+
+    fn view(&self, v: Val) -> View<'_> {
+        match v.as_inline_nat() {
+            Some(n) => View::Nat(n),
+            None => {
+                let id = v.id().expect("tagged");
+                let entry = if id < self.base.len() {
+                    &self.base.entries[id]
+                } else {
+                    &self.extra[id - self.base.len()]
+                };
+                match entry {
+                    DictEntry::Big(n) => View::Nat(*n),
+                    DictEntry::Str(s) => View::Str(s),
+                }
+            }
+        }
+    }
+
+    /// Decode a word from the combined id space.
+    pub fn decode(&self, v: Val) -> Value {
+        match self.view(v) {
+            View::Nat(n) => Value::Nat(n),
+            View::Str(s) => Value::Str(s.to_string()),
+        }
+    }
+}
+
+/// A thread-safe [`OverlayDict`]: encoding locks, decoding of inline
+/// naturals and base-dictionary ids stays lock-free. Used by the
+/// parallel slot evaluator, whose worker frames all bind words from one
+/// shared id space.
+#[derive(Debug)]
+pub struct SharedOverlay<'a> {
+    base: &'a Dict,
+    inner: Mutex<OverlayDict<'a>>,
+}
+
+impl<'a> SharedOverlay<'a> {
+    pub fn new(base: &'a Dict) -> Self {
+        SharedOverlay {
+            base,
+            inner: Mutex::new(OverlayDict::new(base)),
+        }
+    }
+
+    /// Intern a value (locks only when the base dictionary misses).
+    pub fn encode(&self, v: &Value) -> Val {
+        if let Value::Nat(n) = v {
+            if let Some(val) = Val::inline_nat(*n) {
+                return val;
+            }
+        }
+        if let Some(val) = self.base.lookup(v) {
+            return val;
+        }
+        self.inner.lock().expect("overlay lock").encode(v)
+    }
+
+    /// Decode a word from the combined id space.
+    pub fn decode(&self, v: Val) -> Value {
+        match v.as_inline_nat() {
+            Some(n) => Value::Nat(n),
+            None => {
+                let id = v.id().expect("tagged");
+                if id < self.base.len() {
+                    self.base.decode(v)
+                } else {
+                    self.inner.lock().expect("overlay lock").decode(v)
+                }
+            }
+        }
+    }
+}
+
+/// Per-column statistics of a stored relation, in decoded form so the
+/// optimizer can compare them against plan constants directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColStats {
+    /// Number of distinct values in the column.
+    pub distinct: usize,
+    /// Smallest value (`None` for an empty relation).
+    pub min: Option<Value>,
+    /// Largest value (`None` for an empty relation).
+    pub max: Option<Value>,
+}
+
+/// A columnar relation: `rows × arity` words in one flat vector, kept
+/// sorted in semantic order without duplicates. Row `i` occupies
+/// `data[i*arity .. (i+1)*arity]`.
+#[derive(Clone, Debug)]
+pub struct VRel {
+    arity: usize,
+    rows: usize,
+    data: Vec<Val>,
+    stats: OnceLock<Vec<ColStats>>,
+}
+
+impl VRel {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        VRel {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+            stats: OnceLock::new(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored tuples.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The flat word store.
+    pub fn data(&self) -> &[Val] {
+        &self.data
+    }
+
+    /// Row `i` as a word slice.
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate rows in semantic sorted order.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[Val]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// The insertion point of `row` in semantic order, and whether the
+    /// row is already present.
+    fn search(&self, row: &[Val], dict: &Dict) -> (usize, bool) {
+        let mut lo = 0usize;
+        let mut hi = self.rows;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match dict.cmp_rows(self.row(mid), row) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return (mid, true),
+            }
+        }
+        (lo, false)
+    }
+
+    /// Insert a row (already encoded against `dict`), keeping the store
+    /// sorted and duplicate-free. Returns whether the row was new.
+    pub fn insert(&mut self, row: &[Val], dict: &Dict) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let (pos, found) = self.search(row, dict);
+        if found {
+            return false;
+        }
+        let at = pos * self.arity;
+        self.data.splice(at..at, row.iter().copied());
+        self.rows += 1;
+        self.stats.take();
+        true
+    }
+
+    /// Membership by binary search over words.
+    pub fn contains(&self, row: &[Val], dict: &Dict) -> bool {
+        row.len() == self.arity && self.search(row, dict).1
+    }
+
+    /// Decode every row, in semantic sorted order — exactly the sequence
+    /// the legacy `BTreeSet<Tuple>` iteration produced.
+    pub fn decoded<'a>(&'a self, dict: &'a Dict) -> impl Iterator<Item = Tuple> + 'a {
+        self.rows_iter()
+            .map(move |row| row.iter().map(|&v| dict.decode(v)).collect())
+    }
+
+    /// Per-column statistics, computed once and cached until the next
+    /// insertion.
+    pub fn stats(&self, dict: &Dict) -> &[ColStats] {
+        self.stats.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.arity);
+            for c in 0..self.arity {
+                let mut distinct: std::collections::HashSet<Val> = std::collections::HashSet::new();
+                let mut min: Option<Val> = None;
+                let mut max: Option<Val> = None;
+                for r in 0..self.rows {
+                    let v = self.data[r * self.arity + c];
+                    distinct.insert(v);
+                    min = Some(match min {
+                        Some(m) if dict.cmp_vals(m, v) != Ordering::Greater => m,
+                        _ => v,
+                    });
+                    max = Some(match max {
+                        Some(m) if dict.cmp_vals(m, v) != Ordering::Less => m,
+                        _ => v,
+                    });
+                }
+                out.push(ColStats {
+                    distinct: distinct.len(),
+                    min: min.map(|v| dict.decode(v)),
+                    max: max.map(|v| dict.decode(v)),
+                });
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_interned_words() {
+        let mut d = Dict::default();
+        let small = d.encode(&Value::Nat(42));
+        assert_eq!(small.as_inline_nat(), Some(42));
+        assert_eq!(d.len(), 0, "small naturals never intern");
+        let big = d.encode(&Value::Nat(u64::MAX));
+        assert_eq!(big.as_inline_nat(), None);
+        let s = d.encode(&Value::Str("1&".into()));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.strings(), 1);
+        assert_eq!(d.decode(big), Value::Nat(u64::MAX));
+        assert_eq!(d.decode(s), Value::Str("1&".into()));
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut d = Dict::default();
+        let a = d.encode(&Value::Str("x".into()));
+        let b = d.encode(&Value::Str("x".into()));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup(&Value::Str("x".into())), Some(a));
+        assert_eq!(d.lookup(&Value::Str("y".into())), None);
+    }
+
+    #[test]
+    fn semantic_order_matches_value_order() {
+        let mut d = Dict::default();
+        let values = [
+            Value::Nat(0),
+            Value::Nat(7),
+            Value::Nat(u64::MAX),
+            Value::Str(String::new()),
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+        ];
+        // Encode in reverse so raw id order disagrees with semantic order.
+        let vals: Vec<Val> = values.iter().rev().map(|v| d.encode(v)).collect();
+        let vals: Vec<Val> = vals.into_iter().rev().collect();
+        for (i, (va, a)) in vals.iter().zip(&values).enumerate() {
+            for (vb, b) in vals.iter().zip(&values).skip(i) {
+                assert_eq!(d.cmp_vals(*va, *vb), a.cmp(b), "{a} vs {b}");
+                assert_eq!(d.display(*va), a.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_extends_without_touching_base() {
+        let mut d = Dict::default();
+        let base_word = d.encode(&Value::Str("base".into()));
+        let mut o = OverlayDict::new(&d);
+        assert_eq!(o.encode(&Value::Str("base".into())), base_word);
+        let extra = o.encode(&Value::Str("extra".into()));
+        assert_eq!(o.encode(&Value::Str("extra".into())), extra);
+        assert!(extra.id().unwrap() >= d.len());
+        assert_eq!(o.decode(extra), Value::Str("extra".into()));
+        assert_eq!(o.decode(base_word), Value::Str("base".into()));
+        assert_eq!(d.len(), 1, "base untouched");
+    }
+
+    #[test]
+    fn shared_overlay_round_trips() {
+        let mut d = Dict::default();
+        d.encode(&Value::Str("base".into()));
+        let o = SharedOverlay::new(&d);
+        for v in [
+            Value::Nat(3),
+            Value::Nat(u64::MAX),
+            Value::Str("base".into()),
+            Value::Str("fresh".into()),
+        ] {
+            let w = o.encode(&v);
+            assert_eq!(o.encode(&v), w, "canonical");
+            assert_eq!(o.decode(w), v);
+        }
+    }
+
+    #[test]
+    fn vrel_keeps_sorted_dedup_and_stats() {
+        let mut d = Dict::default();
+        let mut r = VRel::new(2);
+        let rows = [
+            [Value::Nat(2), Value::Str("b".into())],
+            [Value::Nat(1), Value::Str("a".into())],
+            [Value::Nat(2), Value::Str("a".into())],
+            [Value::Nat(1), Value::Str("a".into())], // duplicate
+        ];
+        for row in &rows {
+            let enc: Vec<Val> = row.iter().map(|v| d.encode(v)).collect();
+            r.insert(&enc, &d);
+        }
+        assert_eq!(r.rows(), 3);
+        let decoded: Vec<Tuple> = r.decoded(&d).collect();
+        let mut expected: Vec<Tuple> = rows[..3].iter().map(|r| r.to_vec()).collect();
+        expected.sort();
+        assert_eq!(decoded, expected);
+        let key: Vec<Val> = rows[1].iter().map(|v| d.encode(v)).collect();
+        assert!(r.contains(&key, &d));
+        let stats = r.stats(&d);
+        assert_eq!(stats[0].distinct, 2);
+        assert_eq!(stats[0].min, Some(Value::Nat(1)));
+        assert_eq!(stats[0].max, Some(Value::Nat(2)));
+        assert_eq!(stats[1].distinct, 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the columnar interned storage core: the word
+//! representation must be observationally identical to the legacy
+//! [`Value`] representation — ordering, equality, display, round-trips,
+//! and the on-disk JSON shape of a whole [`State`].
+
+use fq_relational::{Dict, OverlayDict, Schema, SharedOverlay, State, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mixed naturals (small, near the inline/interned boundary, and big)
+/// and short strings — every representation class of [`Val`].
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u64..50).prop_map(Value::Nat),
+        ((1u64 << 63) - 2..=u64::MAX).prop_map(Value::Nat),
+        "[a-c&*#1]{0,4}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// Word comparison through the dictionary is exactly the derived
+    /// `Value` order, word equality is semantic equality, and `display`
+    /// matches `Value`'s `Display` — regardless of interning order.
+    #[test]
+    fn words_mirror_values(values in proptest::collection::vec(arb_value(), 0..12)) {
+        let mut dict = Dict::default();
+        let words: Vec<_> = values.iter().map(|v| dict.encode(v)).collect();
+        for (w, v) in words.iter().zip(&values) {
+            prop_assert_eq!(dict.decode(*w), v.clone());
+            prop_assert_eq!(dict.display(*w), v.to_string());
+        }
+        for (wa, a) in words.iter().zip(&values) {
+            for (wb, b) in words.iter().zip(&values) {
+                prop_assert_eq!(dict.cmp_vals(*wa, *wb), a.cmp(b), "{} vs {}", a, b);
+                prop_assert_eq!(wa == wb, a == b, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Encoding is canonical and lossless through overlays too: the
+    /// overlay agrees with the base on interned values and round-trips
+    /// fresh ones, and the thread-safe wrapper behaves identically.
+    #[test]
+    fn overlays_round_trip(
+        base_values in proptest::collection::vec(arb_value(), 0..8),
+        extra_values in proptest::collection::vec(arb_value(), 0..8),
+    ) {
+        let mut dict = Dict::default();
+        let base_words: Vec<_> = base_values.iter().map(|v| dict.encode(v)).collect();
+        let mut overlay = OverlayDict::new(&dict);
+        for (w, v) in base_words.iter().zip(&base_values) {
+            prop_assert_eq!(overlay.encode(v), *w, "base words are preferred");
+        }
+        for v in &extra_values {
+            let w = overlay.encode(v);
+            prop_assert_eq!(overlay.encode(v), w, "interning is canonical");
+            prop_assert_eq!(overlay.decode(w), v.clone());
+        }
+        let shared = SharedOverlay::new(&dict);
+        for v in base_values.iter().chain(&extra_values) {
+            let w = shared.encode(v);
+            prop_assert_eq!(shared.encode(v), w);
+            prop_assert_eq!(shared.decode(w), v.clone());
+        }
+    }
+
+    /// A whole state serializes to **exactly** the JSON the legacy
+    /// `BTreeMap<String, BTreeSet<Tuple>>` representation produced, and
+    /// parses back to an equal state.
+    #[test]
+    fn state_json_matches_legacy_shape(
+        r in proptest::collection::btree_set((arb_value(), arb_value()), 0..6),
+        s in proptest::collection::btree_set(arb_value(), 0..4),
+        c in prop_oneof![1 => Just(None), 2 => arb_value().prop_map(Some)],
+    ) {
+        let mut schema = Schema::new().with_relation("R", 2).with_relation("S", 1);
+        if c.is_some() {
+            schema = schema.with_constant("c");
+        }
+        let mut state = State::new(schema.clone());
+        let mut rels: BTreeMap<String, BTreeSet<Vec<Value>>> = BTreeMap::new();
+        rels.insert("R".into(), BTreeSet::new());
+        rels.insert("S".into(), BTreeSet::new());
+        for (a, b) in &r {
+            state.insert("R", vec![a.clone(), b.clone()]);
+            rels.get_mut("R").unwrap().insert(vec![a.clone(), b.clone()]);
+        }
+        for a in &s {
+            state.insert("S", vec![a.clone()]);
+            rels.get_mut("S").unwrap().insert(vec![a.clone()]);
+        }
+        let mut constants: BTreeMap<String, Value> = BTreeMap::new();
+        if let Some(v) = &c {
+            state.set_constant("c", v.clone());
+            constants.insert("c".into(), v.clone());
+        }
+        let legacy = fq_json::object([
+            ("schema", fq_json::ToJson::to_json(&schema)),
+            ("relations", fq_json::ToJson::to_json(&rels)),
+            ("constants", fq_json::ToJson::to_json(&constants)),
+        ]);
+        prop_assert_eq!(fq_json::to_string(&state), legacy.to_compact());
+        let reparsed: State = fq_json::from_str(&fq_json::to_string(&state)).unwrap();
+        prop_assert_eq!(reparsed, state);
+    }
+}
+
+/// Every state file shipped under `examples/data/` parses and
+/// re-serializes to the same compact JSON as the raw document — the
+/// on-disk format is unchanged by the columnar store.
+#[test]
+fn examples_data_round_trips_byte_identically() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/data exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let raw = fq_json::parse(&text).unwrap();
+        let state: State = fq_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{} must parse as a state: {e}", path.display()));
+        assert_eq!(
+            fq_json::to_string(&state),
+            raw.to_compact(),
+            "{} must re-serialize byte-identically",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "corpus must not be empty");
+}

@@ -195,6 +195,17 @@ fn cmd_explain(args: &[String]) -> CliResult {
         out.stats.engine_hits,
         out.stats.engine_misses
     );
+    println!(
+        "storage:    {} stored row(s), dictionary {} entr{} ({} string(s))",
+        out.stats.stored_rows,
+        out.stats.dict_entries,
+        if out.stats.dict_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        out.stats.dict_strings
+    );
     Ok(())
 }
 

@@ -199,6 +199,42 @@ fn bad_schema_file_reports_both_parse_failures() {
 }
 
 #[test]
+fn malformed_arity_state_reports_diagnostic_not_panic() {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad-arity.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "schema": { "relations": { "F": 2 }, "constants": [] },
+  "relations": { "F": [[{"Nat":1},{"Nat":2}],[{"Nat":7}]] },
+  "constants": {}
+}"#,
+    )
+    .unwrap();
+    let path = path.to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["eval", &path, "F(x, y)"]);
+    assert!(!ok, "a scheme-violating state must fail the command");
+    assert!(
+        err.contains("arity mismatch") && err.contains("`F`"),
+        "diagnostic should name the violation: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must be a diagnostic, not a panic: {err}"
+    );
+}
+
+#[test]
+fn explain_reports_storage_counters() {
+    let state = repo_fathers_json();
+    let (out, err, ok) = fq(&["explain", &state, "exists y. F(x, y) & F(y, z)", "eq"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("storage:"), "{out}");
+    assert!(out.contains("3 stored row(s)"), "{out}");
+}
+
+#[test]
 fn missing_schema_file_fails_with_path() {
     let (_, err, ok) = fq(&["plan", "/nonexistent/nowhere.json", "F(x, y)"]);
     assert!(!ok);
