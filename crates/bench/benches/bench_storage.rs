@@ -1,0 +1,326 @@
+//! Storage benches: the bulk ingestion path against the single-row
+//! `insert` path, on the string-heavy trace-database workload (domain
+//! **T** — the "databases of computational experiments" application the
+//! paper's conclusion names). Emitted to `BENCH_storage.json`:
+//!
+//! * **bulk vs per-row load** — `StateBuilder` (one interning pass +
+//!   one sort-dedupe-merge per relation) against a `State::insert` loop
+//!   (binary search + `splice`, O(n) per row) at 10⁴–10⁶ rows. The
+//!   per-row path is quadratic, so at 10⁶ rows it runs under a
+//!   deadline: if it cannot finish within 20× the bulk time, the
+//!   recorded speedup is a lower bound. The headline row requires
+//!   ≥ 10x at 10⁶ rows.
+//! * **cold JSON load** — `fq_json::from_str::<State>` on the
+//!   serialized 10⁵-row state (the `FromJson` → `StateBuilder` route
+//!   every `fq --state file.json` invocation takes).
+//! * **dictionary growth** — interning must be canonical: the
+//!   dictionary holds exactly one entry per distinct string of the
+//!   corpus, independent of duplication in the arrival stream.
+//! * **hash-join throughput on interned string keys** — `Run ⋈ Looping`
+//!   (single-column string key, the bare-`u64` fast path) and
+//!   `Run ⋈ Halted` (two-column key) through the physical executor,
+//!   checked against the naive backend at the small size.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use fq_bench::report::{ExperimentReport, ExperimentResult};
+use fq_bench::workloads::{trace_db_rows, trace_db_schema, trace_db_state};
+use fq_relational::algebra::AlgebraExpr;
+use fq_relational::physical::PhysicalPlan;
+use fq_relational::state::Tuple;
+use fq_relational::StateBuilder;
+use fq_relational::{State, Value};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+fn base(name: &str, attrs: &[&str]) -> AlgebraExpr {
+    AlgebraExpr::Base {
+        name: name.into(),
+        attrs: attrs.iter().map(|a| a.to_string()).collect(),
+    }
+}
+
+/// Load through the per-row path, stopping at `deadline`. Returns the
+/// elapsed time, the number of workload rows consumed, and the state
+/// (complete only if `rows consumed == rows.len()`).
+fn per_row_load(rows: &[(&'static str, Tuple)], deadline: Duration) -> (Duration, usize, State) {
+    let mut state = State::new(trace_db_schema());
+    let start = Instant::now();
+    let mut done = 0usize;
+    for (rel, t) in rows {
+        state.insert_ref(rel, t);
+        done += 1;
+        if done.is_multiple_of(4096) && start.elapsed() > deadline {
+            break;
+        }
+    }
+    (start.elapsed(), done, state)
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("STO_load");
+    group.sample_size(10);
+    let rows = trace_db_rows(5_000, 42);
+    group.bench_with_input(BenchmarkId::new("trace_db_5000", "bulk"), &rows, |b, r| {
+        b.iter(|| trace_db_state(r))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("trace_db_5000", "per_row"),
+        &rows,
+        |b, r| {
+            b.iter(|| {
+                let mut state = State::new(trace_db_schema());
+                for (rel, t) in r {
+                    state.insert_ref(rel, t);
+                }
+                state
+            })
+        },
+    );
+    group.finish();
+}
+
+fn emit_report() {
+    let mut report = ExperimentReport::default();
+    let reference = "fq-relational bulk ingestion (StateBuilder / extend_from_sorted)".to_string();
+    let mut large_state: Option<State> = None;
+
+    // --- Bulk vs per-row load at 10⁴, 10⁵, 10⁶ rows. ------------------
+    for (n, headline) in [(10_000usize, false), (100_000, false), (1_000_000, true)] {
+        let gen_start = Instant::now();
+        let rows = trace_db_rows(n, 42);
+        eprintln!(
+            "[bench_storage] generated {n} rows in {} ms",
+            gen_start.elapsed().as_millis()
+        );
+        let start = Instant::now();
+        let mut builder = StateBuilder::new(trace_db_schema());
+        for (rel, t) in &rows {
+            builder.row_ref(rel, t);
+        }
+        let staged = start.elapsed();
+        let bulk_state = builder.finish();
+        let bulk = start.elapsed();
+        eprintln!(
+            "[bench_storage] {n}: staging (validate + intern) {} ms, \
+             finish (sort + merge) {} ms",
+            staged.as_millis(),
+            (bulk - staged).as_millis()
+        );
+        let stored = bulk_state.size();
+        let krows_s = stored as f64 / bulk.as_secs_f64() / 1_000.0;
+        report.results.push(ExperimentResult {
+            id: format!("STO_load/bulk_{n}"),
+            reference: reference.clone(),
+            claim: format!(
+                "bulk-load {n} string tuples (trace-database workload) in one \
+                 interning + sort-dedupe-merge pass"
+            ),
+            observed: format!(
+                "{} µs for {stored} stored rows ({krows_s:.0}k rows/s)",
+                bulk.as_micros()
+            ),
+            pass: stored > 0,
+            millis: bulk.as_millis(),
+        });
+
+        // Per-row: full run at the small sizes (equality-checked), a
+        // 20×-bulk deadline at the headline size (speedup lower bound).
+        let deadline = if headline {
+            20 * bulk.max(Duration::from_millis(50))
+        } else {
+            Duration::from_secs(600)
+        };
+        eprintln!(
+            "[bench_storage] bulk-loaded {n} rows in {} ms; starting per-row run \
+             (deadline {} s)",
+            bulk.as_millis(),
+            deadline.as_secs()
+        );
+        let (elapsed, done, per_row_state) = per_row_load(&rows, deadline);
+        let finished = done == rows.len();
+        eprintln!(
+            "[bench_storage] per-row run: {done}/{n} rows in {} ms",
+            elapsed.as_millis()
+        );
+        if finished {
+            assert_eq!(per_row_state, bulk_state, "bulk and per-row loads differ");
+            eprintln!("[bench_storage] per-row ≡ bulk state equality checked");
+        }
+        let observed = if finished {
+            format!("{} µs for the same {n} rows", elapsed.as_micros())
+        } else {
+            format!(
+                "deadline after {} µs with {done}/{n} rows ingested \
+                 (quadratic splice path)",
+                elapsed.as_micros()
+            )
+        };
+        report.results.push(ExperimentResult {
+            id: format!("STO_load/insert_{n}"),
+            reference: reference.clone(),
+            claim: format!("per-row insert loop over the same {n}-row arrival order"),
+            observed,
+            pass: true,
+            millis: elapsed.as_millis(),
+        });
+        let speedup = elapsed.as_secs_f64() / bulk.as_secs_f64().max(1e-9);
+        report.results.push(ExperimentResult {
+            id: format!("STO_load/speedup_{n}"),
+            reference: reference.clone(),
+            claim: if headline {
+                "bulk load of the 10⁶-row string-heavy trace state is ≥ 10x \
+                 faster than the per-row insert path"
+                    .to_string()
+            } else {
+                "bulk load is not slower than the per-row path".to_string()
+            },
+            observed: format!(
+                "{}{speedup:.1}x (bulk {} µs vs per-row {} µs{})",
+                if finished { "" } else { "≥ " },
+                bulk.as_micros(),
+                elapsed.as_micros(),
+                if finished { "" } else { ", deadline-capped" },
+            ),
+            pass: if headline {
+                speedup >= 10.0
+            } else {
+                speedup >= 1.0
+            },
+            millis: 0,
+        });
+
+        // Dictionary growth: canonical interning stores each distinct
+        // string exactly once, however duplicated the arrival stream.
+        let distinct: HashSet<&str> = rows
+            .iter()
+            .flat_map(|(_, t)| t.iter())
+            .map(|v| match v {
+                Value::Str(s) => s.as_str(),
+                Value::Nat(_) => unreachable!("trace workload is all strings"),
+            })
+            .collect();
+        report.results.push(ExperimentResult {
+            id: format!("STO_dict/growth_{n}"),
+            reference: reference.clone(),
+            claim: "the dictionary interns exactly the distinct strings of the corpus".to_string(),
+            observed: format!(
+                "{} interned strings for {} distinct among {} arriving values",
+                bulk_state.dict().strings(),
+                distinct.len(),
+                rows.iter().map(|(_, t)| t.len()).sum::<usize>()
+            ),
+            pass: bulk_state.dict().strings() == distinct.len(),
+            millis: 0,
+        });
+
+        if headline {
+            large_state = Some(bulk_state);
+        } else if n == 100_000 {
+            // --- Cold JSON load (the CLI's `--state file.json` route).
+            let t0 = Instant::now();
+            let json = fq_json::to_string(&bulk_state);
+            eprintln!(
+                "[bench_storage] serialized {} bytes in {} ms",
+                json.len(),
+                t0.elapsed().as_millis()
+            );
+            let start = Instant::now();
+            let reloaded: State = fq_json::from_str(&json).expect("state reparses");
+            let cold = start.elapsed();
+            eprintln!("[bench_storage] parsed in {} ms", cold.as_millis());
+            assert_eq!(reloaded, bulk_state, "JSON round-trip changed the state");
+            eprintln!("[bench_storage] round-trip equality checked");
+            let mbs = json.len() as f64 / cold.as_secs_f64() / 1e6;
+            report.results.push(ExperimentResult {
+                id: "STO_cold/json_100000".to_string(),
+                reference: reference.clone(),
+                claim: "cold JSON load of the 10⁵-row state routes through the \
+                        batch path and round-trips"
+                    .to_string(),
+                observed: format!(
+                    "{} µs for {} bytes ({mbs:.0} MB/s, parse + intern + merge)",
+                    cold.as_micros(),
+                    json.len()
+                ),
+                pass: true,
+                millis: cold.as_millis(),
+            });
+        }
+    }
+
+    // --- Hash-join throughput on interned string keys. ----------------
+    let single_key = AlgebraExpr::Join(
+        Box::new(base("Run", &["m", "w", "p"])),
+        Box::new(base("Looping", &["m"])),
+    );
+    let double_key = AlgebraExpr::Join(
+        Box::new(base("Run", &["m", "w", "p"])),
+        Box::new(base("Halted", &["m", "w"])),
+    );
+    // Correctness vs the naive backend at a size it can handle.
+    let check = Instant::now();
+    let small = trace_db_state(&trace_db_rows(10_000, 42));
+    for expr in [&single_key, &double_key] {
+        assert_eq!(
+            expr.eval(&small),
+            PhysicalPlan::compile(expr).execute(&small),
+            "physical ≠ naive on the trace workload"
+        );
+    }
+    eprintln!(
+        "[bench_storage] join correctness check: {} ms",
+        check.elapsed().as_millis()
+    );
+    let large = large_state.expect("headline size ran");
+    for (id, expr, what) in [
+        (
+            "STO_join/string_key_1col",
+            &single_key,
+            "Run(m,w,p) ⋈ Looping(m): single-column string key, bare-u64 fast path",
+        ),
+        (
+            "STO_join/string_key_2col",
+            &double_key,
+            "Run(m,w,p) ⋈ Halted(m,w): two-column string key",
+        ),
+    ] {
+        let plan = PhysicalPlan::compile(expr);
+        let start = Instant::now();
+        let out = plan.execute(&large);
+        let t = start.elapsed();
+        let probed = large.relation_size("Run");
+        let krows_s = probed as f64 / t.as_secs_f64() / 1_000.0;
+        report.results.push(ExperimentResult {
+            id: id.to_string(),
+            reference: reference.clone(),
+            claim: format!("{what} over the 10⁶-row state"),
+            observed: format!(
+                "{} µs probing {probed} rows → {} result rows ({krows_s:.0}k probes/s)",
+                t.as_micros(),
+                out.tuples.len()
+            ),
+            pass: !out.tuples.is_empty(),
+            millis: t.as_millis(),
+        });
+    }
+
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
+    std::fs::write(path, &json).expect("write BENCH_storage.json");
+    println!("wrote BENCH_storage.json ({} rows)", report.results.len());
+    println!("{}", report.to_markdown());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_storage
+}
+
+fn main() {
+    benches();
+    emit_report();
+}

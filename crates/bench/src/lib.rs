@@ -7,6 +7,28 @@
 //! Each workload here parameterizes the decision procedure or reduction
 //! behind one theorem so that benches can characterize its cost and the
 //! experiment runner can verify its predicted behaviour.
+//!
+//! Every generator is deterministic in its seed, and the bulk ones
+//! build their states through `fq_relational::StateBuilder` (the batch
+//! ingestion path that `bench_storage` measures). A workload feeds
+//! straight into the `fq-query` compile → plan → execute pipeline:
+//!
+//! ```
+//! use fq_bench::workloads::{trace_db_rows, trace_db_state};
+//! use fq_query::{DomainId, Executor};
+//!
+//! // A tiny trace database (domain T), bulk-loaded in one pass.
+//! let state = trace_db_state(&trace_db_rows(200, 42));
+//! let exec = Executor::default();
+//! let out = exec.execute(
+//!     &state,
+//!     "Run(m, w, p) & Looping(m)",
+//!     DomainId::Traces,
+//! )?;
+//! assert_eq!(out.plan.strategy(), "algebra");
+//! assert!(out.rows.iter().all(|t| t.len() == 3));
+//! # Ok::<(), fq_query::QueryError>(())
+//! ```
 
 pub mod report;
 pub mod workloads;

@@ -4,8 +4,9 @@
 //! reproducible run to run.
 
 use fq_logic::{Formula, Term};
-use fq_relational::{Schema, State, Value};
-use fq_turing::{builders, Machine};
+use fq_relational::state::Tuple;
+use fq_relational::{Schema, State, StateBuilder, Value};
+use fq_turing::{builders, encode_machine, run_bounded, trace_string, Machine, RunOutcome};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -13,14 +14,14 @@ use rand::{Rng, SeedableRng};
 /// person has at most one father and fathers precede sons.
 pub fn genealogy_state(population: u64, edges: usize, seed: u64) -> State {
     let schema = Schema::new().with_relation("F", 2);
-    let mut state = State::new(schema);
+    let mut b = StateBuilder::new(schema);
     let mut rng = SmallRng::seed_from_u64(seed);
     for _ in 0..edges {
         let son = rng.gen_range(1..population.max(2));
         let father = rng.gen_range(0..son);
-        state.insert("F", vec![Value::Nat(father), Value::Nat(son)]);
+        b.row("F", vec![Value::Nat(father), Value::Nat(son)]);
     }
-    state
+    b.finish()
 }
 
 /// The paper's Section 1 queries over the genealogy scheme.
@@ -99,6 +100,80 @@ pub fn random_word(len: usize, seed: u64) -> String {
         .collect()
 }
 
+/// The scheme of the storage workload: a database of computational
+/// experiments over the trace domain **T** (the application the paper's
+/// conclusion suggests). `Run(machine, word, trace)` holds every logged
+/// trace keyed by the machine encoding and its input word — all three
+/// columns are strings over the trace alphabet; `Halted(machine, word)`
+/// marks completed runs; `Looping(machine)` marks machines that blew
+/// the step budget.
+pub fn trace_db_schema() -> Schema {
+    Schema::new()
+        .with_relation("Run", 3)
+        .with_relation("Halted", 2)
+        .with_relation("Looping", 1)
+}
+
+/// Generate `target` rows of the trace-database workload, in a shuffled
+/// arrival order (so per-row insertion cannot free-ride on sorted
+/// input) with naturally occurring duplicates, exactly as a log
+/// ingestion pipeline would deliver them. Deterministic in `seed`.
+///
+/// Each draw picks a machine from [`machine_zoo`] and a random word
+/// over `{1, &}`, stores the traces with 1–4 snapshots via
+/// [`fq_turing::trace_string`] (the Section 3 trace encoding), and tags
+/// the pair `Halted` or the machine `Looping` by bounded simulation.
+pub fn trace_db_rows(target: usize, seed: u64) -> Vec<(&'static str, Tuple)> {
+    let machines: Vec<(String, Machine)> = machine_zoo()
+        .into_iter()
+        .map(|(_, m)| (encode_machine(&m), m))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rows: Vec<(&'static str, Tuple)> = Vec::with_capacity(target + 8);
+    while rows.len() < target {
+        let (enc, machine) = &machines[rng.gen_range(0..machines.len())];
+        let len = rng.gen_range(4..=14usize);
+        let word: String = (0..len)
+            .map(|_| if rng.gen_bool(0.5) { '1' } else { '&' })
+            .collect();
+        for k in 1..=4usize {
+            match trace_string(machine, &word, k) {
+                Some(trace) => rows.push((
+                    "Run",
+                    vec![
+                        Value::Str(enc.clone()),
+                        Value::Str(word.clone()),
+                        Value::Str(trace),
+                    ],
+                )),
+                None => break,
+            }
+        }
+        match run_bounded(machine, &word, 64) {
+            RunOutcome::Halted { .. } => rows.push((
+                "Halted",
+                vec![Value::Str(enc.clone()), Value::Str(word.clone())],
+            )),
+            RunOutcome::StillRunning => rows.push(("Looping", vec![Value::Str(enc.clone())])),
+        }
+    }
+    rows.truncate(target);
+    // Fisher–Yates (the vendored `rand` has no `shuffle`).
+    for i in (1..rows.len()).rev() {
+        rows.swap(i, rng.gen_range(0..=i));
+    }
+    rows
+}
+
+/// Bulk-load workload rows into a state through the batch path.
+pub fn trace_db_state(rows: &[(&'static str, Tuple)]) -> State {
+    let mut b = StateBuilder::new(trace_db_schema());
+    for (rel, t) in rows {
+        b.row_ref(rel, t);
+    }
+    b.finish()
+}
+
 /// Lemma A.2 constraint systems of a given size, built greedily so the
 /// result is always satisfiable: each randomly drawn constraint is kept
 /// only if the system stays consistent.
@@ -173,6 +248,33 @@ mod tests {
             let s = presburger_sentence(depth, 42);
             assert!(s.is_sentence());
             assert!(Presburger.decide(&s).is_ok(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn trace_db_rows_are_reproducible_and_string_heavy() {
+        let a = trace_db_rows(500, 13);
+        let b = trace_db_rows(500, 13);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a
+            .iter()
+            .flat_map(|(_, t)| t)
+            .all(|v| matches!(v, Value::Str(_))));
+        let state = trace_db_state(&a);
+        assert!(state.size() > 0 && state.size() <= 500);
+        // Bulk load ≡ per-row load on the exact same arrival order.
+        let mut per_row = State::new(trace_db_schema());
+        for (rel, t) in &a {
+            per_row.insert(rel, t.clone());
+        }
+        assert_eq!(state, per_row);
+        // Stored traces validate against the machine/word columns.
+        for t in state.tuples("Run").take(20) {
+            let (Value::Str(m), Value::Str(w), Value::Str(p)) = (&t[0], &t[1], &t[2]) else {
+                panic!("Run rows are strings");
+            };
+            assert!(fq_turing::trace::p_predicate(m, w, p));
         }
     }
 

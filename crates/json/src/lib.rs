@@ -370,12 +370,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError::at("invalid utf-8", *pos))?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the maximal run of unescaped bytes and
+                // validate it as UTF-8 once — validating from `*pos` to
+                // the end of the document per character would make
+                // parsing quadratic in the document size.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| JsonError::at("invalid utf-8", start))?;
+                out.push_str(run);
             }
         }
     }
@@ -602,5 +610,27 @@ mod tests {
         assert!(parse("{\"a\": }").is_err());
         assert!(parse("[1, 2").is_err());
         assert!(parse("{} junk").is_err());
+    }
+
+    /// Large string-heavy documents must parse in linear time; the
+    /// per-character path used to re-validate the whole remaining
+    /// document as UTF-8, which made multi-megabyte state files hang.
+    /// 4 MB of mixed escapes/multi-byte content parses well inside the
+    /// test timeout iff parsing is linear (quadratic would need ~10¹³
+    /// byte scans), and round-trips exactly.
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        let chunk = "trace#1#11&é🙂\"\\\n".repeat(1 << 12);
+        let doc = Value::Array((0..64).map(|_| chunk.to_json()).collect());
+        let text = doc.to_compact();
+        assert!(text.len() > 4_000_000);
+        let start = std::time::Instant::now();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "string parsing is no longer linear: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -21,6 +21,12 @@
 //!   decidable domains (`eq|nat|int|succ|presburger|words|traces`),
 //!   replacing the per-command string dispatch the CLI used to carry.
 //!
+//! The executor is agnostic to how its state was built: per-row
+//! (`with_tuple`, as below, fine for fixtures) or staged through
+//! [`fq_relational::StateBuilder`] / `State::load_bulk` when loading
+//! thousands of rows — the batch path merges each relation in one pass
+//! instead of splicing per row.
+//!
 //! ```
 //! use fq_query::{DomainId, Executor};
 //! use fq_relational::{Schema, State, Value};

@@ -20,9 +20,29 @@
 //!   (Ullman; Van Gelder & Topor);
 //! * [`algebra`] — a relational algebra with an evaluator, plus the
 //!   compilation of safe-range queries into it (Codd's theorem);
+//! * [`val`] — the columnar interned storage core underneath it all:
+//!   one-word values, a per-state string dictionary, and flat sorted
+//!   relations with two writer paths — single-row [`State::insert`] for
+//!   interactive mutation, and the batch pipeline
+//!   ([`StateBuilder`], [`State::load_bulk`], [`State::extend_bulk`])
+//!   that stages rows and merges each relation in one
+//!   sort-dedupe-merge pass for linear-time bulk loads.
 //!
 //! The Section 1.1 enumerate-and-ask query-answering algorithm lives in
 //! `fq-core` (it needs the decision procedures of `fq-domains`).
+//!
+//! Building a large state? Stage it:
+//!
+//! ```
+//! use fq_relational::{Schema, StateBuilder, Value};
+//!
+//! let mut b = StateBuilder::new(Schema::new().with_relation("Log", 1));
+//! for i in 0..1000u64 {
+//!     b.row("Log", vec![Value::Str(format!("trace-{i}"))]);
+//! }
+//! let state = b.finish(); // one interning + merge pass per relation
+//! assert_eq!(state.size(), 1000);
+//! ```
 //!
 //! ```
 //! use fq_relational::{Schema, State, Value, is_safe_range};
@@ -43,6 +63,7 @@
 
 pub mod active_eval;
 pub mod algebra;
+pub mod fx;
 pub mod optimize;
 pub mod physical;
 pub mod safe_range;
@@ -57,6 +78,6 @@ pub use optimize::{optimize, OptimizedExpr};
 pub use physical::{ExecReport, OpStat, PhysicalPlan};
 pub use safe_range::is_safe_range;
 pub use schema::Schema;
-pub use state::{State, StateError, Value};
+pub use state::{State, StateBuilder, StateError, Value};
 pub use translate::translate_to_domain_formula;
-pub use val::{ColStats, Dict, OverlayDict, SharedOverlay, VRel, Val};
+pub use val::{ColStats, Dict, OverlayDict, SharedOverlay, SortKeys, VRel, Val};

@@ -14,8 +14,13 @@
 //!   materialization; duplicates are eliminated only where they can
 //!   arise (narrowing projections and unions), so every stream stays
 //!   duplicate-free and operator row counts equal logical cardinalities;
-//! * **memoized base scans** — a relation referenced twice in the plan
-//!   is materialized once per execution.
+//! * **zero-copy memoized base scans** — a scan *borrows* the
+//!   relation's flat columnar store (copy-on-write streams), so even a
+//!   million-row string relation enters the plan without copying a
+//!   word, and a relation referenced twice resolves to the same
+//!   borrowed stream. String join keys need no extra fast path: strings
+//!   are interned to one-word ids, so the single-`u64` key path below
+//!   covers them at the same cost as naturals.
 //!
 //! Plans are state-independent, so plan constants stay as [`Value`]s and
 //! are encoded per execution through an [`OverlayDict`] (query constants
@@ -25,9 +30,10 @@
 //! (attribute order included).
 
 use crate::algebra::{AlgebraExpr, Condition, Relation};
+use crate::fx::{self, FxMap, FxSet};
 use crate::state::{State, Tuple, Value};
 use crate::val::{OverlayDict, Val};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Per-operator execution statistics: a rendered operator label and the
 /// number of (duplicate-free) rows it produced.
@@ -290,19 +296,35 @@ fn lower(expr: &AlgebraExpr) -> PNode {
 
 /// A flat, arity-strided stream of word rows. `rows` is explicit so
 /// zero-arity streams (sentence subplans) keep their cardinality.
+///
+/// `data` is copy-on-write over the executed state's lifetime: base
+/// scans *borrow* the [`VRel`](crate::VRel)'s flat store directly (a
+/// million-row string relation scans without copying a word — cloning a
+/// borrowed stream for the scan memo is O(1)), while operators build
+/// owned buffers. `to_mut` never actually clones in practice because
+/// rows are only pushed into streams born owned.
 #[derive(Clone, Debug)]
-struct VStream {
+struct VStream<'a> {
     arity: usize,
     rows: usize,
-    data: Vec<Val>,
+    data: std::borrow::Cow<'a, [Val]>,
 }
 
-impl VStream {
-    fn empty(arity: usize) -> VStream {
+impl<'a> VStream<'a> {
+    fn empty(arity: usize) -> VStream<'a> {
         VStream {
             arity,
             rows: 0,
-            data: Vec::new(),
+            data: std::borrow::Cow::Owned(Vec::new()),
+        }
+    }
+
+    fn owned(arity: usize, rows: usize, data: Vec<Val>) -> VStream<'a> {
+        debug_assert_eq!(data.len(), rows * arity);
+        VStream {
+            arity,
+            rows,
+            data: std::borrow::Cow::Owned(data),
         }
     }
 
@@ -316,7 +338,7 @@ impl VStream {
 
     fn push(&mut self, row: &[Val]) {
         debug_assert_eq!(row.len(), self.arity);
-        self.data.extend_from_slice(row);
+        self.data.to_mut().extend_from_slice(row);
         self.rows += 1;
     }
 }
@@ -327,7 +349,7 @@ struct ExecContext<'a> {
     /// so singleton tuples and filter constants share the word space.
     overlay: OverlayDict<'a>,
     /// Base relations materialized in this execution, by name.
-    scans: HashMap<String, VStream>,
+    scans: HashMap<String, VStream<'a>>,
     stats: Vec<OpStat>,
 }
 
@@ -340,17 +362,19 @@ struct ExecContext<'a> {
 /// projections and unions are the only duplicate sources, and both
 /// dedup. Row counts therefore equal the logical cardinalities of the
 /// naive backend.
-fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
+fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
     let (label, out) = match node {
         PNode::Scan { name } => {
             let out = match cx.scans.get(name) {
                 Some(s) => s.clone(),
                 None => {
+                    // Borrow the relation's flat store — no per-scan
+                    // copy, and the memoized clone is O(1) too.
                     let s = match cx.state.vrel(name) {
                         Some(rel) => VStream {
                             arity: rel.arity(),
                             rows: rel.rows(),
-                            data: rel.data().to_vec(),
+                            data: std::borrow::Cow::Borrowed(rel.data()),
                         },
                         None => VStream::empty(0),
                     };
@@ -380,17 +404,16 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
         }
         PNode::ProjectPerm { input, idx } => {
             let s = run(input, cx);
-            let mut out = VStream::empty(idx.len());
-            out.data.reserve(s.rows * idx.len());
+            let mut data = Vec::with_capacity(s.rows * idx.len());
             for row in s.rows() {
-                out.data.extend(idx.iter().map(|&i| row[i]));
-                out.rows += 1;
+                data.extend(idx.iter().map(|&i| row[i]));
             }
+            let out = VStream::owned(idx.len(), s.rows, data);
             ("project(permute)".to_string(), out)
         }
         PNode::ProjectNarrow { input, idx } => {
             let s = run(input, cx);
-            let mut seen: HashSet<Vec<Val>> = HashSet::with_capacity(s.rows);
+            let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(s.rows);
             let mut out = VStream::empty(idx.len());
             for row in s.rows() {
                 let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
@@ -415,7 +438,7 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
         PNode::Union { left, right, rperm } => {
             let l = run(left, cx);
             let r = run(right, cx);
-            let mut seen: HashSet<Vec<Val>> = HashSet::with_capacity(l.rows + r.rows);
+            let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(l.rows + r.rows);
             let mut out = VStream::empty(rperm.len());
             for row in l.rows() {
                 if seen.insert(row.to_vec()) {
@@ -433,7 +456,7 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
         PNode::Diff { left, right, rperm } => {
             let l = run(left, cx);
             let r = run(right, cx);
-            let remove: HashSet<Vec<Val>> = r
+            let remove: FxSet<Vec<Val>> = r
                 .rows()
                 .map(|row| rperm.iter().map(|&i| row[i]).collect())
                 .collect();
@@ -447,13 +470,12 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
         }
         PNode::Extend { input, src } => {
             let s = run(input, cx);
-            let mut out = VStream::empty(s.arity + 1);
-            out.data.reserve(s.rows * (s.arity + 1));
+            let mut data = Vec::with_capacity(s.rows * (s.arity + 1));
             for row in s.rows() {
-                out.data.extend_from_slice(row);
-                out.data.push(row[*src]);
-                out.rows += 1;
+                data.extend_from_slice(row);
+                data.push(row[*src]);
             }
+            let out = VStream::owned(s.arity + 1, s.rows, data);
             ("extend".to_string(), out)
         }
     };
@@ -469,21 +491,22 @@ fn run(node: &PNode, cx: &mut ExecContext<'_>) -> VStream {
 /// of which side was built, matching the logical Join's attribute list.
 /// One-column keys hash a single `u64`; wider keys hash a small word
 /// vector. An empty key is the cross-product case.
-fn hash_join(
-    l: &VStream,
-    r: &VStream,
+fn hash_join<'a>(
+    l: &VStream<'_>,
+    r: &VStream<'_>,
     lkey: &[usize],
     rkey: &[usize],
     rextra: &[usize],
-) -> VStream {
+) -> VStream<'a> {
     let mut out = VStream::empty(l.arity + rextra.len());
-    let emit = |out: &mut VStream, lrow: &[Val], rrow: &[Val]| {
-        out.data.extend_from_slice(lrow);
-        out.data.extend(rextra.iter().map(|&j| rrow[j]));
+    let emit = |out: &mut VStream<'_>, lrow: &[Val], rrow: &[Val]| {
+        let data = out.data.to_mut();
+        data.extend_from_slice(lrow);
+        data.extend(rextra.iter().map(|&j| rrow[j]));
         out.rows += 1;
     };
     if lkey.is_empty() {
-        out.data.reserve(l.rows * r.rows * out.arity);
+        out.data.to_mut().reserve(l.rows * r.rows * out.arity);
         for lrow in l.rows() {
             for rrow in r.rows() {
                 emit(&mut out, lrow, rrow);
@@ -495,7 +518,7 @@ fn hash_join(
         // Single-word key: hash bare u64s, no per-probe allocation.
         let (lk, rk) = (lkey[0], rkey[0]);
         if l.rows <= r.rows {
-            let mut table: HashMap<Val, Vec<u32>> = HashMap::with_capacity(l.rows);
+            let mut table: FxMap<Val, Vec<u32>> = fx::map_with_capacity(l.rows);
             for (i, lrow) in l.rows().enumerate() {
                 table.entry(lrow[lk]).or_default().push(i as u32);
             }
@@ -507,7 +530,7 @@ fn hash_join(
                 }
             }
         } else {
-            let mut table: HashMap<Val, Vec<u32>> = HashMap::with_capacity(r.rows);
+            let mut table: FxMap<Val, Vec<u32>> = fx::map_with_capacity(r.rows);
             for (j, rrow) in r.rows().enumerate() {
                 table.entry(rrow[rk]).or_default().push(j as u32);
             }
@@ -523,7 +546,7 @@ fn hash_join(
     }
     let key_of = |row: &[Val], key: &[usize]| -> Vec<Val> { key.iter().map(|&i| row[i]).collect() };
     if l.rows <= r.rows {
-        let mut table: HashMap<Vec<Val>, Vec<u32>> = HashMap::with_capacity(l.rows);
+        let mut table: FxMap<Vec<Val>, Vec<u32>> = fx::map_with_capacity(l.rows);
         for (i, lrow) in l.rows().enumerate() {
             table.entry(key_of(lrow, lkey)).or_default().push(i as u32);
         }
@@ -535,7 +558,7 @@ fn hash_join(
             }
         }
     } else {
-        let mut table: HashMap<Vec<Val>, Vec<u32>> = HashMap::with_capacity(r.rows);
+        let mut table: FxMap<Vec<Val>, Vec<u32>> = fx::map_with_capacity(r.rows);
         for (j, rrow) in r.rows().enumerate() {
             table.entry(key_of(rrow, rkey)).or_default().push(j as u32);
         }

@@ -6,6 +6,16 @@
 //! [`Value`] survives as the boundary type (JSON, CLI, query results);
 //! everything is encoded on insertion and decoded at the edges, so the
 //! public surface (and the on-disk JSON format) is unchanged.
+//!
+//! Construction has two tiers. Point mutation ([`State::insert`] /
+//! [`State::try_insert`]) routes each tuple through the O(rows)
+//! single-row [`VRel::insert`]. Bulk construction — the JSON loader,
+//! generated workloads, anything past a few thousand rows — goes
+//! through [`StateBuilder`] (or the [`State::load_bulk`] /
+//! [`State::extend_bulk`] conveniences), which stages encoded rows flat
+//! and hands each relation one sort-dedupe-merge batch, making loads
+//! O(n log n) instead of quadratic. Both tiers share the same
+//! validation ([`StateError`]) and produce identical states.
 
 use crate::schema::Schema;
 use crate::val::{ColStats, Dict, VRel, Val};
@@ -171,7 +181,13 @@ impl State {
         relation: &str,
         tuple: impl Into<Tuple>,
     ) -> Result<(), StateError> {
-        let tuple = tuple.into();
+        self.try_insert_ref(relation, &tuple.into())
+    }
+
+    /// [`State::try_insert`] for borrowed tuples. Insertion only reads
+    /// the tuple (interning copies what it must), so callers iterating
+    /// a corpus they keep do not need to clone each row to insert it.
+    pub fn try_insert_ref(&mut self, relation: &str, tuple: &[Value]) -> Result<(), StateError> {
         let arity = self
             .schema
             .arity(relation)
@@ -203,16 +219,28 @@ impl State {
     /// callers (file loading) use [`State::try_insert`].
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) {
         if let Err(e) = self.try_insert(relation, tuple) {
-            match e {
-                StateError::UnknownRelation { relation } => {
-                    panic!("relation `{relation}` not in the scheme")
-                }
-                StateError::ArityMismatch { relation, .. } => {
-                    panic!("tuple arity mismatch for `{relation}`")
-                }
-                StateError::UnknownConstant { name } => {
-                    panic!("constant `{name}` not in the scheme")
-                }
+            Self::panic_on(e)
+        }
+    }
+
+    /// Insert a borrowed tuple; panics on scheme violations, like
+    /// [`State::insert`].
+    pub fn insert_ref(&mut self, relation: &str, tuple: &[Value]) {
+        if let Err(e) = self.try_insert_ref(relation, tuple) {
+            Self::panic_on(e)
+        }
+    }
+
+    fn panic_on(e: StateError) -> ! {
+        match e {
+            StateError::UnknownRelation { relation } => {
+                panic!("relation `{relation}` not in the scheme")
+            }
+            StateError::ArityMismatch { relation, .. } => {
+                panic!("tuple arity mismatch for `{relation}`")
+            }
+            StateError::UnknownConstant { name } => {
+                panic!("constant `{name}` not in the scheme")
             }
         }
     }
@@ -348,6 +376,80 @@ impl State {
         })
     }
 
+    /// Load a whole state through the batch ingestion path: every
+    /// relation's tuples are interned and merged as one batch. The
+    /// first scheme violation aborts the load, with the same
+    /// [`StateError`] diagnostics as [`State::try_insert`] /
+    /// [`State::try_set_constant`].
+    pub fn load_bulk<R, T, C>(
+        schema: Schema,
+        relations: R,
+        constants: C,
+    ) -> Result<State, StateError>
+    where
+        R: IntoIterator<Item = (String, T)>,
+        T: IntoIterator<Item = Tuple>,
+        C: IntoIterator<Item = (String, Value)>,
+    {
+        let mut builder = StateBuilder::new(schema);
+        for (name, tuples) in relations {
+            builder.try_rows(&name, tuples)?;
+        }
+        for (name, v) in constants {
+            builder.try_constant(&name, v)?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Append a batch of tuples to one relation through the batch path:
+    /// one interning pass, one sort-dedupe-merge. Returns the number of
+    /// tuples that were new. Equivalent to (but much faster than)
+    /// calling [`State::try_insert`] per tuple.
+    pub fn extend_bulk<I>(&mut self, relation: &str, tuples: I) -> Result<usize, StateError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let arity = self
+            .schema
+            .arity(relation)
+            .ok_or_else(|| StateError::UnknownRelation {
+                relation: relation.to_string(),
+            })?;
+        let mut staged: Vec<Tuple> = Vec::new();
+        for tuple in tuples {
+            if tuple.len() != arity {
+                return Err(StateError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: arity,
+                    got: tuple.len(),
+                });
+            }
+            staged.push(tuple);
+        }
+        if staged.is_empty() {
+            return Ok(0);
+        }
+        let added = if arity == 0 {
+            // A zero-arity relation holds at most the empty tuple; the
+            // flat batch encoding cannot carry a row count, so take the
+            // (bounded, constant-work) single-row path.
+            let rel = self.relations.get_mut(relation).expect("initialized");
+            usize::from(rel.insert(&[], &self.dict))
+        } else {
+            let mut batch = Vec::with_capacity(staged.len() * arity);
+            self.dict
+                .encode_rows(staged.iter().map(|t| t.as_slice()), &mut batch);
+            self.relations
+                .get_mut(relation)
+                .expect("initialized in new()")
+                .extend_from_sorted(batch, &self.dict)
+        };
+        if added > 0 {
+            self.ad_cache.take();
+        }
+        Ok(added)
+    }
+
     /// The active domain of a *query in this state*: the state's active
     /// domain plus all constants used in the formula ("the set of all
     /// constants used in the querying formula and/or elements contained
@@ -358,6 +460,189 @@ impl State {
         out.extend(nats.into_iter().map(Value::Nat));
         out.extend(strs.into_iter().map(Value::Str));
         out
+    }
+}
+
+/// Staged construction of a [`State`] through the batch ingestion path.
+///
+/// Rows are validated against the scheme and interned as they arrive
+/// (so [`StateError`] diagnostics fire at the offending row, exactly as
+/// [`State::try_insert`] would), but are staged in flat per-relation
+/// buffers; [`StateBuilder::finish`] hands each relation a single
+/// sort-dedupe-merge batch. Loading `n` rows costs O(n log n) total,
+/// against the O(n²) worst case of an insert loop.
+///
+/// ```
+/// use fq_relational::{Schema, State, StateBuilder, Value};
+///
+/// let schema = Schema::new().with_relation("Log", 1).with_constant("run");
+/// let mut b = StateBuilder::new(schema);
+/// for entry in ["boot", "probe", "halt"] {
+///     b.row("Log", vec![Value::Str(entry.into())]);
+/// }
+/// b.constant("run", 7u64);
+/// let state: State = b.finish();
+/// assert_eq!(state.size(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateBuilder {
+    state: State,
+    staged: BTreeMap<String, Staging>,
+}
+
+/// One relation's staging buffer: flat encoded rows plus an explicit
+/// row count (the flat length cannot express rows of zero-arity
+/// relations) and the scheme arity, denormalized here so staging a row
+/// validates and buffers with a single map lookup.
+#[derive(Clone, Debug)]
+struct Staging {
+    arity: usize,
+    flat: Vec<Val>,
+    rows: usize,
+}
+
+impl StateBuilder {
+    /// An empty builder over a scheme.
+    pub fn new(schema: Schema) -> Self {
+        // Pre-open one staging buffer per scheme relation so the hot
+        // `try_row` path is a borrowed-key lookup, never an allocation.
+        let staged = schema
+            .relations()
+            .map(|(name, arity)| {
+                (
+                    name.to_string(),
+                    Staging {
+                        arity,
+                        flat: Vec::new(),
+                        rows: 0,
+                    },
+                )
+            })
+            .collect();
+        StateBuilder {
+            state: State::new(schema),
+            staged,
+        }
+    }
+
+    /// The scheme being built against.
+    pub fn schema(&self) -> &Schema {
+        self.state.schema()
+    }
+
+    /// Number of staged rows, duplicates included.
+    pub fn staged_rows(&self) -> usize {
+        self.staged.values().map(|s| s.rows).sum()
+    }
+
+    /// Stage one tuple, validating it against the scheme.
+    pub fn try_row(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<(), StateError> {
+        self.try_row_ref(relation, &tuple.into())
+    }
+
+    /// [`StateBuilder::try_row`] for borrowed tuples. Staging only
+    /// reads the tuple to intern it, so bulk producers that keep their
+    /// corpus (benchmark replays, re-ingestion) can stage every row
+    /// without cloning any.
+    pub fn try_row_ref(&mut self, relation: &str, tuple: &[Value]) -> Result<(), StateError> {
+        // Staging buffers are pre-opened per scheme relation, so one
+        // lookup both validates the name and finds the buffer.
+        let Some(staging) = self.staged.get_mut(relation) else {
+            return Err(StateError::UnknownRelation {
+                relation: relation.to_string(),
+            });
+        };
+        if tuple.len() != staging.arity {
+            return Err(StateError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: staging.arity,
+                got: tuple.len(),
+            });
+        }
+        for v in tuple {
+            staging.flat.push(self.state.dict.encode(v));
+        }
+        staging.rows += 1;
+        Ok(())
+    }
+
+    /// Stage one tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheme violations, like [`State::insert`].
+    pub fn row(&mut self, relation: &str, tuple: impl Into<Tuple>) {
+        if let Err(e) = self.try_row(relation, tuple) {
+            panic!("{e}");
+        }
+    }
+
+    /// Stage one borrowed tuple; panics on scheme violations, like
+    /// [`StateBuilder::row`].
+    pub fn row_ref(&mut self, relation: &str, tuple: &[Value]) {
+        if let Err(e) = self.try_row_ref(relation, tuple) {
+            panic!("{e}");
+        }
+    }
+
+    /// Stage a batch of tuples for one relation, stopping at the first
+    /// scheme violation.
+    pub fn try_rows<I>(&mut self, relation: &str, tuples: I) -> Result<(), StateError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        for tuple in tuples {
+            self.try_row(relation, tuple)?;
+        }
+        Ok(())
+    }
+
+    /// Set a scheme constant (last assignment wins, as with
+    /// [`State::set_constant`]).
+    pub fn try_constant(&mut self, name: &str, value: impl Into<Value>) -> Result<(), StateError> {
+        self.state.try_set_constant(name, value)
+    }
+
+    /// Set a scheme constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant is not declared in the scheme.
+    pub fn constant(&mut self, name: &str, value: impl Into<Value>) {
+        self.state.set_constant(name, value);
+    }
+
+    /// Merge every staged batch and return the finished state — equal
+    /// (rows, stats, serialized form) to the state an insert loop over
+    /// the same tuples would have produced.
+    pub fn finish(mut self) -> State {
+        // All staged rows are already interned, so the dictionary is
+        // final: if any staged batch is large enough for rank-key
+        // sorting to pay, rank the dictionary once and merge every
+        // relation through the shared table.
+        let keys = self
+            .staged
+            .values()
+            .any(|s| {
+                s.arity > 0
+                    && crate::val::batch_prefers_keys(s.rows, s.arity, self.state.dict.len())
+            })
+            .then(|| self.state.dict.sort_keys());
+        for (name, s) in self.staged {
+            let rel = self.state.relations.get_mut(&name).expect("validated");
+            if s.arity == 0 {
+                if s.rows > 0 {
+                    rel.insert(&[], &self.state.dict);
+                }
+            } else {
+                match &keys {
+                    Some(keys) => rel.extend_from_sorted_with(s.flat, keys),
+                    None => rel.extend_from_sorted(s.flat, &self.state.dict),
+                };
+            }
+        }
+        self.state.ad_cache.take();
+        self.state
     }
 }
 
@@ -413,24 +698,25 @@ impl ToJson for State {
 impl FromJson for State {
     fn from_json(value: &fq_json::Value) -> Result<Self, JsonError> {
         let schema: Schema = FromJson::from_json(fq_json::member(value, "schema")?)?;
-        let mut state = State::new(schema);
+        // Load through the batch ingestion path: stage every relation's
+        // tuples, then merge each relation once. Scheme violations keep
+        // their `try_insert`-style diagnostics.
+        let mut builder = StateBuilder::new(schema);
         let relations: BTreeMap<String, Vec<Tuple>> =
             FromJson::from_json(fq_json::member(value, "relations")?)?;
         for (name, tuples) in relations {
-            for tuple in tuples {
-                state
-                    .try_insert(&name, tuple)
-                    .map_err(|e| JsonError::new(format!("state relations: {e}")))?;
-            }
+            builder
+                .try_rows(&name, tuples)
+                .map_err(|e| JsonError::new(format!("state relations: {e}")))?;
         }
         let constants: BTreeMap<String, Value> =
             FromJson::from_json(fq_json::member(value, "constants")?)?;
         for (name, v) in constants {
-            state
-                .try_set_constant(&name, v)
+            builder
+                .try_constant(&name, v)
                 .map_err(|e| JsonError::new(format!("state constants: {e}")))?;
         }
-        Ok(state)
+        Ok(builder.finish())
     }
 }
 
@@ -571,6 +857,120 @@ mod tests {
             "relations": {"F": []}, "constants": {"c": {"Nat": 1}}}"#;
         let e = fq_json::from_str::<State>(bad_const).unwrap_err();
         assert!(e.to_string().contains("not in the scheme"), "{e}");
+    }
+
+    #[test]
+    fn builder_matches_insert_loop() {
+        let schema = Schema::new()
+            .with_relation("F", 2)
+            .with_relation("Tag", 1)
+            .with_constant("c");
+        let tuples: Vec<(&str, Tuple)> = vec![
+            ("F", vec![Value::Nat(3), Value::Str("b".into())]),
+            ("Tag", vec![Value::Str("b".into())]),
+            ("F", vec![Value::Nat(1), Value::Str("a".into())]),
+            ("F", vec![Value::Nat(3), Value::Str("b".into())]), // dup
+        ];
+        let mut by_insert = State::new(schema.clone());
+        for (rel, t) in &tuples {
+            by_insert.insert(rel, t.clone());
+        }
+        by_insert.set_constant("c", "run");
+        let mut b = StateBuilder::new(schema);
+        for (rel, t) in &tuples {
+            b.row(rel, t.clone());
+        }
+        assert_eq!(b.staged_rows(), 4);
+        b.constant("c", "run");
+        let bulk = b.finish();
+        assert_eq!(bulk, by_insert);
+        assert_eq!(fq_json::to_string(&bulk), fq_json::to_string(&by_insert));
+        assert_eq!(bulk.column_stats("F"), by_insert.column_stats("F"));
+    }
+
+    #[test]
+    fn builder_reports_scheme_violations() {
+        let mut b = StateBuilder::new(Schema::new().with_relation("F", 2));
+        assert_eq!(
+            b.try_row("G", vec![Value::Nat(1)]),
+            Err(StateError::UnknownRelation {
+                relation: "G".into()
+            })
+        );
+        assert_eq!(
+            b.try_row("F", vec![Value::Nat(1)]),
+            Err(StateError::ArityMismatch {
+                relation: "F".into(),
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            b.try_constant("c", 1u64),
+            Err(StateError::UnknownConstant { name: "c".into() })
+        );
+        assert_eq!(b.finish().size(), 0);
+    }
+
+    #[test]
+    fn load_bulk_and_extend_bulk_round_trip() {
+        let schema = Schema::new().with_relation("F", 2).with_constant("c");
+        let state = State::load_bulk(
+            schema.clone(),
+            [(
+                "F".to_string(),
+                vec![
+                    vec![Value::Nat(2), Value::Nat(3)],
+                    vec![Value::Nat(1), Value::Nat(2)],
+                ],
+            )],
+            [("c".to_string(), Value::Nat(9))],
+        )
+        .unwrap();
+        assert_eq!(state.size(), 2);
+        assert_eq!(state.constant("c"), Some(&Value::Nat(9)));
+        let mut state = state;
+        let added = state
+            .extend_bulk(
+                "F",
+                vec![
+                    vec![Value::Nat(1), Value::Nat(2)], // dup
+                    vec![Value::Nat(0), Value::Nat(1)],
+                ],
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(state.size(), 3);
+        assert!(state.active_domain().contains(&Value::Nat(0)));
+        assert_eq!(
+            state.extend_bulk("G", Vec::<Tuple>::new()),
+            Err(StateError::UnknownRelation {
+                relation: "G".into()
+            })
+        );
+        assert_eq!(
+            state.extend_bulk("F", vec![vec![Value::Nat(1)]]),
+            Err(StateError::ArityMismatch {
+                relation: "F".into(),
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(state.size(), 3, "failed batches stage nothing");
+    }
+
+    #[test]
+    fn zero_arity_relations_take_the_single_row_path() {
+        let schema = Schema::new().with_relation("Flag", 0);
+        let mut b = StateBuilder::new(schema.clone());
+        b.row("Flag", Vec::<Value>::new());
+        b.row("Flag", Vec::<Value>::new());
+        let s = b.finish();
+        assert_eq!(s.size(), 1);
+        assert!(s.contains("Flag", &[]));
+        let mut s2 = State::new(schema);
+        assert_eq!(s2.extend_bulk("Flag", vec![vec![], vec![]]).unwrap(), 1);
+        assert_eq!(s2, s);
     }
 
     #[test]

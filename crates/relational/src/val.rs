@@ -17,10 +17,25 @@
 //! and membership is a binary search over words. Per-column min/max and
 //! distinct counts ([`ColStats`]) are computed lazily and feed the
 //! optimizer's cardinality estimates.
+//!
+//! Writers have two paths into a [`VRel`]:
+//!
+//! * [`VRel::insert`] — the single-row path: binary search plus
+//!   `splice`, O(rows) worst case per call. Right for point updates and
+//!   small states; quadratic when driven in a bulk-load loop.
+//! * [`VRel::extend_from_sorted`] / [`VRel::from_rows`] — the batch
+//!   path: sort the incoming batch (adaptive, so already-sorted input
+//!   is linear), drop in-batch duplicates, and merge once with the
+//!   existing store. O((b log b) + rows + b) per batch of `b` rows.
+//!   [`Dict::encode_rows`] is the matching batch interning entry point.
+//!
+//! Both paths uphold the same invariants — see the "Storage &
+//! ingestion" section of `DESIGN.md` — and debug builds assert against
+//! bulk loads accidentally driven through the single-row path.
 
+use crate::fx::FxMap;
 use crate::state::{Tuple, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The tag bit: set for dictionary ids, clear for inline naturals.
@@ -102,8 +117,8 @@ impl View<'_> {
 #[derive(Clone, Debug, Default)]
 pub struct Dict {
     entries: Vec<DictEntry>,
-    bigs: HashMap<u64, u32>,
-    strs: HashMap<Arc<str>, u32>,
+    bigs: FxMap<u64, u32>,
+    strs: FxMap<Arc<str>, u32>,
 }
 
 impl Dict {
@@ -147,6 +162,33 @@ impl Dict {
                     Val::from_id(id as usize)
                 }
             },
+        }
+    }
+
+    /// Batch-intern a sequence of decoded tuples into one flat word
+    /// buffer (arity-strided, insertion order preserved).
+    ///
+    /// Semantically identical to calling [`Dict::encode`] per value —
+    /// interning stays canonical, ids are assigned in first-seen order —
+    /// but the entry table and reverse maps are grown once per batch
+    /// instead of once per miss, which amortizes the rehash and
+    /// `Arc<str>` bookkeeping that dominates string-heavy loads.
+    pub fn encode_rows<'a, I>(&mut self, tuples: I, out: &mut Vec<Val>)
+    where
+        I: IntoIterator<Item = &'a [Value]>,
+    {
+        let tuples = tuples.into_iter();
+        // Reserve one fresh entry per row up front. Over-reservation is
+        // harmless; under-reservation (wide rows of all-new strings)
+        // just rehashes as the per-value path would have.
+        let (lo, _) = tuples.size_hint();
+        self.entries.reserve(lo);
+        self.strs.reserve(lo);
+        for tuple in tuples {
+            out.reserve(tuple.len());
+            for v in tuple {
+                out.push(self.encode(v));
+            }
         }
     }
 
@@ -214,6 +256,93 @@ impl Dict {
         }
         a.len().cmp(&b.len())
     }
+
+    /// Precompute an order-preserving integer key for every word of
+    /// this dictionary: comparing keys is exactly [`Dict::cmp_vals`].
+    ///
+    /// Bulk merges compare the same interned strings against each other
+    /// over and over, and trace-domain strings share long prefixes (a
+    /// machine's whole encoding), so each comparison walks hundreds of
+    /// equal bytes. Ranking the dictionary once — O(d log d) string
+    /// comparisons for d entries — turns every subsequent row
+    /// comparison into a `u128` compare. Worth it whenever a batch is
+    /// large relative to the dictionary; [`VRel::extend_from_sorted`]
+    /// decides, and bulk loaders that merge several relations against
+    /// one dictionary ([`StateBuilder::finish`]) build the table once
+    /// and pass it to [`VRel::extend_from_sorted_with`].
+    ///
+    /// [`StateBuilder::finish`]: crate::StateBuilder::finish
+    pub fn sort_keys(&self) -> SortKeys {
+        // Inline naturals key as their value (0 .. 2⁶³); interned big
+        // naturals as their value (≥ 2⁶³, above every inline word);
+        // strings as 2⁶⁴ + rank in byte order (above every natural) —
+        // canonical interning makes ranks collision-free.
+        let mut str_ids: Vec<u32> = (0..self.entries.len() as u32)
+            .filter(|&id| matches!(self.entries[id as usize], DictEntry::Str(_)))
+            .collect();
+        str_ids.sort_unstable_by(|&a, &b| {
+            match (&self.entries[a as usize], &self.entries[b as usize]) {
+                (DictEntry::Str(x), DictEntry::Str(y)) => x.cmp(y),
+                _ => unreachable!("filtered to strings"),
+            }
+        });
+        let mut by_id = vec![0u128; self.entries.len()];
+        for (rank, &id) in str_ids.iter().enumerate() {
+            by_id[id as usize] = (1u128 << 64) + rank as u128;
+        }
+        for (id, entry) in self.entries.iter().enumerate() {
+            if let DictEntry::Big(n) = entry {
+                by_id[id] = *n as u128;
+            }
+        }
+        SortKeys { by_id }
+    }
+}
+
+/// Does ranking the dictionary pay for itself on this batch? Compares
+/// the sort's comparison volume (`b log b` row compares, each walking
+/// up to `arity` values) against the ranking cost (`d log d` string
+/// compares for `d` dictionary entries). Shared by
+/// [`VRel::extend_from_sorted`] and `StateBuilder::finish`.
+pub(crate) fn batch_prefers_keys(rows: usize, arity: usize, dict_len: usize) -> bool {
+    let log2 = |n: usize| (usize::BITS - n.max(2).leading_zeros()) as usize;
+    dict_len > 0 && (rows * arity).saturating_mul(log2(rows)) >= dict_len * log2(dict_len)
+}
+
+/// An id-indexed table of order-preserving integer keys for one
+/// [`Dict`] generation (see [`Dict::sort_keys`]). Stale tables must not
+/// be used after the dictionary grows — debug builds catch this as an
+/// out-of-bounds id.
+pub struct SortKeys {
+    by_id: Vec<u128>,
+}
+
+impl SortKeys {
+    /// The key of a word; `key(a) < key(b)` iff `cmp_vals(a, b)` is
+    /// `Less`.
+    #[inline]
+    pub fn key(&self, v: Val) -> u128 {
+        match v.as_inline_nat() {
+            Some(n) => n as u128,
+            None => self.by_id[v.id().expect("tagged")],
+        }
+    }
+
+    /// Lexicographic semantic order of two rows through the key table —
+    /// identical to [`Dict::cmp_rows`].
+    #[inline]
+    pub fn cmp_rows(&self, a: &[Val], b: &[Val]) -> Ordering {
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            if x == y {
+                continue;
+            }
+            match self.key(x).cmp(&self.key(y)) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
 }
 
 /// A read-only base dictionary plus an appendable overlay, for values a
@@ -225,8 +354,8 @@ impl Dict {
 pub struct OverlayDict<'a> {
     base: &'a Dict,
     extra: Vec<DictEntry>,
-    bigs: HashMap<u64, u32>,
-    strs: HashMap<Arc<str>, u32>,
+    bigs: FxMap<u64, u32>,
+    strs: FxMap<Arc<str>, u32>,
 }
 
 impl<'a> OverlayDict<'a> {
@@ -234,8 +363,8 @@ impl<'a> OverlayDict<'a> {
         OverlayDict {
             base,
             extra: Vec::new(),
-            bigs: HashMap::new(),
-            strs: HashMap::new(),
+            bigs: FxMap::default(),
+            strs: FxMap::default(),
         }
     }
 
@@ -381,7 +510,17 @@ pub struct VRel {
     rows: usize,
     data: Vec<Val>,
     stats: OnceLock<Vec<ColStats>>,
+    /// Debug-only bulk-misuse detector: consecutive [`VRel::insert`]
+    /// calls since the last batch operation. See [`VRel::insert`].
+    #[cfg(debug_assertions)]
+    insert_streak: u32,
 }
+
+/// Debug builds trip an assertion when this many consecutive single-row
+/// [`VRel::insert`] calls hit one relation with no batch call between
+/// them — a loop that long is a bulk load on the wrong path.
+#[cfg(debug_assertions)]
+const INSERT_STREAK_LIMIT: u32 = 100_000;
 
 impl VRel {
     /// An empty relation of the given arity.
@@ -391,7 +530,20 @@ impl VRel {
             rows: 0,
             data: Vec::new(),
             stats: OnceLock::new(),
+            #[cfg(debug_assertions)]
+            insert_streak: 0,
         }
+    }
+
+    /// Build a relation directly from a flat, arity-strided word batch
+    /// (`rows × arity` words, already encoded against `dict`). The batch
+    /// may be unsorted and may contain duplicates; the result is sorted
+    /// in semantic order and duplicate-free, exactly as if every row had
+    /// been [`VRel::insert`]ed.
+    pub fn from_rows(arity: usize, batch: Vec<Val>, dict: &Dict) -> VRel {
+        let mut rel = VRel::new(arity);
+        rel.extend_from_sorted(batch, dict);
+        rel
     }
 
     pub fn arity(&self) -> usize {
@@ -440,8 +592,29 @@ impl VRel {
 
     /// Insert a row (already encoded against `dict`), keeping the store
     /// sorted and duplicate-free. Returns whether the row was new.
+    ///
+    /// This is the **single-row** path: a binary search plus a `splice`,
+    /// O(rows) worst case per call because the tail of the flat store
+    /// shifts to make room. Point updates and small states are fine;
+    /// driving it in a bulk-load loop is quadratic — use
+    /// [`VRel::extend_from_sorted`] (or, at the [`State`] level,
+    /// `StateBuilder` / `State::extend_bulk`) for batches. Debug builds
+    /// assert after `INSERT_STREAK_LIMIT` (100 000) consecutive
+    /// single-row inserts with no intervening batch call.
+    ///
+    /// [`State`]: crate::State
     pub fn insert(&mut self, row: &[Val], dict: &Dict) -> bool {
         debug_assert_eq!(row.len(), self.arity);
+        #[cfg(debug_assertions)]
+        {
+            self.insert_streak += 1;
+            debug_assert!(
+                self.insert_streak < INSERT_STREAK_LIMIT,
+                "{} consecutive single-row VRel::insert calls — this is a \
+                 bulk load; use extend_from_sorted / StateBuilder instead",
+                self.insert_streak
+            );
+        }
         let (pos, found) = self.search(row, dict);
         if found {
             return false;
@@ -451,6 +624,130 @@ impl VRel {
         self.rows += 1;
         self.stats.take();
         true
+    }
+
+    /// Append a batch of rows in one pass, keeping the store sorted and
+    /// duplicate-free. `batch` is flat and arity-strided (`b × arity`
+    /// words encoded against `dict`), in **any** order, duplicates
+    /// allowed — the name records the *postcondition* (the store stays
+    /// sorted), not a precondition on the input. Returns the number of
+    /// rows that were new.
+    ///
+    /// Cost: O(b log b) comparisons to sort the batch (adaptive — an
+    /// already-sorted batch sorts in O(b)) plus one O(rows + b) merge
+    /// with the existing store, against O(b × rows) for the equivalent
+    /// [`VRel::insert`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len()` is not a multiple of the arity.
+    pub fn extend_from_sorted(&mut self, batch: Vec<Val>, dict: &Dict) -> usize {
+        let Some(b) = self.check_batch(&batch) else {
+            return 0;
+        };
+        if batch_prefers_keys(b, self.arity, dict.len()) {
+            let keys = dict.sort_keys();
+            self.merge_batch(batch, b, |x, y| keys.cmp_rows(x, y))
+        } else {
+            self.merge_batch(batch, b, |x, y| dict.cmp_rows(x, y))
+        }
+    }
+
+    /// [`VRel::extend_from_sorted`] with a prebuilt key table, for bulk
+    /// loaders that merge several relations against one dictionary and
+    /// want to pay the [`Dict::sort_keys`] ranking once. `keys` must
+    /// come from the dictionary the batch (and this store) was encoded
+    /// against, built after the last interning.
+    pub fn extend_from_sorted_with(&mut self, batch: Vec<Val>, keys: &SortKeys) -> usize {
+        let Some(b) = self.check_batch(&batch) else {
+            return 0;
+        };
+        self.merge_batch(batch, b, |x, y| keys.cmp_rows(x, y))
+    }
+
+    /// Shared batch validation: resets the single-row streak guard,
+    /// filters out empty batches, and panics on ragged input. Returns
+    /// the batch row count.
+    fn check_batch(&mut self, batch: &[Val]) -> Option<usize> {
+        #[cfg(debug_assertions)]
+        {
+            self.insert_streak = 0;
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        assert!(
+            self.arity > 0 && batch.len().is_multiple_of(self.arity),
+            "batch of {} words is not a whole number of arity-{} rows",
+            batch.len(),
+            self.arity
+        );
+        Some(batch.len() / self.arity)
+    }
+
+    /// The sort-dedupe-merge core behind both batch entry points,
+    /// generic over the row comparator (dictionary walk or key table).
+    fn merge_batch<F>(&mut self, batch: Vec<Val>, b: usize, cmp: F) -> usize
+    where
+        F: Fn(&[Val], &[Val]) -> Ordering,
+    {
+        let arity = self.arity;
+        // Sort a row-index permutation instead of the flat buffer so a
+        // comparison swaps one usize, not `arity` words.
+        let mut order: Vec<u32> = (0..b as u32).collect();
+        order.sort_by(|&i, &j| {
+            cmp(
+                &batch[i as usize * arity..(i as usize + 1) * arity],
+                &batch[j as usize * arity..(j as usize + 1) * arity],
+            )
+        });
+        // One backward merge pass over (existing ∪ batch), deduping the
+        // batch against itself and against the store.
+        let mut merged: Vec<Val> = Vec::with_capacity(self.data.len() + batch.len());
+        let mut added = 0usize;
+        let mut old = 0usize; // next existing row
+        let mut new = 0usize; // next position in `order`
+        let row_of = |i: u32| &batch[i as usize * arity..(i as usize + 1) * arity];
+        while old < self.rows || new < b {
+            if new >= b {
+                merged.extend_from_slice(self.row(old));
+                old += 1;
+                continue;
+            }
+            // Skip batch rows equal to their sorted predecessor.
+            if new > 0 && cmp(row_of(order[new - 1]), row_of(order[new])) == Ordering::Equal {
+                new += 1;
+                continue;
+            }
+            if old >= self.rows {
+                merged.extend_from_slice(row_of(order[new]));
+                added += 1;
+                new += 1;
+                continue;
+            }
+            match cmp(self.row(old), row_of(order[new])) {
+                Ordering::Less => {
+                    merged.extend_from_slice(self.row(old));
+                    old += 1;
+                }
+                Ordering::Equal => {
+                    merged.extend_from_slice(self.row(old));
+                    old += 1;
+                    new += 1;
+                }
+                Ordering::Greater => {
+                    merged.extend_from_slice(row_of(order[new]));
+                    added += 1;
+                    new += 1;
+                }
+            }
+        }
+        if added > 0 {
+            self.rows += added;
+            self.data = merged;
+            self.stats.take();
+        }
+        added
     }
 
     /// Membership by binary search over words.
@@ -578,6 +875,127 @@ mod tests {
             assert_eq!(o.encode(&v), w, "canonical");
             assert_eq!(o.decode(w), v);
         }
+    }
+
+    #[test]
+    fn batch_encode_matches_per_value_encode() {
+        let tuples: Vec<Vec<Value>> = vec![
+            vec![Value::Str("b".into()), Value::Nat(1)],
+            vec![Value::Str("a".into()), Value::Nat(u64::MAX)],
+            vec![Value::Str("b".into()), Value::Nat(2)],
+        ];
+        let mut per_value = Dict::default();
+        let expected: Vec<Val> = tuples
+            .iter()
+            .flat_map(|t| t.iter().map(|v| per_value.encode(v)).collect::<Vec<_>>())
+            .collect();
+        let mut batched = Dict::default();
+        let mut words = Vec::new();
+        batched.encode_rows(tuples.iter().map(|t| t.as_slice()), &mut words);
+        assert_eq!(words, expected, "ids assigned in the same first-seen order");
+        assert_eq!(batched.len(), per_value.len());
+        assert_eq!(batched.strings(), per_value.strings());
+    }
+
+    #[test]
+    fn extend_from_sorted_equals_insert_loop() {
+        let mut d = Dict::default();
+        let rows: Vec<[Value; 2]> = vec![
+            [Value::Nat(9), Value::Str("z".into())],
+            [Value::Nat(1), Value::Str("a".into())],
+            [Value::Nat(9), Value::Str("z".into())], // in-batch duplicate
+            [Value::Nat(u64::MAX), Value::Str("".into())],
+            [Value::Nat(1), Value::Str("a".into())], // again
+            [Value::Nat(0), Value::Nat(0)],
+        ];
+        let mut by_insert = VRel::new(2);
+        let mut flat = Vec::new();
+        for row in &rows {
+            let enc: Vec<Val> = row.iter().map(|v| d.encode(v)).collect();
+            by_insert.insert(&enc, &d);
+            flat.extend_from_slice(&enc);
+        }
+        let by_batch = VRel::from_rows(2, flat.clone(), &d);
+        assert_eq!(by_batch.rows(), by_insert.rows());
+        assert_eq!(by_batch.data(), by_insert.data());
+        assert_eq!(by_batch.stats(&d), by_insert.stats(&d));
+        // Merging into a non-empty store, including cross-batch dups.
+        let mut merged = VRel::new(2);
+        let head: Vec<Val> = flat[..4].to_vec();
+        merged.extend_from_sorted(head, &d);
+        let added = merged.extend_from_sorted(flat.clone(), &d);
+        assert_eq!(merged.data(), by_insert.data());
+        assert_eq!(added, by_insert.rows() - 2);
+        // The prebuilt rank-key path merges to the identical store.
+        let keys = d.sort_keys();
+        let mut by_keys = VRel::new(2);
+        by_keys.extend_from_sorted_with(flat, &keys);
+        assert_eq!(by_keys.data(), by_insert.data());
+        assert_eq!(by_keys.stats(&d), by_insert.stats(&d));
+    }
+
+    /// The rank-key heuristic must flip between the direct and keyed
+    /// comparators without changing results: drive a batch through both
+    /// entry points on a dictionary big enough that
+    /// `extend_from_sorted` picks each path at one of the two sizes.
+    #[test]
+    fn keyed_and_direct_merges_agree_across_the_heuristic() {
+        let mut d = Dict::default();
+        // Interned strings with long shared prefixes plus boundary nats.
+        let values: Vec<Value> = (0..300)
+            .map(|i| match i % 3 {
+                0 => Value::Str(format!("machine#shared-prefix#{:03}", i / 3)),
+                1 => Value::Nat((1 << 63) + i as u64),
+                _ => Value::Nat(i as u64),
+            })
+            .collect();
+        let words: Vec<Val> = values.iter().map(|v| d.encode(v)).collect();
+        for (small, large) in [(4usize, 280usize), (280, 4)] {
+            let batch = |n: usize| -> Vec<Val> {
+                (0..n)
+                    .flat_map(|i| [words[(i * 7) % words.len()], words[(i * 13) % words.len()]])
+                    .collect()
+            };
+            let (sm, lg) = (batch(small), batch(large));
+            assert_ne!(
+                batch_prefers_keys(small, 2, d.len()),
+                batch_prefers_keys(large, 2, d.len()),
+                "sizes must straddle the heuristic"
+            );
+            let mut auto = VRel::new(2);
+            auto.extend_from_sorted(sm.clone(), &d);
+            auto.extend_from_sorted(lg.clone(), &d);
+            let keys = d.sort_keys();
+            let mut keyed = VRel::new(2);
+            keyed.extend_from_sorted_with(sm, &keys);
+            keyed.extend_from_sorted_with(lg, &keys);
+            assert_eq!(auto.data(), keyed.data());
+            assert_eq!(auto.rows(), keyed.rows());
+        }
+    }
+
+    #[test]
+    fn empty_and_all_duplicate_batches_are_noops() {
+        let mut d = Dict::default();
+        let row: Vec<Val> = [Value::Nat(1), Value::Nat(2)]
+            .iter()
+            .map(|v| d.encode(v))
+            .collect();
+        let mut r = VRel::new(2);
+        r.insert(&row, &d);
+        assert_eq!(r.extend_from_sorted(Vec::new(), &d), 0);
+        let mut twice = row.clone();
+        twice.extend_from_slice(&row);
+        assert_eq!(r.extend_from_sorted(twice, &d), 0);
+        assert_eq!(r.rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_batch_is_rejected() {
+        let d = Dict::default();
+        let mut r = VRel::new(2);
+        r.extend_from_sorted(vec![Val::inline_nat(1).unwrap()], &d);
     }
 
     #[test]

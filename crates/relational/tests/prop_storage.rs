@@ -3,7 +3,7 @@
 //! [`Value`] representation — ordering, equality, display, round-trips,
 //! and the on-disk JSON shape of a whole [`State`].
 
-use fq_relational::{Dict, OverlayDict, Schema, SharedOverlay, State, Value};
+use fq_relational::{Dict, OverlayDict, Schema, SharedOverlay, State, StateBuilder, VRel, Value};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -29,10 +29,13 @@ proptest! {
             prop_assert_eq!(dict.decode(*w), v.clone());
             prop_assert_eq!(dict.display(*w), v.to_string());
         }
+        let keys = dict.sort_keys();
         for (wa, a) in words.iter().zip(&values) {
             for (wb, b) in words.iter().zip(&values) {
                 prop_assert_eq!(dict.cmp_vals(*wa, *wb), a.cmp(b), "{} vs {}", a, b);
                 prop_assert_eq!(wa == wb, a == b, "{} vs {}", a, b);
+                // The rank-key table reproduces the same total order.
+                prop_assert_eq!(keys.key(*wa).cmp(&keys.key(*wb)), a.cmp(b), "{} vs {}", a, b);
             }
         }
     }
@@ -62,6 +65,88 @@ proptest! {
             prop_assert_eq!(shared.encode(v), w);
             prop_assert_eq!(shared.decode(w), v.clone());
         }
+    }
+
+    /// The batch ingestion path is observationally identical to a
+    /// repeated-`insert` loop at the `VRel` level: same rows in the
+    /// same order, same column statistics — on unsorted, duplicate-laden
+    /// mixed numeric/string batches, split at an arbitrary point into a
+    /// pre-loaded store plus one merged batch.
+    #[test]
+    fn extend_from_sorted_equals_repeated_insert(
+        rows in proptest::collection::vec((arb_value(), arb_value()), 0..24),
+        dup_stride in 1usize..4,
+        split in 0usize..24,
+    ) {
+        let mut corpus: Vec<Vec<Value>> = rows.iter()
+            .map(|(a, b)| vec![a.clone(), b.clone()])
+            .collect();
+        // Re-inject every `dup_stride`-th row so duplicates are certain.
+        let dups: Vec<Vec<Value>> = corpus.iter().step_by(dup_stride).cloned().collect();
+        corpus.extend(dups);
+
+        let mut dict = Dict::default();
+        let mut by_insert = VRel::new(2);
+        let mut flat: Vec<_> = Vec::new();
+        for t in &corpus {
+            let enc: Vec<_> = t.iter().map(|v| dict.encode(v)).collect();
+            by_insert.insert(&enc, &dict);
+            flat.extend_from_slice(&enc);
+        }
+        // One whole-corpus batch…
+        let one_batch = VRel::from_rows(2, flat.clone(), &dict);
+        prop_assert_eq!(one_batch.rows(), by_insert.rows());
+        prop_assert_eq!(one_batch.data(), by_insert.data());
+        prop_assert_eq!(one_batch.stats(&dict), by_insert.stats(&dict));
+        // …and a merge of a batch into a non-empty store.
+        let cut = (split.min(corpus.len())) * 2;
+        let mut merged = VRel::from_rows(2, flat[..cut].to_vec(), &dict);
+        merged.extend_from_sorted(flat[cut..].to_vec(), &dict);
+        prop_assert_eq!(merged.data(), by_insert.data());
+    }
+
+    /// A `StateBuilder` bulk load equals the insert loop over the same
+    /// arrival order at the `State` level too: equal states, identical
+    /// serialized JSON, identical per-column statistics.
+    #[test]
+    fn bulk_loaded_state_equals_insert_loop(
+        pairs in proptest::collection::vec((arb_value(), arb_value()), 0..16),
+        singles in proptest::collection::vec(arb_value(), 0..10),
+        c in prop_oneof![1 => Just(None), 2 => arb_value().prop_map(Some)],
+    ) {
+        let mut schema = Schema::new().with_relation("R", 2).with_relation("S", 1);
+        if c.is_some() {
+            schema = schema.with_constant("c");
+        }
+        let mut by_insert = State::new(schema.clone());
+        let mut builder = StateBuilder::new(schema.clone());
+        for (a, b) in &pairs {
+            by_insert.insert("R", vec![a.clone(), b.clone()]);
+            builder.row("R", vec![a.clone(), b.clone()]);
+        }
+        for a in &singles {
+            // The borrowed-tuple spellings must stage/insert identically.
+            by_insert.insert_ref("S", std::slice::from_ref(a));
+            builder.row_ref("S", std::slice::from_ref(a));
+        }
+        if let Some(v) = &c {
+            by_insert.set_constant("c", v.clone());
+            builder.constant("c", v.clone());
+        }
+        let bulk = builder.finish();
+        prop_assert_eq!(&bulk, &by_insert);
+        prop_assert_eq!(fq_json::to_string(&bulk), fq_json::to_string(&by_insert));
+        prop_assert_eq!(bulk.column_stats("R"), by_insert.column_stats("R"));
+        prop_assert_eq!(bulk.column_stats("S"), by_insert.column_stats("S"));
+        prop_assert_eq!(bulk.active_domain(), by_insert.active_domain());
+        // And the batch path composes incrementally: extending the bulk
+        // state with the same tuples again changes nothing.
+        let mut again = bulk.clone();
+        let added = again
+            .extend_bulk("R", pairs.iter().map(|(a, b)| vec![a.clone(), b.clone()]))
+            .unwrap();
+        prop_assert_eq!(added, 0);
+        prop_assert_eq!(&again, &by_insert);
     }
 
     /// A whole state serializes to **exactly** the JSON the legacy

@@ -12,14 +12,16 @@
 //! ```
 
 use finite_queries::query::{DomainId, Executor};
-use finite_queries::relational::{Schema, State, Value};
+use finite_queries::relational::{Schema, StateBuilder, Value};
 use finite_queries::turing::trace::trace_string;
 use finite_queries::turing::{builders, encode_machine};
 
 fn main() {
     // Scheme: one unary relation holding experiment logs (traces).
+    // Generated corpora load through the batch ingestion path: stage
+    // every row in a StateBuilder, merge once in finish().
     let schema = Schema::new().with_relation("Log", 1);
-    let mut state = State::new(schema);
+    let mut builder = StateBuilder::new(schema);
 
     // Run two machines on a few inputs and store every trace prefix.
     let scanner = builders::scan_right_halt_on_blank();
@@ -28,11 +30,12 @@ fn main() {
         for word in ["1", "11", "1&1"] {
             let mut k = 1;
             while let Some(t) = trace_string(machine, word, k) {
-                state.insert("Log", vec![Value::Str(t)]);
+                builder.row("Log", vec![Value::Str(t)]);
                 k += 1;
             }
         }
     }
+    let state = builder.finish();
     println!("stored {} traces", state.size());
 
     let exec = Executor::default();
