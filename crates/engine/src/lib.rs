@@ -244,6 +244,62 @@ impl Engine {
             .collect()
     }
 
+    /// [`Engine::parallel_map`] over **owned** items: each item is moved
+    /// into `f` exactly once, so workers can consume large buffers
+    /// (staged relation batches, morsel outputs) without cloning them.
+    /// Results come back **in input order**, identically to the
+    /// sequential `items.into_iter().map(f)` loop.
+    pub fn parallel_map_owned<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n = items.len();
+        let want = self.inner.config.threads.min(n).saturating_sub(1);
+        let helpers = if n < 2 || want == 0 {
+            0
+        } else {
+            self.borrow_workers(want)
+        };
+        if helpers == 0 {
+            return items.into_iter().map(f).collect();
+        }
+        // Items are parked in take-once slots; each worker claims the
+        // next index, takes the item, and writes the result slot.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("each index claimed once");
+            let value = f(item);
+            *results[i].lock().expect("result slot poisoned") = Some(value);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..helpers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        self.return_workers(helpers);
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("all indices processed")
+            })
+            .collect()
+    }
+
     /// Claim up to `want` extra worker slots, respecting the global
     /// thread budget across nested `parallel_map` calls.
     fn borrow_workers(&self, want: usize) -> usize {
@@ -279,6 +335,33 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The worker-thread count requested through the environment: the
+/// `FQ_THREADS` variable when it parses as a positive integer, the
+/// hardware thread count otherwise. `FQ_THREADS=1` pins every consumer
+/// (CLI, benches, tests that honour it) to the sequential path — the
+/// parallel ≡ sequential property contracts make this purely a
+/// performance knob, never a semantic one.
+pub fn threads_from_env() -> usize {
+    match std::env::var("FQ_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available_threads(),
+        },
+        Err(_) => available_threads(),
+    }
+}
+
+impl Engine {
+    /// Engine configured from the environment: `FQ_THREADS` worker
+    /// threads (hardware threads when unset), default cache capacity.
+    pub fn from_env() -> Self {
+        Engine::new(EngineConfig {
+            threads: threads_from_env(),
+            ..EngineConfig::default()
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -412,6 +495,20 @@ mod tests {
             });
             let parallel = engine.parallel_map(&items, |x| x * x);
             assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_owned_moves_items_and_keeps_order() {
+        let items: Vec<Vec<u64>> = (0..100).map(|i| vec![i; 3]).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v.iter().sum()).collect();
+        for threads in [1, 2, 4] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                cache_capacity: 0,
+            });
+            let got = engine.parallel_map_owned(items.clone(), |v| v.into_iter().sum::<u64>());
+            assert_eq!(got, expected, "threads = {threads}");
         }
     }
 

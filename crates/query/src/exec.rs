@@ -9,7 +9,10 @@ use crate::plan::{plan, PlannedQuery, QueryPlan};
 use crate::registry::{DomainId, DomainRegistry};
 use fq_core::answer::AnswerOutcome;
 use fq_engine::Engine;
-use fq_relational::{translate_to_domain_formula, OpStat, PhysicalPlan, Schema, State, Value};
+use fq_relational::{
+    translate_to_domain_formula, ExecOpts, OpStat, PhysicalPlan, Schema, State, Value,
+    DEFAULT_MORSEL_ROWS,
+};
 use std::cell::Cell;
 
 /// The memo namespace holding planned queries.
@@ -49,6 +52,11 @@ pub struct ExecStats {
     pub dict_strings: usize,
     /// Tuples in the state's columnar store, across all relations.
     pub stored_rows: usize,
+    /// Worker threads the physical executor may fan out on (1 means the
+    /// fully sequential path ran).
+    pub threads: usize,
+    /// Rows per morsel in the parallel executor's schedule.
+    pub morsel_rows: usize,
 }
 
 /// The uniform result of the pipeline: answers, a completeness
@@ -84,6 +92,7 @@ pub struct Executor {
     engine: Engine,
     registry: DomainRegistry,
     max_candidates: usize,
+    morsel_rows: usize,
 }
 
 impl Default for Executor {
@@ -98,12 +107,25 @@ impl Executor {
             engine,
             registry: DomainRegistry,
             max_candidates: DEFAULT_MAX_CANDIDATES,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
+    }
+
+    /// An executor on the environment-configured engine: `FQ_THREADS`
+    /// pins the worker-pool width, else every available core is used.
+    pub fn from_env() -> Self {
+        Executor::new(Engine::from_env())
     }
 
     /// Replace the enumerate-and-ask candidate budget.
     pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
         self.max_candidates = max_candidates;
+        self
+    }
+
+    /// Replace the parallel executor's morsel size.
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = morsel_rows;
         self
     }
 
@@ -155,6 +177,8 @@ impl Executor {
         outcome.stats.dict_entries = state.dict().len();
         outcome.stats.dict_strings = state.dict().strings();
         outcome.stats.stored_rows = state.size();
+        outcome.stats.threads = self.engine.threads();
+        outcome.stats.morsel_rows = self.morsel_rows;
         Ok(outcome)
     }
 
@@ -191,7 +215,15 @@ impl Executor {
         let mut operators = Vec::new();
         let (rows, completeness) = match &planned.plan {
             QueryPlan::Algebra { optimized, .. } => {
-                let report = PhysicalPlan::compile(optimized).execute_with_stats(state);
+                // The morsel fan-out self-disables on a 1-thread engine,
+                // so this is exactly the sequential path by default.
+                let report = PhysicalPlan::compile(optimized).execute_with_stats_on(
+                    state,
+                    &self.engine,
+                    ExecOpts {
+                        morsel_rows: self.morsel_rows,
+                    },
+                );
                 operators = report.operators;
                 let rel = report.relation.reorder(&vars);
                 (rel.tuples.into_iter().collect(), Completeness::Certified)
@@ -373,6 +405,47 @@ mod tests {
         assert_eq!(out.stats.stored_rows, 4);
         assert_eq!(out.stats.dict_entries, 1, "only the string interns");
         assert_eq!(out.stats.dict_strings, 1);
+    }
+
+    #[test]
+    fn query_rows_are_identical_at_every_thread_count() {
+        // A chain join wide enough to span several morsels at the test's
+        // tiny morsel size; byte-identical `QueryOutcome.rows` at 1, 2,
+        // 4, and 8 threads is the end-to-end determinism contract.
+        let schema = Schema::new().with_relation("F", 2).with_relation("S", 1);
+        let mut b = fq_relational::StateBuilder::new(schema);
+        for i in 0..400u64 {
+            b.row("F", vec![Value::Nat(i % 97), Value::Nat((i * 7) % 97)]);
+            if i % 3 == 0 {
+                b.row("S", vec![Value::Nat(i % 97)]);
+            }
+        }
+        let state = b.finish();
+        for src in [
+            "exists y. F(x, y) & F(y, z)",
+            "F(x, y) & S(y)",
+            "F(x, y) & !F(y, x)",
+        ] {
+            let baseline = Executor::default()
+                .with_morsel_rows(16)
+                .execute(&state, src, DomainId::Eq)
+                .unwrap();
+            assert_eq!(baseline.stats.threads, 1);
+            for threads in [2, 4, 8] {
+                let exec = Executor::new(Engine::new(EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                }))
+                .with_morsel_rows(16);
+                let out = exec.execute(&state, src, DomainId::Eq).unwrap();
+                assert_eq!(
+                    out.rows, baseline.rows,
+                    "rows drift on {src} at {threads} threads"
+                );
+                assert_eq!(out.stats.threads, threads);
+                assert_eq!(out.stats.morsel_rows, 16);
+            }
+        }
     }
 
     #[test]

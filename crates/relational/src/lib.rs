@@ -75,7 +75,7 @@ pub mod val;
 pub use active_eval::{eval_query, eval_query_with};
 pub use algebra::{AlgebraExpr, Relation};
 pub use optimize::{optimize, OptimizedExpr};
-pub use physical::{ExecReport, OpStat, PhysicalPlan};
+pub use physical::{ExecOpts, ExecReport, OpStat, PhysicalPlan, DEFAULT_MORSEL_ROWS};
 pub use safe_range::is_safe_range;
 pub use schema::Schema;
 pub use state::{State, StateBuilder, StateError, Value};

@@ -28,19 +28,64 @@
 //! into the same `BTreeSet`-backed [`Relation`] the naive
 //! [`AlgebraExpr::eval`] produces, so the two backends are bit-identical
 //! (attribute order included).
+//!
+//! # Morsel-driven parallelism
+//!
+//! [`PhysicalPlan::execute_on`] runs the same operators data-parallel on
+//! an [`Engine`]'s worker pool. Inputs are split into fixed-size
+//! **morsels** — contiguous row ranges of the flat buffer, boundaries
+//! aligned to arity strides — and each streaming operator (filter,
+//! project, extend, diff/union probe, join probe) maps its morsels on
+//! the pool and stitches the partial outputs back **in morsel order**,
+//! so the concatenation is exactly the sequential left-to-right scan.
+//! Hash joins parallelize both sides: the build scan is **partitioned**
+//! (each worker owns one shard of the Fx-hashed key space and keeps the
+//! build rows hashing into it, so per-key row lists stay in build-input
+//! order), and probe morsels consult the one shard their key hashes to.
+//! Dedup operators dedup locally per morsel (keeping each morsel's first
+//! occurrences) and re-filter once sequentially during the stitch, which
+//! reproduces the global first-occurrence order. Parallel output is
+//! therefore **bit-identical** to the sequential path at every thread
+//! count and morsel size — parallelism is purely a performance knob.
 
 use crate::algebra::{AlgebraExpr, Condition, Relation};
-use crate::fx::{self, FxMap, FxSet};
+use crate::fx::{self, FxHasher, FxMap, FxSet};
 use crate::state::{State, Tuple, Value};
 use crate::val::{OverlayDict, Val};
+use fq_engine::Engine;
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 
-/// Per-operator execution statistics: a rendered operator label and the
-/// number of (duplicate-free) rows it produced.
+/// Default rows per morsel: large enough that per-morsel overhead (one
+/// pool hand-off, one partial buffer) is noise, small enough that a
+/// million-row scan fans out hundreds of ways.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Tuning knobs for a parallel execution. The thread count comes from
+/// the [`Engine`] itself ([`fq_engine::EngineConfig::threads`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Rows per morsel; must be positive. Exposed so tests can force
+    /// many-morsel schedules on tiny relations.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+/// Per-operator execution statistics: a rendered operator label, the
+/// number of (duplicate-free) rows it produced, and how many morsels its
+/// input was split into (1 when the operator ran sequentially).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OpStat {
     pub op: String,
     pub rows: usize,
+    pub morsels: usize,
 }
 
 /// The result of a physical execution with its operator statistics, in
@@ -176,13 +221,37 @@ impl PhysicalPlan {
         self.execute_with_stats(state).relation
     }
 
-    /// Execute and report per-operator row counts.
+    /// Execute and report per-operator row counts (sequential path).
     pub fn execute_with_stats(&self, state: &State) -> ExecReport {
+        self.exec(state, None, ExecOpts::default())
+    }
+
+    /// Execute morsel-driven on `engine`'s worker pool. Output is
+    /// bit-identical to [`PhysicalPlan::execute`] at any thread count.
+    pub fn execute_on(&self, state: &State, engine: &Engine) -> Relation {
+        self.execute_with_stats_on(state, engine, ExecOpts::default())
+            .relation
+    }
+
+    /// [`PhysicalPlan::execute_on`] with statistics and tuning knobs.
+    pub fn execute_with_stats_on(
+        &self,
+        state: &State,
+        engine: &Engine,
+        opts: ExecOpts,
+    ) -> ExecReport {
+        self.exec(state, Some(engine), opts)
+    }
+
+    fn exec(&self, state: &State, eng: Option<&Engine>, opts: ExecOpts) -> ExecReport {
+        assert!(opts.morsel_rows > 0, "morsel size must be positive");
         let mut cx = ExecContext {
             state,
             overlay: OverlayDict::new(state.dict()),
             scans: HashMap::new(),
             stats: Vec::new(),
+            eng,
+            morsel_rows: opts.morsel_rows,
         };
         let out = run(&self.root, &mut cx);
         // Decoding sorts implicitly: the `BTreeSet` restores the
@@ -341,6 +410,18 @@ impl<'a> VStream<'a> {
         self.data.to_mut().extend_from_slice(row);
         self.rows += 1;
     }
+
+    /// The stream cut into `morsel_rows`-row slices on arity-stride
+    /// boundaries (the tail morsel is shorter).
+    fn morsels(&self, morsel_rows: usize) -> Vec<&[Val]> {
+        (0..self.rows)
+            .step_by(morsel_rows)
+            .map(|start| {
+                let end = (start + morsel_rows).min(self.rows);
+                &self.data[start * self.arity..end * self.arity]
+            })
+            .collect()
+    }
 }
 
 struct ExecContext<'a> {
@@ -351,6 +432,52 @@ struct ExecContext<'a> {
     /// Base relations materialized in this execution, by name.
     scans: HashMap<String, VStream<'a>>,
     stats: Vec<OpStat>,
+    /// Worker pool for morsel fan-out; `None` runs fully sequential.
+    eng: Option<&'a Engine>,
+    morsel_rows: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// The engine to fan out on, when a parallel schedule is worthwhile
+    /// for a stream of `rows` rows of `arity` columns: ≥ 2 pool threads
+    /// and ≥ 2 morsels (zero-arity streams hold at most one row under
+    /// the duplicate-freeness invariant, so they never qualify).
+    fn fanout(&self, arity: usize, rows: usize) -> Option<&'a Engine> {
+        let eng = self.eng?;
+        (eng.threads() >= 2 && arity > 0 && rows.div_ceil(self.morsel_rows) >= 2).then_some(eng)
+    }
+}
+
+/// Concatenate per-morsel partial outputs, in morsel order, into one
+/// owned stream of `out_arity`-column rows.
+fn stitch<'a>(parts: Vec<Vec<Val>>, out_arity: usize) -> VStream<'a> {
+    debug_assert!(out_arity > 0, "parallel operators produce positive arity");
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut data = Vec::with_capacity(total);
+    for part in parts {
+        data.extend(part);
+    }
+    VStream::owned(out_arity, total / out_arity, data)
+}
+
+/// Fan `s`'s morsels out on the pool, apply `f` to each independently,
+/// and stitch the partial outputs back in morsel order — equal to the
+/// sequential left-to-right scan whenever `f` is a per-row map/filter.
+/// Returns the stream and the number of morsels processed.
+fn par_morsel_map<'a, F>(
+    eng: &Engine,
+    s: &VStream<'_>,
+    morsel_rows: usize,
+    out_arity: usize,
+    f: F,
+) -> (VStream<'a>, usize)
+where
+    F: Fn(&[Val]) -> Vec<Val> + Sync,
+{
+    let morsels = s.morsels(morsel_rows);
+    let n = morsels.len();
+    let parts = eng.parallel_map(&morsels, |m| f(m));
+    (stitch(parts, out_arity), n)
 }
 
 /// Evaluate a node to a duplicate-free word stream.
@@ -363,7 +490,7 @@ struct ExecContext<'a> {
 /// dedup. Row counts therefore equal the logical cardinalities of the
 /// naive backend.
 fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
-    let (label, out) = match node {
+    let (label, out, morsels) = match node {
         PNode::Scan { name } => {
             let out = match cx.scans.get(name) {
                 Some(s) => s.clone(),
@@ -382,46 +509,112 @@ fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
                     s
                 }
             };
-            (format!("scan {name}"), out)
+            (format!("scan {name}"), out, 1)
         }
-        PNode::Empty => ("empty".to_string(), VStream::empty(0)),
+        PNode::Empty => ("empty".to_string(), VStream::empty(0), 1),
         PNode::Singleton { tuple } => {
             let mut out = VStream::empty(tuple.len());
             let row: Vec<Val> = tuple.iter().map(|v| cx.overlay.encode(v)).collect();
             out.push(&row);
-            ("const".to_string(), out)
+            ("const".to_string(), out, 1)
         }
         PNode::Filter { input, cond } => {
             let s = run(input, cx);
             let cond = RCond::resolve(cond, &cx.overlay);
-            let mut out = VStream::empty(s.arity);
-            for row in s.rows() {
-                if cond.keep(row) {
-                    out.push(row);
+            let (out, morsels) = match cx.fanout(s.arity, s.rows) {
+                Some(eng) => {
+                    let arity = s.arity;
+                    par_morsel_map(eng, &s, cx.morsel_rows, arity, |m| {
+                        let mut kept = Vec::new();
+                        for row in m.chunks_exact(arity) {
+                            if cond.keep(row) {
+                                kept.extend_from_slice(row);
+                            }
+                        }
+                        kept
+                    })
                 }
-            }
-            ("filter".to_string(), out)
+                None => {
+                    let mut out = VStream::empty(s.arity);
+                    for row in s.rows() {
+                        if cond.keep(row) {
+                            out.push(row);
+                        }
+                    }
+                    (out, 1)
+                }
+            };
+            ("filter".to_string(), out, morsels)
         }
         PNode::ProjectPerm { input, idx } => {
             let s = run(input, cx);
-            let mut data = Vec::with_capacity(s.rows * idx.len());
-            for row in s.rows() {
-                data.extend(idx.iter().map(|&i| row[i]));
-            }
-            let out = VStream::owned(idx.len(), s.rows, data);
-            ("project(permute)".to_string(), out)
+            let (out, morsels) = match cx.fanout(s.arity, s.rows) {
+                Some(eng) => {
+                    let arity = s.arity;
+                    par_morsel_map(eng, &s, cx.morsel_rows, idx.len(), |m| {
+                        let mut data = Vec::with_capacity(m.len() / arity * idx.len());
+                        for row in m.chunks_exact(arity) {
+                            data.extend(idx.iter().map(|&i| row[i]));
+                        }
+                        data
+                    })
+                }
+                None => {
+                    let mut data = Vec::with_capacity(s.rows * idx.len());
+                    for row in s.rows() {
+                        data.extend(idx.iter().map(|&i| row[i]));
+                    }
+                    (VStream::owned(idx.len(), s.rows, data), 1)
+                }
+            };
+            ("project(permute)".to_string(), out, morsels)
         }
         PNode::ProjectNarrow { input, idx } => {
             let s = run(input, cx);
-            let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(s.rows);
-            let mut out = VStream::empty(idx.len());
-            for row in s.rows() {
-                let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
-                if seen.insert(narrow.clone()) {
-                    out.push(&narrow);
+            match cx.fanout(s.arity, s.rows).filter(|_| !idx.is_empty()) {
+                Some(eng) => {
+                    // Per-morsel local dedup keeps each morsel's first
+                    // occurrences; the sequential re-filter during the
+                    // stitch drops cross-morsel repeats, so the global
+                    // first-occurrence order of the sequential scan is
+                    // reproduced exactly.
+                    let arity = s.arity;
+                    let morsels = s.morsels(cx.morsel_rows);
+                    let n = morsels.len();
+                    let parts = eng.parallel_map(&morsels, |m| {
+                        let mut local: FxSet<Vec<Val>> = FxSet::default();
+                        let mut out = Vec::new();
+                        for row in m.chunks_exact(arity) {
+                            let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
+                            if local.insert(narrow.clone()) {
+                                out.extend(narrow);
+                            }
+                        }
+                        out
+                    });
+                    let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(s.rows);
+                    let mut out = VStream::empty(idx.len());
+                    for part in &parts {
+                        for row in part.chunks_exact(idx.len()) {
+                            if seen.insert(row.to_vec()) {
+                                out.push(row);
+                            }
+                        }
+                    }
+                    ("project(dedup)".to_string(), out, n)
+                }
+                None => {
+                    let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(s.rows);
+                    let mut out = VStream::empty(idx.len());
+                    for row in s.rows() {
+                        let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
+                        if seen.insert(narrow.clone()) {
+                            out.push(&narrow);
+                        }
+                    }
+                    ("project(dedup)".to_string(), out, 1)
                 }
             }
-            ("project(dedup)".to_string(), out)
         }
         PNode::HashJoin {
             left,
@@ -433,25 +626,59 @@ fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
             let l = run(left, cx);
             let r = run(right, cx);
             let label = format!("hash-join (left {} × right {})", l.rows, r.rows);
-            (label, hash_join(&l, &r, lkey, rkey, rextra))
+            let (out, morsels) = hash_join(&l, &r, lkey, rkey, rextra, cx);
+            (label, out, morsels)
         }
         PNode::Union { left, right, rperm } => {
             let l = run(left, cx);
             let r = run(right, cx);
-            let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(l.rows + r.rows);
-            let mut out = VStream::empty(rperm.len());
-            for row in l.rows() {
-                if seen.insert(row.to_vec()) {
-                    out.push(row);
+            let (out, morsels) = match cx.fanout(r.arity, r.rows).filter(|_| !rperm.is_empty()) {
+                Some(eng) => {
+                    // Both inputs are duplicate-free and `rperm` is a
+                    // permutation, so the only possible collisions are
+                    // right-vs-left: emit the left verbatim and filter
+                    // right morsels against a left-row set in parallel.
+                    let rarity = r.arity;
+                    let lset: FxSet<&[Val]> = l.rows().collect();
+                    let morsels = r.morsels(cx.morsel_rows);
+                    let n = morsels.len();
+                    let parts = eng.parallel_map(&morsels, |m| {
+                        let mut kept = Vec::new();
+                        for row in m.chunks_exact(rarity) {
+                            let aligned: Vec<Val> = rperm.iter().map(|&i| row[i]).collect();
+                            if !lset.contains(aligned.as_slice()) {
+                                kept.extend(aligned);
+                            }
+                        }
+                        kept
+                    });
+                    drop(lset);
+                    let mut data = l.data.into_owned();
+                    let mut rows = l.rows;
+                    for part in parts {
+                        rows += part.len() / rperm.len();
+                        data.extend(part);
+                    }
+                    (VStream::owned(rperm.len(), rows, data), n)
                 }
-            }
-            for row in r.rows() {
-                let aligned: Vec<Val> = rperm.iter().map(|&i| row[i]).collect();
-                if seen.insert(aligned.clone()) {
-                    out.push(&aligned);
+                None => {
+                    let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(l.rows + r.rows);
+                    let mut out = VStream::empty(rperm.len());
+                    for row in l.rows() {
+                        if seen.insert(row.to_vec()) {
+                            out.push(row);
+                        }
+                    }
+                    for row in r.rows() {
+                        let aligned: Vec<Val> = rperm.iter().map(|&i| row[i]).collect();
+                        if seen.insert(aligned.clone()) {
+                            out.push(&aligned);
+                        }
+                    }
+                    (out, 1)
                 }
-            }
-            ("union(dedup)".to_string(), out)
+            };
+            ("union(dedup)".to_string(), out, morsels)
         }
         PNode::Diff { left, right, rperm } => {
             let l = run(left, cx);
@@ -460,28 +687,62 @@ fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
                 .rows()
                 .map(|row| rperm.iter().map(|&i| row[i]).collect())
                 .collect();
-            let mut out = VStream::empty(l.arity);
-            for row in l.rows() {
-                if !remove.contains(row) {
-                    out.push(row);
+            let (out, morsels) = match cx.fanout(l.arity, l.rows) {
+                Some(eng) => {
+                    let arity = l.arity;
+                    par_morsel_map(eng, &l, cx.morsel_rows, arity, |m| {
+                        let mut kept = Vec::new();
+                        for row in m.chunks_exact(arity) {
+                            if !remove.contains(row) {
+                                kept.extend_from_slice(row);
+                            }
+                        }
+                        kept
+                    })
                 }
-            }
-            ("diff".to_string(), out)
+                None => {
+                    let mut out = VStream::empty(l.arity);
+                    for row in l.rows() {
+                        if !remove.contains(row) {
+                            out.push(row);
+                        }
+                    }
+                    (out, 1)
+                }
+            };
+            ("diff".to_string(), out, morsels)
         }
         PNode::Extend { input, src } => {
             let s = run(input, cx);
-            let mut data = Vec::with_capacity(s.rows * (s.arity + 1));
-            for row in s.rows() {
-                data.extend_from_slice(row);
-                data.push(row[*src]);
-            }
-            let out = VStream::owned(s.arity + 1, s.rows, data);
-            ("extend".to_string(), out)
+            let (out, morsels) = match cx.fanout(s.arity, s.rows) {
+                Some(eng) => {
+                    let arity = s.arity;
+                    let src = *src;
+                    par_morsel_map(eng, &s, cx.morsel_rows, arity + 1, |m| {
+                        let mut data = Vec::with_capacity(m.len() / arity * (arity + 1));
+                        for row in m.chunks_exact(arity) {
+                            data.extend_from_slice(row);
+                            data.push(row[src]);
+                        }
+                        data
+                    })
+                }
+                None => {
+                    let mut data = Vec::with_capacity(s.rows * (s.arity + 1));
+                    for row in s.rows() {
+                        data.extend_from_slice(row);
+                        data.push(row[*src]);
+                    }
+                    (VStream::owned(s.arity + 1, s.rows, data), 1)
+                }
+            };
+            ("extend".to_string(), out, morsels)
         }
     };
     cx.stats.push(OpStat {
         op: label,
         rows: out.rows,
+        morsels,
     });
     out
 }
@@ -491,7 +752,183 @@ fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
 /// of which side was built, matching the logical Join's attribute list.
 /// One-column keys hash a single `u64`; wider keys hash a small word
 /// vector. An empty key is the cross-product case.
+///
+/// When `cx` carries an engine and the probe side spans ≥ 2 morsels, the
+/// join runs parallel on both sides (see [`par_keyed_join`]); output is
+/// bit-identical to the sequential path. Returns the stream and the
+/// number of probe morsels (1 for the sequential path).
 fn hash_join<'a>(
+    l: &VStream<'_>,
+    r: &VStream<'_>,
+    lkey: &[usize],
+    rkey: &[usize],
+    rextra: &[usize],
+    cx: &ExecContext<'_>,
+) -> (VStream<'a>, usize) {
+    let out_arity = l.arity + rextra.len();
+    if lkey.is_empty() {
+        // Cross product: fan out over left morsels, each crossed with
+        // the whole right side — concatenation in morsel order equals
+        // the sequential nested loop.
+        if let Some(eng) = cx
+            .fanout(l.arity, l.rows)
+            .filter(|_| out_arity > 0 && r.rows > 0)
+        {
+            let larity = l.arity;
+            return par_morsel_map(eng, l, cx.morsel_rows, out_arity, |m| {
+                let mut part = Vec::with_capacity(m.len() / larity * r.rows * out_arity);
+                for lrow in m.chunks_exact(larity) {
+                    for rrow in r.rows() {
+                        part.extend_from_slice(lrow);
+                        part.extend(rextra.iter().map(|&j| rrow[j]));
+                    }
+                }
+                part
+            });
+        }
+    } else {
+        // Keyed join: the build side is the smaller input, exactly as
+        // in the sequential arms below, so per-key row lists and emit
+        // order match bit for bit.
+        let build_left = l.rows <= r.rows;
+        let probe = if build_left { r } else { l };
+        if let Some(eng) = cx.fanout(probe.arity, probe.rows).filter(|_| out_arity > 0) {
+            let shards = eng
+                .threads()
+                .min(if build_left { l.rows } else { r.rows })
+                .max(1);
+            return if lkey.len() == 1 {
+                let (lk, rk) = (lkey[0], rkey[0]);
+                if build_left {
+                    par_keyed_join(
+                        eng,
+                        l,
+                        r,
+                        cx.morsel_rows,
+                        out_arity,
+                        shards,
+                        |brow| brow[lk],
+                        |prow| prow[rk],
+                        |part, i, rrow| {
+                            part.extend_from_slice(l.row(i as usize));
+                            part.extend(rextra.iter().map(|&j| rrow[j]));
+                        },
+                    )
+                } else {
+                    par_keyed_join(
+                        eng,
+                        r,
+                        l,
+                        cx.morsel_rows,
+                        out_arity,
+                        shards,
+                        |brow| brow[rk],
+                        |prow| prow[lk],
+                        |part, j, lrow| {
+                            part.extend_from_slice(lrow);
+                            part.extend(rextra.iter().map(|&j2| r.row(j as usize)[j2]));
+                        },
+                    )
+                }
+            } else {
+                let key_of = |row: &[Val], key: &[usize]| -> Vec<Val> {
+                    key.iter().map(|&i| row[i]).collect()
+                };
+                if build_left {
+                    par_keyed_join(
+                        eng,
+                        l,
+                        r,
+                        cx.morsel_rows,
+                        out_arity,
+                        shards,
+                        |brow| key_of(brow, lkey),
+                        |prow| key_of(prow, rkey),
+                        |part, i, rrow| {
+                            part.extend_from_slice(l.row(i as usize));
+                            part.extend(rextra.iter().map(|&j| rrow[j]));
+                        },
+                    )
+                } else {
+                    par_keyed_join(
+                        eng,
+                        r,
+                        l,
+                        cx.morsel_rows,
+                        out_arity,
+                        shards,
+                        |brow| key_of(brow, rkey),
+                        |prow| key_of(prow, lkey),
+                        |part, j, lrow| {
+                            part.extend_from_slice(lrow);
+                            part.extend(rextra.iter().map(|&j2| r.row(j as usize)[j2]));
+                        },
+                    )
+                }
+            };
+        }
+    }
+    (hash_join_seq(l, r, lkey, rkey, rextra), 1)
+}
+
+/// Parallel keyed hash join: **partitioned build** (each worker owns one
+/// shard of the Fx-hashed key space and scans the whole build input in
+/// order, keeping the rows whose key hashes into its shard — one key
+/// lives in exactly one shard, so its row list equals the sequential
+/// table's) plus **morsel-parallel probe** (each probe morsel consults
+/// the one shard its key hashes to and emits matches in build order;
+/// stitching in morsel order reproduces the sequential probe scan).
+#[allow(clippy::too_many_arguments)]
+fn par_keyed_join<'a, K, BK, PK, EM>(
+    eng: &Engine,
+    build: &VStream<'_>,
+    probe: &VStream<'_>,
+    morsel_rows: usize,
+    out_arity: usize,
+    shards: usize,
+    bkey: BK,
+    pkey: PK,
+    emit: EM,
+) -> (VStream<'a>, usize)
+where
+    K: Hash + Eq + Send + Sync,
+    BK: Fn(&[Val]) -> K + Sync,
+    PK: Fn(&[Val]) -> K + Sync,
+    EM: Fn(&mut Vec<Val>, u32, &[Val]) + Sync,
+{
+    let fxh = BuildHasherDefault::<FxHasher>::default();
+    let shard_ids: Vec<usize> = (0..shards).collect();
+    let barity = build.arity.max(1);
+    let tables: Vec<FxMap<K, Vec<u32>>> = eng.parallel_map(&shard_ids, |&w| {
+        let mut t: FxMap<K, Vec<u32>> = fx::map_with_capacity(build.rows / shards + 1);
+        for (i, brow) in build.data.chunks_exact(barity).enumerate() {
+            let k = bkey(brow);
+            if fxh.hash_one(&k) as usize % shards == w {
+                t.entry(k).or_default().push(i as u32);
+            }
+        }
+        t
+    });
+    let morsels = probe.morsels(morsel_rows);
+    let n = morsels.len();
+    let parity = probe.arity;
+    let parts = eng.parallel_map(&morsels, |m| {
+        let mut part = Vec::new();
+        for prow in m.chunks_exact(parity) {
+            let k = pkey(prow);
+            if let Some(matches) = tables[fxh.hash_one(&k) as usize % shards].get(&k) {
+                for &i in matches {
+                    emit(&mut part, i, prow);
+                }
+            }
+        }
+        part
+    });
+    (stitch(parts, out_arity), n)
+}
+
+/// The sequential build/probe arms of [`hash_join`].
+fn hash_join_seq<'a>(
     l: &VStream<'_>,
     r: &VStream<'_>,
     lkey: &[usize],
@@ -671,6 +1108,108 @@ mod tests {
             .operators
             .iter()
             .any(|s| s.op.starts_with("hash-join")));
+    }
+
+    /// A state wide enough to span many morsels at small morsel sizes:
+    /// a two-column chain relation plus a unary filter relation.
+    fn chain(n: u64) -> State {
+        let schema = Schema::new().with_relation("F", 2).with_relation("S", 1);
+        let mut b = crate::state::StateBuilder::new(schema);
+        for i in 0..n {
+            b.row("F", vec![Value::Nat(i), Value::Nat(i + 1)]);
+            b.row(
+                "F",
+                vec![Value::Nat(i), Value::Str(format!("tag{}", i % 7))],
+            );
+            if i % 2 == 0 {
+                b.row("S", vec![Value::Nat(i)]);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        use fq_engine::{Engine, EngineConfig};
+        let state = chain(200);
+        for q in [
+            "F(x, y)",                                // scan
+            "exists y. F(x, y) & F(y, z)",            // join + project
+            "F(x, y) & S(y)",                         // key join
+            "F(x, y) & x != y",                       // filter
+            "F(x, y) | (x = 9 & y = 9)",              // union
+            "F(x, y) & !F(y, x)",                     // diff
+            "F(x, x)",                                // self filter
+            "exists y z. y != z & F(x, y) & F(x, z)", // extend-heavy
+            "exists x y. F(x, y)",                    // zero-arity root
+        ] {
+            let f = parse_formula(q).unwrap();
+            let expr = compile(state.schema(), &f).expect("compiles");
+            let plan = PhysicalPlan::compile(&optimize(&expr, &state).expr);
+            let sequential = plan.execute_with_stats(&state);
+            for threads in [1, 2, 4, 8] {
+                let engine = Engine::new(EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                });
+                // Morsel sizes straddling the edge cases: every row its
+                // own morsel, a non-divisor, an exact divisor of 400,
+                // one morsel total, and rows < morsel size.
+                for morsel_rows in [1, 3, 50, 400, 100_000] {
+                    let report =
+                        plan.execute_with_stats_on(&state, &engine, ExecOpts { morsel_rows });
+                    assert_eq!(
+                        report.relation, sequential.relation,
+                        "parallel ≠ sequential on {q} at {threads} threads, morsel {morsel_rows}"
+                    );
+                    // Row counts per operator are schedule-independent.
+                    let rows: Vec<usize> = report.operators.iter().map(|s| s.rows).collect();
+                    let seq_rows: Vec<usize> =
+                        sequential.operators.iter().map(|s| s.rows).collect();
+                    assert_eq!(rows, seq_rows, "cardinalities drift on {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_schedules_actually_fan_out() {
+        use fq_engine::{Engine, EngineConfig};
+        let state = chain(100);
+        let f = parse_formula("exists y. F(x, y) & F(y, z)").unwrap();
+        let expr = compile(state.schema(), &f).unwrap();
+        let plan = PhysicalPlan::compile(&optimize(&expr, &state).expr);
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let report = plan.execute_with_stats_on(&state, &engine, ExecOpts { morsel_rows: 16 });
+        assert!(
+            report.operators.iter().any(|s| s.morsels >= 2),
+            "no operator fanned out: {:?}",
+            report.operators
+        );
+        // The sequential path reports exactly one morsel everywhere.
+        let seq = plan.execute_with_stats(&state);
+        assert!(seq.operators.iter().all(|s| s.morsels == 1));
+    }
+
+    #[test]
+    fn empty_relations_survive_any_morsel_schedule() {
+        use fq_engine::{Engine, EngineConfig};
+        let schema = Schema::new().with_relation("F", 2).with_relation("S", 1);
+        let state = State::new(schema);
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        for q in ["F(x, y)", "F(x, y) & S(y)", "F(x, y) & !F(y, x)"] {
+            let f = parse_formula(q).unwrap();
+            let expr = compile(state.schema(), &f).unwrap();
+            let plan = PhysicalPlan::compile(&expr);
+            let out = plan.execute_with_stats_on(&state, &engine, ExecOpts { morsel_rows: 1 });
+            assert_eq!(out.relation, plan.execute(&state), "empty state on {q}");
+        }
     }
 
     #[test]

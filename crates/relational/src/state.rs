@@ -615,7 +615,19 @@ impl StateBuilder {
     /// Merge every staged batch and return the finished state — equal
     /// (rows, stats, serialized form) to the state an insert loop over
     /// the same tuples would have produced.
-    pub fn finish(mut self) -> State {
+    pub fn finish(self) -> State {
+        self.finish_inner(None)
+    }
+
+    /// [`StateBuilder::finish`] with the per-relation merges fanned out
+    /// on `engine`'s worker pool. Relations merge independently against
+    /// the final (read-only) dictionary and one shared rank table, so
+    /// the result is equal to the sequential path at any thread count.
+    pub fn finish_with(self, engine: &fq_engine::Engine) -> State {
+        self.finish_inner(Some(engine))
+    }
+
+    fn finish_inner(mut self, engine: Option<&fq_engine::Engine>) -> State {
         // All staged rows are already interned, so the dictionary is
         // final: if any staged batch is large enough for rank-key
         // sorting to pay, rank the dictionary once and merge every
@@ -628,18 +640,33 @@ impl StateBuilder {
                     && crate::val::batch_prefers_keys(s.rows, s.arity, self.state.dict.len())
             })
             .then(|| self.state.dict.sort_keys());
-        for (name, s) in self.staged {
-            let rel = self.state.relations.get_mut(&name).expect("validated");
+        let dict = &self.state.dict;
+        // Each worker consumes one relation's staged buffer and builds
+        // that relation's merged store from scratch (the state's stores
+        // are still empty at finish time — every row was staged).
+        let merge = |(name, s): (String, Staging)| -> (String, VRel) {
+            let mut rel = VRel::new(s.arity);
             if s.arity == 0 {
                 if s.rows > 0 {
-                    rel.insert(&[], &self.state.dict);
+                    rel.insert(&[], dict);
                 }
             } else {
                 match &keys {
                     Some(keys) => rel.extend_from_sorted_with(s.flat, keys),
-                    None => rel.extend_from_sorted(s.flat, &self.state.dict),
+                    None => rel.extend_from_sorted(s.flat, dict),
                 };
             }
+            (name, rel)
+        };
+        let staged: Vec<(String, Staging)> = std::mem::take(&mut self.staged).into_iter().collect();
+        let merged: Vec<(String, VRel)> = match engine {
+            Some(engine) => engine.parallel_map_owned(staged, merge),
+            None => staged.into_iter().map(merge).collect(),
+        };
+        for (name, rel) in merged {
+            let slot = self.state.relations.get_mut(&name).expect("validated");
+            debug_assert_eq!(slot.rows(), 0, "rows bypass staging only through constants");
+            *slot = rel;
         }
         self.state.ad_cache.take();
         self.state
@@ -724,6 +751,52 @@ impl FromJson for State {
 mod tests {
     use super::*;
     use fq_logic::parse_formula;
+
+    // Parallel executions and finishes share `&State` across scoped
+    // threads (stats are behind `OnceLock`s) — keep it `Sync`.
+    const _: fn() = || {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<State>();
+    };
+
+    #[test]
+    fn finish_with_equals_sequential_finish() {
+        use fq_engine::{Engine, EngineConfig};
+        let schema = Schema::new()
+            .with_relation("F", 2)
+            .with_relation("S", 1)
+            .with_relation("Z", 0)
+            .with_constant("c");
+        let build = || {
+            let mut b = StateBuilder::new(schema.clone());
+            for i in 0..300u64 {
+                b.row(
+                    "F",
+                    vec![Value::Nat(i % 50), Value::Str(format!("w{}", i % 31))],
+                );
+                if i % 3 == 0 {
+                    b.row("S", vec![Value::Nat(i)]);
+                }
+            }
+            b.row("Z", Vec::new());
+            b.constant("c", 7u64);
+            b
+        };
+        let sequential = build().finish();
+        for threads in [1, 2, 4, 8] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let parallel = build().finish_with(&engine);
+            assert_eq!(parallel, sequential, "finish_with at {threads} threads");
+            assert_eq!(
+                fq_json::to_string(&parallel),
+                fq_json::to_string(&sequential)
+            );
+            assert_eq!(parallel.column_stats("F"), sequential.column_stats("F"));
+        }
+    }
 
     fn fathers() -> State {
         let schema = Schema::new().with_relation("F", 2);

@@ -546,6 +546,45 @@ impl VRel {
         rel
     }
 
+    /// Build a relation from a flat batch the caller **guarantees** is
+    /// already strictly sorted in semantic order with no duplicates —
+    /// e.g. rows streamed out of another [`VRel`], or snapshot-ordered
+    /// trace batches whose producer emits canonical order. The batch is
+    /// adopted as the store directly: no sort, no probe, no merge.
+    /// Debug builds assert the precondition row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or `data.len()` is not a multiple of
+    /// the arity; debug builds also panic when the batch is not
+    /// strictly sorted under `dict`'s semantic order.
+    pub fn from_sorted_unchecked(arity: usize, data: Vec<Val>, dict: &Dict) -> VRel {
+        assert!(
+            arity > 0 && data.len().is_multiple_of(arity),
+            "batch of {} words is not a whole number of arity-{arity} rows",
+            data.len()
+        );
+        let rows = data.len() / arity;
+        debug_assert!(
+            (1..rows).all(|i| {
+                dict.cmp_rows(
+                    &data[(i - 1) * arity..i * arity],
+                    &data[i * arity..(i + 1) * arity],
+                ) == Ordering::Less
+            }),
+            "from_sorted_unchecked batch is not strictly sorted"
+        );
+        let _ = dict;
+        VRel {
+            arity,
+            rows,
+            data,
+            stats: OnceLock::new(),
+            #[cfg(debug_assertions)]
+            insert_streak: 0,
+        }
+    }
+
     pub fn arity(&self) -> usize {
         self.arity
     }
@@ -572,6 +611,31 @@ impl VRel {
     /// Iterate rows in semantic sorted order.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[Val]> + '_ {
         (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Rows `start .. start + len` (clamped to the stored row count) as
+    /// one flat, arity-strided word slice — a *morsel* of the relation.
+    /// Morsel boundaries are always aligned to whole rows, so a worker
+    /// handed a morsel never sees a torn tuple.
+    pub fn morsel(&self, start: usize, len: usize) -> &[Val] {
+        let start = start.min(self.rows);
+        let end = start.saturating_add(len).min(self.rows);
+        &self.data[start * self.arity..end * self.arity]
+    }
+
+    /// Partition the store into fixed-size morsels of `morsel_rows`
+    /// rows (the last may be short). An empty relation yields no
+    /// morsels; the concatenation of all morsels is exactly
+    /// [`VRel::data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `morsel_rows` is zero.
+    pub fn morsels(&self, morsel_rows: usize) -> impl Iterator<Item = &[Val]> + '_ {
+        assert!(morsel_rows > 0, "morsel size must be positive");
+        (0..self.rows)
+            .step_by(morsel_rows)
+            .map(move |start| self.morsel(start, morsel_rows))
     }
 
     /// The insertion point of `row` in semantic order, and whether the
@@ -645,6 +709,14 @@ impl VRel {
         let Some(b) = self.check_batch(&batch) else {
             return 0;
         };
+        // Sortedness probe, run *before* the rank-key decision: a batch
+        // from an already-sorted producer (snapshot-ordered traces, rows
+        // streamed out of another `VRel`) skips both the O(b log b)
+        // permutation sort and the O(d log d) dictionary ranking, and an
+        // unsorted batch fails the probe within a few comparisons.
+        if Self::batch_is_sorted(&batch, b, self.arity, |x, y| dict.cmp_rows(x, y)) {
+            return self.merge_presorted(batch, b, |x, y| dict.cmp_rows(x, y));
+        }
         if batch_prefers_keys(b, self.arity, dict.len()) {
             let keys = dict.sort_keys();
             self.merge_batch(batch, b, |x, y| keys.cmp_rows(x, y))
@@ -662,7 +734,42 @@ impl VRel {
         let Some(b) = self.check_batch(&batch) else {
             return 0;
         };
+        if Self::batch_is_sorted(&batch, b, self.arity, |x, y| keys.cmp_rows(x, y)) {
+            return self.merge_presorted(batch, b, |x, y| keys.cmp_rows(x, y));
+        }
         self.merge_batch(batch, b, |x, y| keys.cmp_rows(x, y))
+    }
+
+    /// Is the batch already strictly sorted (no duplicates) under `cmp`?
+    /// Early-exits at the first out-of-order pair, so unsorted batches
+    /// pay almost nothing for the probe.
+    fn batch_is_sorted<F>(batch: &[Val], b: usize, arity: usize, cmp: F) -> bool
+    where
+        F: Fn(&[Val], &[Val]) -> Ordering,
+    {
+        (1..b).all(|i| {
+            cmp(
+                &batch[(i - 1) * arity..i * arity],
+                &batch[i * arity..(i + 1) * arity],
+            ) == Ordering::Less
+        })
+    }
+
+    /// Merge a batch the probe certified strictly sorted: into an empty
+    /// store the batch *is* the new store (zero copies); otherwise one
+    /// merge pass with the identity permutation (no sort).
+    fn merge_presorted<F>(&mut self, batch: Vec<Val>, b: usize, cmp: F) -> usize
+    where
+        F: Fn(&[Val], &[Val]) -> Ordering,
+    {
+        if self.rows == 0 {
+            self.rows = b;
+            self.data = batch;
+            self.stats.take();
+            return b;
+        }
+        let order: Vec<u32> = (0..b as u32).collect();
+        self.merge_ordered(batch, b, &order, cmp)
     }
 
     /// Shared batch validation: resets the single-row streak guard,
@@ -701,8 +808,17 @@ impl VRel {
                 &batch[j as usize * arity..(j as usize + 1) * arity],
             )
         });
-        // One backward merge pass over (existing ∪ batch), deduping the
-        // batch against itself and against the store.
+        self.merge_ordered(batch, b, &order, cmp)
+    }
+
+    /// One merge pass of a batch whose sorted order is given by the
+    /// `order` permutation, deduping the batch against itself and
+    /// against the store.
+    fn merge_ordered<F>(&mut self, batch: Vec<Val>, b: usize, order: &[u32], cmp: F) -> usize
+    where
+        F: Fn(&[Val], &[Val]) -> Ordering,
+    {
+        let arity = self.arity;
         let mut merged: Vec<Val> = Vec::with_capacity(self.data.len() + batch.len());
         let mut added = 0usize;
         let mut old = 0usize; // next existing row
@@ -972,6 +1088,105 @@ mod tests {
             assert_eq!(auto.data(), keyed.data());
             assert_eq!(auto.rows(), keyed.rows());
         }
+    }
+
+    // Parallel workers share `&VRel` / `&Dict` / `&SortKeys` across
+    // scoped threads; keep them `Sync` by construction.
+    const _: fn() = || {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<VRel>();
+        assert_sync::<Dict>();
+        assert_sync::<SortKeys>();
+    };
+
+    #[test]
+    fn morsels_tile_the_store_on_row_boundaries() {
+        let mut d = Dict::default();
+        let mut r = VRel::new(3);
+        let mut batch = Vec::new();
+        for i in 0..10u64 {
+            for v in [
+                Value::Nat(i),
+                Value::Str(format!("m{i}")),
+                Value::Nat(i + 1),
+            ] {
+                batch.push(d.encode(&v));
+            }
+        }
+        r.extend_from_sorted(batch, &d);
+        assert_eq!(r.rows(), 10);
+        for morsel_rows in [1, 3, 4, 5, 10, 64] {
+            let parts: Vec<&[Val]> = r.morsels(morsel_rows).collect();
+            assert_eq!(parts.len(), r.rows().div_ceil(morsel_rows));
+            assert!(parts.iter().all(|m| m.len().is_multiple_of(3)));
+            let glued: Vec<Val> = parts.concat();
+            assert_eq!(glued, r.data(), "morsels of {morsel_rows} rows");
+        }
+        assert!(VRel::new(2).morsels(4).next().is_none());
+        assert_eq!(r.morsel(8, 100), &r.data()[8 * 3..]);
+        assert_eq!(r.morsel(99, 4), &[] as &[Val]);
+    }
+
+    #[test]
+    fn from_sorted_unchecked_adopts_the_batch() {
+        let mut d = Dict::default();
+        let mut flat = Vec::new();
+        for i in 0..6u64 {
+            flat.push(d.encode(&Value::Nat(i)));
+            flat.push(d.encode(&Value::Str(format!("s{i}"))));
+        }
+        let by_batch = VRel::from_rows(2, flat.clone(), &d);
+        let unchecked = VRel::from_sorted_unchecked(2, by_batch.data().to_vec(), &d);
+        assert_eq!(unchecked.rows(), by_batch.rows());
+        assert_eq!(unchecked.data(), by_batch.data());
+        assert_eq!(unchecked.stats(&d), by_batch.stats(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_unchecked_asserts_sortedness_in_debug() {
+        let mut d = Dict::default();
+        let hi = d.encode(&Value::Str("z".into()));
+        let lo = d.encode(&Value::Str("a".into()));
+        VRel::from_sorted_unchecked(1, vec![hi, lo], &d);
+    }
+
+    #[test]
+    fn presorted_batches_merge_identically_to_unsorted_ones() {
+        let mut d = Dict::default();
+        // Strictly sorted batch (semantic order: nats then strings).
+        let sorted: Vec<Val> = (0..40u64)
+            .map(|i| {
+                if i < 20 {
+                    d.encode(&Value::Nat(i))
+                } else {
+                    d.encode(&Value::Str(format!("s{i:02}")))
+                }
+            })
+            .collect();
+        let mut shuffled: Vec<Val> = sorted.clone();
+        shuffled.reverse();
+        // Into an empty store (probe adopts the batch wholesale)…
+        let mut a = VRel::new(1);
+        assert_eq!(a.extend_from_sorted(sorted.clone(), &d), 40);
+        let mut b = VRel::new(1);
+        b.extend_from_sorted(shuffled.clone(), &d);
+        assert_eq!(a.data(), b.data());
+        // …and merging a sorted batch into a non-empty store.
+        let tail: Vec<Val> = (40..60u64).map(|i| d.encode(&Value::Nat(i))).collect();
+        let mut c = VRel::new(1);
+        c.extend_from_sorted(tail.clone(), &d);
+        assert_eq!(c.extend_from_sorted(sorted.clone(), &d), 40);
+        let mut all = shuffled;
+        all.extend(tail);
+        let whole = VRel::from_rows(1, all, &d);
+        assert_eq!(c.data(), whole.data());
+        // The keyed entry point probes too.
+        let keys = d.sort_keys();
+        let mut k = VRel::new(1);
+        assert_eq!(k.extend_from_sorted_with(sorted, &keys), 40);
+        assert_eq!(k.rows(), 40);
     }
 
     #[test]

@@ -149,6 +149,39 @@ proptest! {
         prop_assert_eq!(&again, &by_insert);
     }
 
+    /// The worker-pool `finish_with` produces a state equal to the
+    /// sequential `finish` — same rows, stats, and serialized form — at
+    /// any thread count: relations merge independently against the
+    /// final dictionary and one shared rank table.
+    #[test]
+    fn parallel_finish_equals_sequential_finish(
+        pairs in proptest::collection::vec((arb_value(), arb_value()), 0..16),
+        singles in proptest::collection::vec(arb_value(), 0..10),
+        threads in 1usize..=8,
+    ) {
+        let schema = Schema::new().with_relation("R", 2).with_relation("S", 1);
+        let build = || {
+            let mut b = StateBuilder::new(schema.clone());
+            for (a, b_) in &pairs {
+                b.row("R", vec![a.clone(), b_.clone()]);
+            }
+            for a in &singles {
+                b.row_ref("S", std::slice::from_ref(a));
+            }
+            b
+        };
+        let sequential = build().finish();
+        let engine = fq_engine::Engine::new(fq_engine::EngineConfig {
+            threads,
+            ..fq_engine::EngineConfig::default()
+        });
+        let parallel = build().finish_with(&engine);
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert_eq!(fq_json::to_string(&parallel), fq_json::to_string(&sequential));
+        prop_assert_eq!(parallel.column_stats("R"), sequential.column_stats("R"));
+        prop_assert_eq!(parallel.column_stats("S"), sequential.column_stats("S"));
+    }
+
     /// A whole state serializes to **exactly** the JSON the legacy
     /// `BTreeMap<String, BTreeSet<Tuple>>` representation produced, and
     /// parses back to an equal state.

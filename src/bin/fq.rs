@@ -127,7 +127,7 @@ fn cmd_eval(args: &[String]) -> CliResult {
     let state = load_state(arg(args, 0, "state.json")?)?;
     let query = arg(args, 1, "query")?;
     let domain = domain_arg(args, 2, query)?;
-    let out = Executor::default().execute(&state, query, domain)?;
+    let out = Executor::from_env().execute(&state, query, domain)?;
     match out.completeness {
         Completeness::Decided { value } => println!("{value}"),
         Completeness::Certified => print_rows(&out.vars, &out.rows),
@@ -158,7 +158,7 @@ fn cmd_explain(args: &[String]) -> CliResult {
     let state = load_state(arg(args, 0, "state.json")?)?;
     let query = arg(args, 1, "query")?;
     let domain = domain_arg(args, 2, query)?;
-    let exec = Executor::default();
+    let exec = Executor::from_env();
     let (planned, _) = exec.plan(&state, query, domain)?;
     println!("{}", planned.explain());
     let out = exec.execute(&state, query, domain)?;
@@ -184,11 +184,15 @@ fn cmd_explain(args: &[String]) -> CliResult {
         }
     }
     if !out.operators.is_empty() {
-        println!("operators:  (bottom-up, rows produced)");
+        println!("operators:  (bottom-up: rows produced, morsels processed)");
         for op in &out.operators {
-            println!("  {:>6}  {}", op.rows, op.op);
+            println!("  {:>6} {:>5}  {}", op.rows, op.morsels, op.op);
         }
     }
+    println!(
+        "parallel:   {} thread(s) (set FQ_THREADS to pin), morsel size {} row(s)",
+        out.stats.threads, out.stats.morsel_rows
+    );
     println!(
         "stats:      plan-cache {}, engine memo {} hit(s) / {} miss(es)",
         if out.stats.plan_cached { "hit" } else { "miss" },
