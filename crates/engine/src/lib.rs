@@ -22,9 +22,24 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Lock shards per memo cache / intern pool. Concurrent executors map
+/// to different shards with probability `1 - 1/SHARDS` per key pair, so
+/// the hot read path (`RwLock::read` on one shard) effectively never
+/// serializes; `bench_serve`'s contention rows measure exactly this.
+const SHARDS: usize = 16;
+
+/// The shard a key hashes to. Uses the std hasher (the shard's inner
+/// `HashMap` pays the same hash anyway) — what matters is that equal
+/// keys always pick the same shard.
+fn shard_of<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +71,10 @@ struct Inner {
     /// `threads` instead of multiplying at every nesting level.
     borrowed_workers: AtomicUsize,
     /// Type-erased map from `(TypeId, namespace)` to a `MemoCache<K, V>`
-    /// or `InternPool<T>` for that type.
-    state: Mutex<StateMap>,
+    /// or `InternPool<T>` for that type. Read-locked on the hot path
+    /// (the namespace set stabilizes after warm-up); write-locked only
+    /// to install a new namespace.
+    state: RwLock<StateMap>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -89,7 +106,7 @@ impl Engine {
             inner: Arc::new(Inner {
                 config,
                 borrowed_workers: AtomicUsize::new(0),
-                state: Mutex::new(HashMap::new()),
+                state: RwLock::new(HashMap::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
             }),
@@ -179,10 +196,24 @@ impl Engine {
     }
 
     /// Fetch-or-create the typed state object for `(T, namespace)`.
+    /// Concurrent readers of an existing namespace share a read lock;
+    /// only the first touch of a namespace takes the write lock.
     fn typed<T: Default + Send + Sync + 'static>(&self, namespace: &'static str) -> Arc<T> {
-        let mut state = self.inner.state.lock().expect("engine state poisoned");
+        let key = (TypeId::of::<T>(), namespace);
+        if let Some(entry) = self
+            .inner
+            .state
+            .read()
+            .expect("engine state poisoned")
+            .get(&key)
+        {
+            return Arc::clone(entry)
+                .downcast::<T>()
+                .expect("state keyed by TypeId");
+        }
+        let mut state = self.inner.state.write().expect("engine state poisoned");
         let entry = state
-            .entry((TypeId::of::<T>(), namespace))
+            .entry(key)
             .or_insert_with(|| Arc::new(T::default()) as Arc<dyn Any + Send + Sync>);
         Arc::clone(entry)
             .downcast::<T>()
@@ -415,29 +446,45 @@ impl<T> Hash for Interned<T> {
     }
 }
 
-/// Per-type hash-consing pool.
+/// Per-type hash-consing pool, sharded by value hash so concurrent
+/// interners of *different* values rarely touch the same lock, and
+/// re-interning an existing value (the hot case) takes only a shard
+/// read lock. A value's shard is a pure function of its hash, so ids —
+/// `slot_in_shard * SHARDS + shard` — stay canonical: one id per
+/// distinct value for the engine's lifetime.
 struct InternPool<T> {
-    map: Mutex<HashMap<Arc<T>, u64>>,
+    shards: Vec<RwLock<HashMap<Arc<T>, u64>>>,
 }
 
 impl<T> Default for InternPool<T> {
     fn default() -> Self {
         InternPool {
-            map: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 }
 
 impl<T: Eq + Hash> InternPool<T> {
     fn intern(&self, value: T) -> Interned<T> {
-        let mut map = self.map.lock().expect("intern pool poisoned");
+        let shard = &self.shards[shard_of(&value)];
+        {
+            let map = shard.read().expect("intern pool poisoned");
+            if let Some((stored, id)) = map.get_key_value(&value) {
+                return Interned {
+                    id: *id,
+                    value: Arc::clone(stored),
+                };
+            }
+        }
+        let mut map = shard.write().expect("intern pool poisoned");
+        // Re-check: another thread may have interned between the locks.
         if let Some((stored, id)) = map.get_key_value(&value) {
             return Interned {
                 id: *id,
                 value: Arc::clone(stored),
             };
         }
-        let id = map.len() as u64;
+        let id = (map.len() * SHARDS + shard_of(&value)) as u64;
         let stored = Arc::new(value);
         map.insert(Arc::clone(&stored), id);
         Interned { id, value: stored }
@@ -448,35 +495,48 @@ impl<T: Eq + Hash> InternPool<T> {
 // Memo cache.
 // ---------------------------------------------------------------------
 
-/// Bounded map cache. On overflow the whole cache resets — predictable,
-/// allocation-cheap, and safe for purely-memoizing uses.
+/// Bounded map cache, sharded by key hash: lookups take one shard's
+/// read lock, so concurrent executors sharing an engine's caches read
+/// without serializing. Capacity splits evenly across shards, and an
+/// overflowing *shard* resets — predictable, allocation-cheap, and safe
+/// for purely-memoizing uses (a reset only costs recomputation).
 struct MemoCache<K, V> {
-    map: Mutex<HashMap<K, V>>,
+    shards: Vec<RwLock<HashMap<K, V>>>,
 }
 
 impl<K, V> Default for MemoCache<K, V> {
     fn default() -> Self {
         MemoCache {
-            map: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 }
 
 impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     fn get(&self, key: &K) -> Option<V> {
-        self.map
-            .lock()
+        self.shards[shard_of(key)]
+            .read()
             .expect("memo cache poisoned")
             .get(key)
             .cloned()
     }
 
     fn put(&self, key: K, value: V, capacity: usize) {
-        let mut map = self.map.lock().expect("memo cache poisoned");
-        if map.len() >= capacity {
+        let mut map = self.shards[shard_of(&key)]
+            .write()
+            .expect("memo cache poisoned");
+        if map.len() >= capacity.div_ceil(SHARDS).max(1) {
             map.clear();
         }
         map.insert(key, value);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("memo cache poisoned").len())
+            .sum()
     }
 }
 
@@ -585,11 +645,47 @@ mod tests {
             threads: 1,
             cache_capacity: 4,
         });
-        for k in 0..100u64 {
+        for k in 0..1000u64 {
             engine.cached("bounded", k, || k);
         }
-        let map = engine.typed::<MemoCache<u64, u64>>("bounded");
-        assert!(map.map.lock().unwrap().len() <= 4);
+        let cache = engine.typed::<MemoCache<u64, u64>>("bounded");
+        // Capacity splits across shards; each shard resets on overflow,
+        // so the total stays bounded by one entry per shard slot.
+        assert!(cache.len() <= SHARDS * 4usize.div_ceil(SHARDS).max(1));
+    }
+
+    #[test]
+    fn caches_and_interner_are_shared_across_threads() {
+        // One engine, many executors: concurrent interns of the same
+        // value agree on one id, and a value cached by any thread is a
+        // hit for every other.
+        let engine = Engine::new(EngineConfig {
+            threads: 1, // worker budget is irrelevant here
+            ..EngineConfig::default()
+        });
+        let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        (0..200u64)
+                            .map(|k| {
+                                engine.cached("shared", k % 50, |/* pure */| k % 50);
+                                engine.intern(format!("v{}", k % 50)).id()
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "interned ids are canonical");
+        }
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!(hits + misses, 8 * 200);
+        assert!(misses <= 50 * 8, "worst case: every thread misses first");
+        assert!(hits >= 8 * 200 - 50 * 8);
     }
 
     #[test]

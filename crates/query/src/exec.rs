@@ -10,10 +10,12 @@ use crate::registry::{DomainId, DomainRegistry};
 use fq_core::answer::AnswerOutcome;
 use fq_engine::Engine;
 use fq_relational::{
-    translate_to_domain_formula, ExecOpts, OpStat, PhysicalPlan, Schema, State, Value,
+    translate_to_domain_formula, ExecOpts, OpStat, PhysicalPlan, Schema, Snapshot, State, Value,
     DEFAULT_MORSEL_ROWS,
 };
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The memo namespace holding planned queries.
 pub const PLAN_CACHE_NAMESPACE: &str = "query.plan";
@@ -57,6 +59,14 @@ pub struct ExecStats {
     pub threads: usize,
     /// Rows per morsel in the parallel executor's schedule.
     pub morsel_rows: usize,
+    /// Publication epoch of the snapshot executed against (`None` when
+    /// the query ran on a free-standing state).
+    pub snapshot_epoch: Option<u64>,
+    /// `query.plan` cache hits across this executor's lifetime (shared
+    /// by every clone, so serve workers aggregate into one counter).
+    pub plan_hits: usize,
+    /// `query.plan` cache misses across this executor's lifetime.
+    pub plan_misses: usize,
 }
 
 /// The uniform result of the pipeline: answers, a completeness
@@ -93,6 +103,10 @@ pub struct Executor {
     registry: DomainRegistry,
     max_candidates: usize,
     morsel_rows: usize,
+    /// Plan-cache traffic, shared across clones: a serve loop hands one
+    /// executor clone per connection and still reads one hit/miss pair.
+    plan_hits: Arc<AtomicUsize>,
+    plan_misses: Arc<AtomicUsize>,
 }
 
 impl Default for Executor {
@@ -108,6 +122,8 @@ impl Executor {
             registry: DomainRegistry,
             max_candidates: DEFAULT_MAX_CANDIDATES,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            plan_hits: Arc::new(AtomicUsize::new(0)),
+            plan_misses: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -133,6 +149,15 @@ impl Executor {
         &self.engine
     }
 
+    /// (hits, misses) of the `query.plan` cache across this executor
+    /// and every clone sharing its counters.
+    pub fn plan_cache_stats(&self) -> (usize, usize) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Stage 1 only: compile a query against a scheme.
     pub fn compile(&self, schema: &Schema, source: &str) -> Result<CompiledQuery, QueryError> {
         compile(schema, source, &self.engine)
@@ -140,6 +165,12 @@ impl Executor {
 
     /// Stages 1–2, memoized: compile and plan, returning the plan and
     /// whether it came from the `query.plan` cache.
+    ///
+    /// The key's state component is [`State::fingerprint`] — a cached
+    /// 128-bit content hash — so a lookup costs O(1) in the state size
+    /// instead of re-serializing the whole state per call, and two
+    /// states with equal content (snapshots of the same epoch, replays)
+    /// share one cache entry.
     pub fn plan(
         &self,
         state: &State,
@@ -149,7 +180,7 @@ impl Executor {
         let key = (
             domain,
             source.to_string(),
-            fq_json::to_string(state),
+            state.fingerprint(),
             self.max_candidates,
         );
         let computed = Cell::new(false);
@@ -158,6 +189,11 @@ impl Executor {
             let compiled = compile(state.schema(), source, &self.engine)?;
             plan(&compiled, domain, state, self.max_candidates)
         })?;
+        if computed.get() {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        }
         Ok((planned, !computed.get()))
     }
 
@@ -167,6 +203,30 @@ impl Executor {
         state: &State,
         source: &str,
         domain: DomainId,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.execute_inner(state, source, domain, None)
+    }
+
+    /// [`Executor::execute`] against a pinned [`Snapshot`]: the borrow
+    /// keeps the snapshot's columns alive for the whole run, and the
+    /// outcome records the epoch it executed against. This is the serve
+    /// loop's entry point — many executors, one shared store, each
+    /// query isolated on the snapshot it pinned.
+    pub fn execute_snapshot(
+        &self,
+        snapshot: &Snapshot,
+        source: &str,
+        domain: DomainId,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.execute_inner(snapshot, source, domain, Some(snapshot.epoch()))
+    }
+
+    fn execute_inner(
+        &self,
+        state: &State,
+        source: &str,
+        domain: DomainId,
+        snapshot_epoch: Option<u64>,
     ) -> Result<QueryOutcome, QueryError> {
         let (planned, plan_cached) = self.plan(state, source, domain)?;
         let mut outcome = self.run(state, &planned)?;
@@ -179,6 +239,10 @@ impl Executor {
         outcome.stats.stored_rows = state.size();
         outcome.stats.threads = self.engine.threads();
         outcome.stats.morsel_rows = self.morsel_rows;
+        outcome.stats.snapshot_epoch = snapshot_epoch;
+        let (plan_hits, plan_misses) = self.plan_cache_stats();
+        outcome.stats.plan_hits = plan_hits;
+        outcome.stats.plan_misses = plan_misses;
         Ok(outcome)
     }
 
@@ -446,6 +510,39 @@ mod tests {
                 assert_eq!(out.stats.morsel_rows, 16);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_execution_pins_epoch_and_shares_plan_cache() {
+        let shared = fq_relational::SharedState::new(fathers());
+        let exec = Executor::default();
+        let snap = shared.snapshot();
+        let out = exec
+            .execute_snapshot(&snap, "F(x, y)", DomainId::Eq)
+            .unwrap();
+        assert_eq!(out.stats.snapshot_epoch, Some(0));
+        shared
+            .ingest("F", vec![vec![Value::Nat(9), Value::Nat(10)]])
+            .unwrap();
+        // Pinned snapshot: same rows, same epoch, and a plan-cache hit
+        // (the fingerprint key is stable because the snapshot is).
+        let again = exec
+            .execute_snapshot(&snap, "F(x, y)", DomainId::Eq)
+            .unwrap();
+        assert_eq!(again.rows, out.rows);
+        assert_eq!(again.stats.snapshot_epoch, Some(0));
+        assert!(again.stats.plan_cached);
+        // A fresh snapshot at the new epoch sees the new row and misses.
+        let newer = exec
+            .execute_snapshot(&shared.snapshot(), "F(x, y)", DomainId::Eq)
+            .unwrap();
+        assert_eq!(newer.stats.snapshot_epoch, Some(1));
+        assert_eq!(newer.rows.len(), out.rows.len() + 1);
+        assert!(!newer.stats.plan_cached);
+        // Counters are shared across clones.
+        assert_eq!(exec.clone().plan_cache_stats(), (1, 2));
+        assert_eq!(newer.stats.plan_hits, 1);
+        assert_eq!(newer.stats.plan_misses, 2);
     }
 
     #[test]

@@ -47,9 +47,11 @@ pub mod error;
 pub mod exec;
 pub mod plan;
 pub mod registry;
+pub mod serve;
 
 pub use compile::CompiledQuery;
 pub use error::QueryError;
 pub use exec::{Completeness, ExecStats, Executor, QueryOutcome, PLAN_CACHE_NAMESPACE};
 pub use plan::{PlannedQuery, Precheck, QueryPlan};
 pub use registry::{DomainId, DomainInfo, DomainRegistry, DOMAINS};
+pub use serve::{Client, QueryService, Server};

@@ -1,0 +1,477 @@
+//! The serve loop: a long-lived, snapshot-isolated query service.
+//!
+//! This is the step from *library* to *service*: one shared store
+//! ([`SharedState`]), one shared [`Executor`] (whose engine caches are
+//! `Sync` and sharded), and a thread-per-connection TCP server speaking
+//! a line-delimited JSON protocol. Every request line is one JSON
+//! object; every response is one JSON object on one line.
+//!
+//! Requests (`cmd` selects the verb):
+//!
+//! * `{"cmd":"query","query":"F(x, y)","domain":"nat"}` — pin the
+//!   current snapshot, execute, return rows. `domain` is optional
+//!   (inferred from the query's symbols when absent).
+//! * `{"cmd":"explain","query":…,"domain":…}` — the plan explanation
+//!   plus execution statistics for the pinned snapshot.
+//! * `{"cmd":"ingest","relation":"R","rows":[[{"Nat":1},{"Str":"a"}]]}`
+//!   — batch-ingest tuples and atomically publish the next epoch.
+//! * `{"cmd":"snapshot-info"}` — store identity, epoch, dictionary and
+//!   per-relation row counts, shared plan/engine cache counters.
+//!
+//! Responses carry `"ok":true` plus verb-specific fields, or
+//! `"ok":false,"error":…` — a malformed line never kills a connection.
+//!
+//! Isolation contract (proved by `prop_serve`): a query executes
+//! against the snapshot pinned when its request arrived; concurrent
+//! ingests publish whole batches at new epochs and never perturb
+//! in-flight readers. The `epoch` field of each response says exactly
+//! which published state the answer is from.
+
+use crate::error::QueryError;
+use crate::exec::{Completeness, Executor, QueryOutcome};
+use crate::registry::DomainId;
+use fq_json::{FromJson, JsonError, ToJson, Value as Json};
+use fq_logic::parse_formula;
+use fq_relational::{SharedState, Snapshot, Value};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// The transport-agnostic request handler: one shared store, one shared
+/// executor. [`Server`] feeds it TCP lines; tests can call
+/// [`QueryService::handle_line`] directly.
+#[derive(Clone)]
+pub struct QueryService {
+    shared: Arc<SharedState>,
+    executor: Executor,
+}
+
+impl QueryService {
+    pub fn new(shared: Arc<SharedState>, executor: Executor) -> Self {
+        QueryService { shared, executor }
+    }
+
+    /// The store this service answers from.
+    pub fn shared(&self) -> &Arc<SharedState> {
+        &self.shared
+    }
+
+    /// The executor (and thus engine caches) shared by every request.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Handle one request line, returning one response line (no
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match self.handle(line) {
+            Ok(fields) => {
+                let mut members = vec![("ok".to_string(), Json::Bool(true))];
+                if let Json::Object(fields) = fields {
+                    members.extend(fields);
+                }
+                Json::Object(members)
+            }
+            Err(message) => {
+                fq_json::object([("ok", Json::Bool(false)), ("error", Json::Str(message))])
+            }
+        };
+        response.to_compact()
+    }
+
+    fn handle(&self, line: &str) -> Result<Json, String> {
+        let request = fq_json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let cmd = request
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd`")?;
+        match cmd {
+            "query" => self.handle_query(&request),
+            "explain" => self.handle_explain(&request),
+            "ingest" => self.handle_ingest(&request),
+            "snapshot-info" => Ok(self.snapshot_info()),
+            other => Err(format!(
+                "unknown cmd `{other}` (expected query|explain|ingest|snapshot-info)"
+            )),
+        }
+    }
+
+    /// Resolve the query + domain of a request, inferring the domain
+    /// from the query's symbols when the field is absent.
+    fn query_and_domain(&self, request: &Json) -> Result<(String, DomainId), String> {
+        let source = request
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or("missing `query`")?
+            .to_string();
+        let domain = match request.get("domain").and_then(Json::as_str) {
+            Some(name) => DomainId::parse(name).map_err(|e| e.to_string())?,
+            None => DomainId::infer(&parse_formula(&source).map_err(|e| e.to_string())?),
+        };
+        Ok((source, domain))
+    }
+
+    fn handle_query(&self, request: &Json) -> Result<Json, String> {
+        let (source, domain) = self.query_and_domain(request)?;
+        let snapshot = self.shared.snapshot();
+        let out = self
+            .executor
+            .execute_snapshot(&snapshot, &source, domain)
+            .map_err(|e: QueryError| e.to_string())?;
+        Ok(fq_json::object([
+            ("epoch", snapshot.epoch().to_json()),
+            ("domain", domain.key().to_json()),
+            ("strategy", out.plan.strategy().to_json()),
+            ("vars", out.vars.to_json()),
+            ("rows", out.rows.to_json()),
+            ("completeness", completeness_json(&out.completeness)),
+            ("plan_cached", out.stats.plan_cached.to_json()),
+        ]))
+    }
+
+    fn handle_explain(&self, request: &Json) -> Result<Json, String> {
+        let (source, domain) = self.query_and_domain(request)?;
+        let snapshot = self.shared.snapshot();
+        let (planned, _) = self
+            .executor
+            .plan(&snapshot, &source, domain)
+            .map_err(|e| e.to_string())?;
+        let out = self
+            .executor
+            .execute_snapshot(&snapshot, &source, domain)
+            .map_err(|e| e.to_string())?;
+        Ok(fq_json::object([
+            ("epoch", snapshot.epoch().to_json()),
+            ("domain", domain.key().to_json()),
+            ("strategy", out.plan.strategy().to_json()),
+            ("explain", planned.explain().to_json()),
+            ("rows", out.rows.len().to_json()),
+            ("stats", stats_json(&out)),
+        ]))
+    }
+
+    fn handle_ingest(&self, request: &Json) -> Result<Json, String> {
+        let relation = request
+            .get("relation")
+            .and_then(Json::as_str)
+            .ok_or("missing `relation`")?;
+        let rows: Vec<Vec<Value>> = request
+            .get("rows")
+            .ok_or_else(|| "missing `rows`".to_string())
+            .and_then(|v| {
+                FromJson::from_json(v).map_err(|e: JsonError| format!("bad `rows`: {e}"))
+            })?;
+        let (added, epoch) = self
+            .shared
+            .ingest(relation, rows)
+            .map_err(|e| e.to_string())?;
+        Ok(fq_json::object([
+            ("added", added.to_json()),
+            ("epoch", epoch.to_json()),
+        ]))
+    }
+
+    /// The `snapshot-info` payload: identity, storage shape, and the
+    /// shared-cache counters every connection aggregates into.
+    pub fn snapshot_info(&self) -> Json {
+        let snapshot = self.shared.snapshot();
+        snapshot_info_json(&snapshot, &self.executor)
+    }
+}
+
+/// The `snapshot-info` fields for one pinned snapshot, shared with the
+/// CLI's `fq explain` so both surfaces print identical facts.
+pub fn snapshot_info_json(snapshot: &Snapshot, executor: &Executor) -> Json {
+    let relations = Json::Object(
+        snapshot
+            .schema()
+            .relations()
+            .map(|(name, _)| (name.to_string(), snapshot.relation_size(name).to_json()))
+            .collect(),
+    );
+    let (plan_hits, plan_misses) = executor.plan_cache_stats();
+    let (engine_hits, engine_misses) = executor.engine().cache_stats();
+    fq_json::object([
+        ("store", snapshot.store_id().to_json()),
+        ("epoch", snapshot.epoch().to_json()),
+        ("dict_entries", snapshot.dict().len().to_json()),
+        ("dict_strings", snapshot.dict().strings().to_json()),
+        ("stored_rows", snapshot.size().to_json()),
+        ("relations", relations),
+        (
+            "plan_cache",
+            fq_json::object([
+                ("hits", plan_hits.to_json()),
+                ("misses", plan_misses.to_json()),
+            ]),
+        ),
+        (
+            "engine_cache",
+            fq_json::object([
+                ("hits", engine_hits.to_json()),
+                ("misses", engine_misses.to_json()),
+            ]),
+        ),
+    ])
+}
+
+fn completeness_json(completeness: &Completeness) -> Json {
+    match completeness {
+        Completeness::Certified => Json::Str("certified".to_string()),
+        Completeness::Decided { value } => fq_json::object([("decided", value.to_json())]),
+        Completeness::Partial {
+            candidates_tried,
+            max_candidates,
+        } => fq_json::object([(
+            "partial",
+            fq_json::object([
+                ("candidates_tried", candidates_tried.to_json()),
+                ("max_candidates", max_candidates.to_json()),
+            ]),
+        )]),
+    }
+}
+
+fn stats_json(out: &QueryOutcome) -> Json {
+    fq_json::object([
+        ("plan_cached", out.stats.plan_cached.to_json()),
+        ("plan_hits", out.stats.plan_hits.to_json()),
+        ("plan_misses", out.stats.plan_misses.to_json()),
+        ("engine_hits", out.stats.engine_hits.to_json()),
+        ("engine_misses", out.stats.engine_misses.to_json()),
+        ("stored_rows", out.stats.stored_rows.to_json()),
+        ("threads", out.stats.threads.to_json()),
+    ])
+}
+
+/// Thread-per-connection TCP server over a [`QueryService`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 to let the OS pick a free port).
+    pub fn bind(service: QueryService, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+        })
+    }
+
+    /// The bound address (the chosen port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections forever, one thread per connection. Each
+    /// connection reads request lines and writes one response line per
+    /// request; the thread exits when the client disconnects.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&service, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Server::run`] on a background thread, returning the bound
+    /// address — the test and benchmark entry point.
+    pub fn spawn(self) -> io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(addr)
+    }
+}
+
+fn serve_connection(service: &QueryService, stream: TcpStream) -> io::Result<()> {
+    // The protocol is strictly request/response, one line each way;
+    // Nagle's algorithm would hold every response hostage to the next
+    // write (~40 ms per round trip on loopback).
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A minimal blocking client for the line/JSON protocol, used by the
+/// integration tests, `bench_serve`, and scripting.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one raw request line, wait for the one response line.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send a request value, parse the response value.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        let response = self.request_raw(&request.to_compact())?;
+        fq_json::parse(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `query` convenience; `domain` falls back to symbol inference.
+    pub fn query(&mut self, query: &str, domain: Option<&str>) -> io::Result<Json> {
+        let mut members = vec![
+            ("cmd".to_string(), Json::Str("query".to_string())),
+            ("query".to_string(), Json::Str(query.to_string())),
+        ];
+        if let Some(d) = domain {
+            members.push(("domain".to_string(), Json::Str(d.to_string())));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// `ingest` convenience.
+    pub fn ingest(&mut self, relation: &str, rows: &[Vec<Value>]) -> io::Result<Json> {
+        self.request(&fq_json::object([
+            ("cmd", Json::Str("ingest".to_string())),
+            ("relation", Json::Str(relation.to_string())),
+            ("rows", rows.to_vec().to_json()),
+        ]))
+    }
+
+    /// `explain` convenience.
+    pub fn explain(&mut self, query: &str, domain: Option<&str>) -> io::Result<Json> {
+        let mut members = vec![
+            ("cmd".to_string(), Json::Str("explain".to_string())),
+            ("query".to_string(), Json::Str(query.to_string())),
+        ];
+        if let Some(d) = domain {
+            members.push(("domain".to_string(), Json::Str(d.to_string())));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// `snapshot-info` convenience.
+    pub fn snapshot_info(&mut self) -> io::Result<Json> {
+        self.request(&fq_json::object([(
+            "cmd",
+            Json::Str("snapshot-info".to_string()),
+        )]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_relational::{Schema, State};
+
+    fn service() -> QueryService {
+        let schema = Schema::new().with_relation("F", 2);
+        let state = State::new(schema)
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(2)])
+            .with_tuple("F", vec![Value::Nat(1), Value::Nat(3)]);
+        QueryService::new(Arc::new(SharedState::new(state)), Executor::default())
+    }
+
+    #[test]
+    fn handle_line_answers_queries_and_rejects_garbage() {
+        let svc = service();
+        let response = svc.handle_line(r#"{"cmd":"query","query":"F(x, y)","domain":"eq"}"#);
+        let json = fq_json::parse(&response).unwrap();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(json.get("epoch").and_then(Json::as_int), Some(0));
+        assert_eq!(json.get("rows").and_then(Json::as_array).unwrap().len(), 2);
+        assert_eq!(
+            json.get("completeness").and_then(Json::as_str),
+            Some("certified")
+        );
+
+        for bad in [
+            "not json at all",
+            r#"{"cmd":"no-such-verb"}"#,
+            r#"{"cmd":"query"}"#,
+            r#"{"cmd":"query","query":"F(x)","domain":"eq"}"#, // arity error
+            r#"{"cmd":"ingest","relation":"F","rows":[[{"Nat":1}]]}"#, // arity error
+        ] {
+            let json = fq_json::parse(&svc.handle_line(bad)).unwrap();
+            assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+            assert!(json.get("error").is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let svc = service();
+        let addr = Server::bind(svc, ("127.0.0.1", 0))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = Client::connect(addr).unwrap();
+
+        let info = client.snapshot_info().unwrap();
+        assert_eq!(info.get("epoch").and_then(Json::as_int), Some(0));
+        assert_eq!(info.get("stored_rows").and_then(Json::as_int), Some(2));
+
+        let out = client.query("F(x, y)", Some("eq")).unwrap();
+        assert_eq!(out.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(out.get("rows").and_then(Json::as_array).unwrap().len(), 2);
+
+        let ingested = client
+            .ingest("F", &[vec![Value::Nat(7), Value::Nat(8)]])
+            .unwrap();
+        assert_eq!(ingested.get("added").and_then(Json::as_int), Some(1));
+        assert_eq!(ingested.get("epoch").and_then(Json::as_int), Some(1));
+
+        // A second connection sees the published epoch.
+        let mut other = Client::connect(addr).unwrap();
+        let out = other.query("F(x, y)", Some("eq")).unwrap();
+        assert_eq!(out.get("epoch").and_then(Json::as_int), Some(1));
+        assert_eq!(out.get("rows").and_then(Json::as_array).unwrap().len(), 3);
+
+        let explained = client.explain("exists y. F(x, y)", Some("eq")).unwrap();
+        assert_eq!(explained.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            explained.get("strategy").and_then(Json::as_str),
+            Some("algebra")
+        );
+        assert!(explained
+            .get("explain")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("strategy"));
+
+        // Domain inference: `<` forces ⟨ℕ, <⟩ without an explicit domain.
+        let inferred = client.query("exists y. F(x, y) & x < y", None).unwrap();
+        assert_eq!(inferred.get("domain").and_then(Json::as_str), Some("nat"));
+    }
+}

@@ -68,6 +68,7 @@ pub mod optimize;
 pub mod physical;
 pub mod safe_range;
 pub mod schema;
+pub mod snapshot;
 pub mod state;
 pub mod translate;
 pub mod val;
@@ -78,6 +79,7 @@ pub use optimize::{optimize, OptimizedExpr};
 pub use physical::{ExecOpts, ExecReport, OpStat, PhysicalPlan, DEFAULT_MORSEL_ROWS};
 pub use safe_range::is_safe_range;
 pub use schema::Schema;
+pub use snapshot::{SharedState, Snapshot};
 pub use state::{State, StateBuilder, StateError, Value};
 pub use translate::translate_to_domain_formula;
 pub use val::{ColStats, Dict, OverlayDict, SharedOverlay, SortKeys, VRel, Val};

@@ -573,32 +573,80 @@ fn run<'a>(node: &PNode, cx: &mut ExecContext<'a>) -> VStream<'a> {
             let s = run(input, cx);
             match cx.fanout(s.arity, s.rows).filter(|_| !idx.is_empty()) {
                 Some(eng) => {
-                    // Per-morsel local dedup keeps each morsel's first
-                    // occurrences; the sequential re-filter during the
-                    // stitch drops cross-morsel repeats, so the global
-                    // first-occurrence order of the sequential scan is
-                    // reproduced exactly.
+                    // Three parallel phases, equal to the sequential
+                    // scan's global first-occurrence semantics:
+                    //
+                    // 1. Per-morsel local dedup keeps each morsel's
+                    //    first occurrences and hashes each kept row.
+                    // 2. Sharded global dedup: shard workers scan the
+                    //    kept rows in global order, each claiming only
+                    //    rows whose hash lands in its shard. Equal rows
+                    //    always share a shard, so every shard's local
+                    //    first occurrence *is* the global one.
+                    // 3. An order-restoring stitch copies the surviving
+                    //    rows back in global order — no hashing, just a
+                    //    flag-guided sweep.
                     let arity = s.arity;
+                    let k = idx.len();
                     let morsels = s.morsels(cx.morsel_rows);
                     let n = morsels.len();
-                    let parts = eng.parallel_map(&morsels, |m| {
+                    let parts: Vec<(Vec<Val>, Vec<u64>)> = eng.parallel_map(&morsels, |m| {
                         let mut local: FxSet<Vec<Val>> = FxSet::default();
                         let mut out = Vec::new();
+                        let mut hashes = Vec::new();
                         for row in m.chunks_exact(arity) {
                             let narrow: Vec<Val> = idx.iter().map(|&i| row[i]).collect();
-                            if local.insert(narrow.clone()) {
-                                out.extend(narrow);
+                            if local.contains(&narrow) {
+                                continue;
+                            }
+                            let mut h = FxHasher::default();
+                            for &v in &narrow {
+                                std::hash::Hasher::write_u64(&mut h, v.raw());
+                            }
+                            hashes.push(std::hash::Hasher::finish(&h));
+                            out.extend_from_slice(&narrow);
+                            local.insert(narrow);
+                        }
+                        (out, hashes)
+                    });
+                    // Each part's offset in the concatenated kept rows.
+                    let mut offsets = Vec::with_capacity(n);
+                    let mut total = 0usize;
+                    for (_, hashes) in &parts {
+                        offsets.push(total);
+                        total += hashes.len();
+                    }
+                    let shard_ids: Vec<u64> = (0..eng.threads().max(1) as u64).collect();
+                    let nshards = shard_ids.len() as u64;
+                    let survivors = eng.parallel_map(&shard_ids, |&shard| {
+                        let mut seen: FxSet<&[Val]> = FxSet::default();
+                        let mut keep: Vec<usize> = Vec::new();
+                        for (p, (rows, hashes)) in parts.iter().enumerate() {
+                            for (i, &h) in hashes.iter().enumerate() {
+                                if h % nshards != shard {
+                                    continue;
+                                }
+                                if seen.insert(&rows[i * k..(i + 1) * k]) {
+                                    keep.push(offsets[p] + i);
+                                }
                             }
                         }
-                        out
+                        keep
                     });
-                    let mut seen: FxSet<Vec<Val>> = fx::set_with_capacity(s.rows);
-                    let mut out = VStream::empty(idx.len());
-                    for part in &parts {
-                        for row in part.chunks_exact(idx.len()) {
-                            if seen.insert(row.to_vec()) {
-                                out.push(row);
+                    let mut keep_flags = vec![false; total];
+                    for list in &survivors {
+                        for &g in list {
+                            keep_flags[g] = true;
+                        }
+                    }
+                    let mut out = VStream::empty(k);
+                    let mut g = 0usize;
+                    for (rows, hashes) in &parts {
+                        for i in 0..hashes.len() {
+                            if keep_flags[g] {
+                                out.push(&rows[i * k..(i + 1) * k]);
                             }
+                            g += 1;
                         }
                     }
                     ("project(dedup)".to_string(), out, n)

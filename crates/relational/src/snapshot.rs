@@ -1,0 +1,304 @@
+//! Snapshot-isolated shared states.
+//!
+//! A [`SharedState`] is the multi-reader ownership story for [`State`]:
+//! readers take an immutable [`Snapshot`] (an `Arc`-shared state plus an
+//! epoch number) and keep it for as long as a query runs; writers batch
+//! mutations and *publish* — clone the current state (cheap, the
+//! dictionary and columns are `Arc`-shared and copy-on-write), apply the
+//! batch through the existing bulk-ingestion path, bump the epoch, and
+//! atomically swap the pointer. In-flight readers are never blocked and
+//! never observe a half-published batch: every snapshot is some state
+//! that was published whole.
+//!
+//! The append-only storage design is what makes this cheap. `Dict` only
+//! grows and `VRel` batches rewrite a relation's column in one merge
+//! pass anyway, so copy-on-write publication adds no asymptotic cost
+//! over single-owner mutation: a publishing batch deep-copies exactly
+//! the dictionary and the relations it touches, and shares the rest.
+//!
+//! ```
+//! use fq_relational::{Schema, SharedState, State, Value};
+//!
+//! let shared = SharedState::new(State::new(Schema::new().with_relation("R", 1)));
+//! let before = shared.snapshot();
+//! shared.ingest("R", vec![vec![Value::Nat(7)]]).unwrap();
+//! let after = shared.snapshot();
+//! assert_eq!(before.size(), 0); // pinned: publication is invisible
+//! assert_eq!(after.size(), 1);
+//! assert!(after.epoch() > before.epoch());
+//! ```
+
+use crate::state::{State, StateError, Tuple};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Process-wide store id allocator: snapshots from different
+/// [`SharedState`]s (or detached snapshots) never share an identity.
+static STORE_IDS: AtomicU64 = AtomicU64::new(1);
+
+fn next_store_id() -> u64 {
+    STORE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An immutable, cheaply clonable view of a [`State`] at one publication
+/// epoch. Derefs to [`State`], so everything that reads a state runs
+/// unchanged against a snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    store_id: u64,
+    epoch: u64,
+    state: Arc<State>,
+}
+
+impl Snapshot {
+    /// A detached snapshot of a free-standing state (epoch 0, fresh
+    /// store id). One-shot callers — the CLI, tests — use this to run
+    /// the snapshot-borrowing execution path without a [`SharedState`].
+    pub fn detached(state: State) -> Snapshot {
+        Snapshot {
+            store_id: next_store_id(),
+            epoch: 0,
+            state: Arc::new(state),
+        }
+    }
+
+    /// The identity of the store this snapshot was taken from.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// The publication epoch: 0 for the initial state, bumped by one
+    /// per published batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared state (for callers that need to hold an `Arc`).
+    pub fn state(&self) -> &Arc<State> {
+        &self.state
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = State;
+
+    fn deref(&self) -> &State {
+        &self.state
+    }
+}
+
+/// A multi-reader, single-writer-at-a-time shared [`State`] with
+/// atomic snapshot publication.
+///
+/// * [`SharedState::snapshot`] — wait-free for practical purposes: a
+///   read lock held just long enough to bump an `Arc`.
+/// * [`SharedState::ingest`] / [`SharedState::ingest_batches`] — batch
+///   mutation through the bulk path, then an atomic epoch-bumping swap.
+///   Writers serialize on a dedicated mutex; the `current` write lock
+///   is held only for the pointer swap itself.
+#[derive(Debug)]
+pub struct SharedState {
+    store_id: u64,
+    current: RwLock<Snapshot>,
+    /// Writers serialize here so clone → mutate → swap is atomic
+    /// without holding the readers' lock across the mutation.
+    writer: Mutex<()>,
+}
+
+impl SharedState {
+    /// Share a state, as epoch 0 of a fresh store.
+    pub fn new(state: State) -> SharedState {
+        let store_id = next_store_id();
+        SharedState {
+            store_id,
+            current: RwLock::new(Snapshot {
+                store_id,
+                epoch: 0,
+                state: Arc::new(state),
+            }),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The identity of this store.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// The current publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("not poisoned").epoch
+    }
+
+    /// Pin the current snapshot. The caller keeps it — and every result
+    /// computed from it stays bit-identical — no matter how many epochs
+    /// are published afterwards.
+    pub fn snapshot(&self) -> Snapshot {
+        self.current.read().expect("not poisoned").clone()
+    }
+
+    /// Ingest one relation's batch of tuples and publish. Returns the
+    /// number of genuinely new rows and the epoch now current (a batch
+    /// of only duplicates changes nothing and publishes nothing).
+    pub fn ingest(&self, relation: &str, rows: Vec<Tuple>) -> Result<(usize, u64), StateError> {
+        self.ingest_batches([(relation.to_string(), rows)])
+    }
+
+    /// Ingest batches for several relations as **one** publication:
+    /// readers either see none of the batch or all of it. Any scheme
+    /// violation aborts the whole ingest with nothing published.
+    pub fn ingest_batches<I>(&self, batches: I) -> Result<(usize, u64), StateError>
+    where
+        I: IntoIterator<Item = (String, Vec<Tuple>)>,
+    {
+        let _writing = self.writer.lock().expect("not poisoned");
+        let base = self.snapshot();
+        // Copy-on-write: pointer bumps now; the bulk path deep-copies
+        // the dictionary and touched relations when it mutates them.
+        let mut next = (*base.state).clone();
+        let mut added = 0;
+        for (relation, rows) in batches {
+            added += next.extend_bulk(&relation, rows)?;
+        }
+        if added == 0 {
+            return Ok((0, base.epoch));
+        }
+        let epoch = base.epoch + 1;
+        *self.current.write().expect("not poisoned") = Snapshot {
+            store_id: self.store_id,
+            epoch,
+            state: Arc::new(next),
+        };
+        Ok((added, epoch))
+    }
+
+    /// Replace the state wholesale (schema migrations, reloads) as the
+    /// next epoch.
+    pub fn publish(&self, state: State) -> u64 {
+        let _writing = self.writer.lock().expect("not poisoned");
+        let mut cur = self.current.write().expect("not poisoned");
+        let epoch = cur.epoch + 1;
+        *cur = Snapshot {
+            store_id: self.store_id,
+            epoch,
+            state: Arc::new(state),
+        };
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::state::Value;
+
+    // The whole point: one store, many executors, scoped threads.
+    const _: fn() = || {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SharedState>();
+        assert_sync::<Snapshot>();
+    };
+
+    fn schema() -> Schema {
+        Schema::new().with_relation("R", 1).with_relation("S", 2)
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let shared = SharedState::new(State::new(schema()));
+        let s0 = shared.snapshot();
+        let (added, e1) = shared.ingest("R", vec![vec![Value::Nat(1)]]).unwrap();
+        assert_eq!((added, e1), (1, 1));
+        let s1 = shared.snapshot();
+        shared
+            .ingest("R", vec![vec![Value::Str("x".into())]])
+            .unwrap();
+        assert_eq!(s0.size(), 0);
+        assert_eq!(s1.size(), 1);
+        assert_eq!(shared.snapshot().size(), 2);
+        assert_eq!((s0.epoch(), s1.epoch(), shared.epoch()), (0, 1, 2));
+        assert_eq!(s0.store_id(), shared.store_id());
+    }
+
+    #[test]
+    fn duplicate_only_batches_publish_nothing() {
+        let shared = SharedState::new(State::new(schema()).with_tuple("R", vec![Value::Nat(1)]));
+        let (added, epoch) = shared.ingest("R", vec![vec![Value::Nat(1)]]).unwrap();
+        assert_eq!((added, epoch), (0, 0));
+        assert_eq!(shared.epoch(), 0);
+    }
+
+    #[test]
+    fn multi_relation_ingest_is_atomic_on_error() {
+        let shared = SharedState::new(State::new(schema()));
+        let err = shared.ingest_batches([
+            ("R".to_string(), vec![vec![Value::Nat(1)]]),
+            ("Bogus".to_string(), vec![vec![Value::Nat(2)]]),
+        ]);
+        assert!(matches!(err, Err(StateError::UnknownRelation { .. })));
+        assert_eq!(shared.epoch(), 0, "failed batches publish nothing");
+        assert_eq!(shared.snapshot().size(), 0);
+    }
+
+    #[test]
+    fn publication_shares_untouched_columns() {
+        let mut base = State::new(schema());
+        base.extend_bulk(
+            "S",
+            (0..100)
+                .map(|i| vec![Value::Nat(i), Value::Nat(i + 1)])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let shared = SharedState::new(base);
+        let before = shared.snapshot();
+        shared.ingest("R", vec![vec![Value::Nat(9)]]).unwrap();
+        let after = shared.snapshot();
+        // The untouched relation's column is the same allocation.
+        assert!(std::ptr::eq(
+            before.vrel("S").unwrap(),
+            after.vrel("S").unwrap()
+        ));
+        assert!(!std::ptr::eq(
+            before.vrel("R").unwrap(),
+            after.vrel("R").unwrap()
+        ));
+    }
+
+    #[test]
+    fn detached_snapshots_have_distinct_stores() {
+        let a = Snapshot::detached(State::new(schema()));
+        let b = Snapshot::detached(State::new(schema()));
+        assert_ne!(a.store_id(), b.store_id());
+        assert_eq!(a.epoch(), 0);
+    }
+
+    #[test]
+    fn publish_replaces_wholesale() {
+        let shared = SharedState::new(State::new(schema()));
+        let epoch = shared.publish(State::new(schema()).with_tuple("R", vec![Value::Nat(3)]));
+        assert_eq!(epoch, 1);
+        assert_eq!(shared.snapshot().size(), 1);
+    }
+
+    #[test]
+    fn fingerprints_track_content_not_history() {
+        let by_insert = State::new(schema())
+            .with_tuple("R", vec![Value::Str("b".into())])
+            .with_tuple("R", vec![Value::Str("a".into())]);
+        let mut by_bulk = State::new(schema());
+        by_bulk
+            .extend_bulk(
+                "R",
+                vec![vec![Value::Str("a".into())], vec![Value::Str("b".into())]],
+            )
+            .unwrap();
+        // Different interning order, equal content: equal fingerprints.
+        assert_eq!(by_insert.fingerprint(), by_bulk.fingerprint());
+        let mut grown = by_bulk.clone();
+        grown.insert("R", vec![Value::Str("c".into())]);
+        assert_ne!(grown.fingerprint(), by_bulk.fingerprint());
+    }
+}

@@ -18,11 +18,11 @@
 //! validation ([`StateError`]) and produce identical states.
 
 use crate::schema::Schema;
-use crate::val::{ColStats, Dict, VRel, Val};
+use crate::val::{self, ColStats, Dict, VRel, Val};
 use fq_json::{FromJson, JsonError, ToJson};
 use fq_logic::{Formula, Term};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A domain element stored in a database: a natural number (numeric
 /// domains of Section 2) or a string over the trace alphabet (domain
@@ -137,14 +137,23 @@ impl std::fmt::Display for StateError {
 impl std::error::Error for StateError {}
 
 /// A database state: finite relations plus values for scheme constants.
+///
+/// The dictionary and each relation's columns live behind `Arc`s, so
+/// `clone()` is a handful of pointer bumps and mutation is copy-on-write
+/// (`Arc::make_mut` deep-copies only the dictionary and the relations a
+/// write actually touches). That makes [`Snapshot`](crate::Snapshot)
+/// publication cheap: a writer clones the current state, applies a
+/// batch, and swaps — in-flight readers keep every untouched column.
 #[derive(Clone, Debug, Default)]
 pub struct State {
     schema: Schema,
-    dict: Dict,
-    relations: BTreeMap<String, VRel>,
+    dict: Arc<Dict>,
+    relations: BTreeMap<String, Arc<VRel>>,
     constants: BTreeMap<String, Value>,
     /// Cached [`State::active_domain`]; cleared by every mutation.
     ad_cache: OnceLock<BTreeSet<Value>>,
+    /// Cached [`State::fingerprint`]; cleared by every mutation.
+    fp_cache: OnceLock<u128>,
 }
 
 impl State {
@@ -152,14 +161,15 @@ impl State {
     pub fn new(schema: Schema) -> Self {
         let mut relations = BTreeMap::new();
         for (name, arity) in schema.relations() {
-            relations.insert(name.to_string(), VRel::new(arity));
+            relations.insert(name.to_string(), Arc::new(VRel::new(arity)));
         }
         State {
             schema,
-            dict: Dict::default(),
+            dict: Arc::default(),
             relations,
             constants: BTreeMap::new(),
             ad_cache: OnceLock::new(),
+            fp_cache: OnceLock::new(),
         }
     }
 
@@ -201,12 +211,16 @@ impl State {
                 got: tuple.len(),
             });
         }
-        let row: Vec<Val> = tuple.iter().map(|v| self.dict.encode(v)).collect();
-        self.relations
-            .get_mut(relation)
-            .expect("initialized in new()")
-            .insert(&row, &self.dict);
+        let dict = Arc::make_mut(&mut self.dict);
+        let row: Vec<Val> = tuple.iter().map(|v| dict.encode(v)).collect();
+        Arc::make_mut(
+            self.relations
+                .get_mut(relation)
+                .expect("initialized in new()"),
+        )
+        .insert(&row, &self.dict);
         self.ad_cache.take();
+        self.fp_cache.take();
         Ok(())
     }
 
@@ -265,6 +279,7 @@ impl State {
         }
         self.constants.insert(name.to_string(), value.into());
         self.ad_cache.take();
+        self.fp_cache.take();
         Ok(())
     }
 
@@ -297,7 +312,7 @@ impl State {
 
     /// The columnar store of a relation (`None` for undeclared names).
     pub fn vrel(&self, relation: &str) -> Option<&VRel> {
-        self.relations.get(relation)
+        self.relations.get(relation).map(|r| r.as_ref())
     }
 
     /// Per-column statistics of a relation, computed lazily.
@@ -433,21 +448,65 @@ impl State {
             // A zero-arity relation holds at most the empty tuple; the
             // flat batch encoding cannot carry a row count, so take the
             // (bounded, constant-work) single-row path.
-            let rel = self.relations.get_mut(relation).expect("initialized");
+            let rel = Arc::make_mut(self.relations.get_mut(relation).expect("initialized"));
             usize::from(rel.insert(&[], &self.dict))
         } else {
             let mut batch = Vec::with_capacity(staged.len() * arity);
-            self.dict
+            Arc::make_mut(&mut self.dict)
                 .encode_rows(staged.iter().map(|t| t.as_slice()), &mut batch);
-            self.relations
-                .get_mut(relation)
-                .expect("initialized in new()")
-                .extend_from_sorted(batch, &self.dict)
+            Arc::make_mut(
+                self.relations
+                    .get_mut(relation)
+                    .expect("initialized in new()"),
+            )
+            .extend_from_sorted(batch, &self.dict)
         };
         if added > 0 {
             self.ad_cache.take();
+            self.fp_cache.take();
         }
         Ok(added)
+    }
+
+    /// A 128-bit content fingerprint: a hash of the schema, the decoded
+    /// relation rows, and the constants. Two states with equal content
+    /// fingerprint equal regardless of interning history (row words are
+    /// mixed through per-entry *semantic* hashes, not dictionary ids),
+    /// and any mutation invalidates the cached value — so the
+    /// fingerprint is a sound O(1)-amortized cache key standing in for
+    /// the full serialized state.
+    pub fn fingerprint(&self) -> u128 {
+        *self.fp_cache.get_or_init(|| {
+            let table = self.dict.entry_hashes();
+            let word = |v: Val| match v.as_inline_nat() {
+                Some(n) => val::hash_nat(n),
+                None => table[v.id().expect("tagged")],
+            };
+            // Two accumulators with independent mixing, concatenated to
+            // 128 bits so distinct states collide only negligibly.
+            let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut mix = |x: u64| {
+                h1 = (h1.rotate_left(5) ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+                h2 = (h2.wrapping_add(x).rotate_left(23)) ^ x.wrapping_mul(0x517c_c1b7_2722_0a95);
+            };
+            mix(val::hash_str(&fq_json::to_string(&self.schema)));
+            for (name, rel) in &self.relations {
+                mix(val::hash_str(name));
+                mix(rel.rows() as u64);
+                for &v in rel.data() {
+                    mix(word(v));
+                }
+            }
+            for (name, v) in &self.constants {
+                mix(val::hash_str(name));
+                match v {
+                    Value::Nat(n) => mix(val::hash_nat(*n)),
+                    Value::Str(s) => mix(val::hash_str(s)),
+                }
+            }
+            ((h1 as u128) << 64) | h2 as u128
+        })
     }
 
     /// The active domain of a *query in this state*: the state's active
@@ -559,8 +618,9 @@ impl StateBuilder {
                 got: tuple.len(),
             });
         }
+        let dict = Arc::make_mut(&mut self.state.dict);
         for v in tuple {
-            staging.flat.push(self.state.dict.encode(v));
+            staging.flat.push(dict.encode(v));
         }
         staging.rows += 1;
         Ok(())
@@ -640,7 +700,7 @@ impl StateBuilder {
                     && crate::val::batch_prefers_keys(s.rows, s.arity, self.state.dict.len())
             })
             .then(|| self.state.dict.sort_keys());
-        let dict = &self.state.dict;
+        let dict: &Dict = &self.state.dict;
         // Each worker consumes one relation's staged buffer and builds
         // that relation's merged store from scratch (the state's stores
         // are still empty at finish time — every row was staged).
@@ -666,9 +726,10 @@ impl StateBuilder {
         for (name, rel) in merged {
             let slot = self.state.relations.get_mut(&name).expect("validated");
             debug_assert_eq!(slot.rows(), 0, "rows bypass staging only through constants");
-            *slot = rel;
+            *slot = Arc::new(rel);
         }
         self.state.ad_cache.take();
+        self.state.fp_cache.take();
         self.state
     }
 }

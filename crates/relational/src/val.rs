@@ -41,6 +41,26 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// The tag bit: set for dictionary ids, clear for inline naturals.
 const TAG: u64 = 1 << 63;
 
+/// Semantic hash of a natural, for content fingerprints. Tagged apart
+/// from [`hash_str`] so `Nat(5)` and `Str("5")` never collide by
+/// construction.
+pub(crate) fn hash_nat(n: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::fx::FxHasher::default();
+    h.write_u8(0);
+    h.write_u64(n);
+    h.finish()
+}
+
+/// Semantic hash of a string, for content fingerprints.
+pub(crate) fn hash_str(s: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::fx::FxHasher::default();
+    h.write_u8(1);
+    h.write(s.as_bytes());
+    h.finish()
+}
+
 /// A database value packed into one word: an inline natural (`n < 2⁶³`)
 /// or a dictionary id. Equality and hashing are word operations; the
 /// derived `Ord` is **not** the semantic [`Value`] order — use
@@ -205,6 +225,21 @@ impl Dict {
                 .get(s.as_str())
                 .map(|&id| Val::from_id(id as usize)),
         }
+    }
+
+    /// A 64-bit semantic hash of every interned entry, indexed by id.
+    /// Equal values hash equal in *any* dictionary, regardless of id
+    /// assignment order, so [`State::fingerprint`](crate::State::fingerprint)
+    /// can mix row words through this table and depend only on decoded
+    /// content — never on interning history.
+    pub(crate) fn entry_hashes(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                DictEntry::Big(n) => hash_nat(*n),
+                DictEntry::Str(s) => hash_str(s),
+            })
+            .collect()
     }
 
     fn view(&self, v: Val) -> View<'_> {

@@ -9,6 +9,7 @@
 //! fq decide  <domain> <sentence>               decide a pure-domain sentence
 //! fq traces  <machine-string> <word> [k]       run a machine, print its traces
 //! fq machines [n]                              list the first n machine encodings
+//! fq serve   <state.json> [addr]               serve queries over line/JSON TCP
 //! ```
 //!
 //! Domains are the registry names `eq|nat|int|succ|presburger|words|traces`;
@@ -39,9 +40,10 @@ fn main() -> ExitCode {
         Some("decide") => cmd_decide(&args[1..]),
         Some("traces") => cmd_traces(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fq <check|eval|plan|explain|safe|decide|traces|machines> …\n\
+                "usage: fq <check|eval|plan|explain|safe|decide|traces|machines|serve> …\n\
                  see `src/bin/fq.rs` for the full synopsis"
             );
             return ExitCode::from(2);
@@ -159,9 +161,10 @@ fn cmd_explain(args: &[String]) -> CliResult {
     let query = arg(args, 1, "query")?;
     let domain = domain_arg(args, 2, query)?;
     let exec = Executor::from_env();
-    let (planned, _) = exec.plan(&state, query, domain)?;
+    let snapshot = finite_queries::relational::Snapshot::detached(state);
+    let (planned, _) = exec.plan(&snapshot, query, domain)?;
     println!("{}", planned.explain());
-    let out = exec.execute(&state, query, domain)?;
+    let out = exec.execute_snapshot(&snapshot, query, domain)?;
     println!("---");
     match out.completeness {
         Completeness::Decided { value } => println!("decided:    {value}"),
@@ -194,8 +197,10 @@ fn cmd_explain(args: &[String]) -> CliResult {
         out.stats.threads, out.stats.morsel_rows
     );
     println!(
-        "stats:      plan-cache {}, engine memo {} hit(s) / {} miss(es)",
+        "stats:      plan-cache {} ({} hit(s) / {} miss(es)), engine memo {} hit(s) / {} miss(es)",
         if out.stats.plan_cached { "hit" } else { "miss" },
+        out.stats.plan_hits,
+        out.stats.plan_misses,
         out.stats.engine_hits,
         out.stats.engine_misses
     );
@@ -210,6 +215,14 @@ fn cmd_explain(args: &[String]) -> CliResult {
         },
         out.stats.dict_strings
     );
+    println!(
+        "snapshot:   epoch {} of store {}",
+        snapshot.epoch(),
+        snapshot.store_id()
+    );
+    for (name, _) in snapshot.schema().relations() {
+        println!("  {:>8} row(s) in {}", snapshot.relation_size(name), name);
+    }
     Ok(())
 }
 
@@ -269,6 +282,28 @@ fn cmd_traces(args: &[String]) -> CliResult {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    use finite_queries::query::{QueryService, Server};
+    use finite_queries::relational::SharedState;
+    use std::sync::Arc;
+
+    let state = load_state(arg(args, 0, "state.json")?)?;
+    let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let shared = Arc::new(SharedState::new(state));
+    let service = QueryService::new(Arc::clone(&shared), Executor::from_env());
+    let server = Server::bind(service, addr)?;
+    let local = server.local_addr()?;
+    println!(
+        "fq serve: store {} (epoch {}, {} row(s)) listening on {local}",
+        shared.store_id(),
+        shared.epoch(),
+        shared.snapshot().size()
+    );
+    println!("protocol: one JSON request per line — cmd query|explain|ingest|snapshot-info");
+    server.run()?;
     Ok(())
 }
 
