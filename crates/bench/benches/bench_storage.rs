@@ -358,6 +358,146 @@ fn emit_report() {
         });
     }
 
+    // --- Binary snapshot: write, cold load, time-to-first-query. ------
+    // The snapshot is raw columns + dictionary; loading is bounds-checked
+    // bulk reads with no re-interning or re-sorting, so cold load runs at
+    // I/O speed where JSON is parse-bound. The headline row requires the
+    // 10⁶-row snapshot cold load to beat the JSON cold load ≥ 5x.
+    {
+        let first_query = PhysicalPlan::compile(&single_key);
+        fn snapshot_rows(
+            report: &mut ExperimentReport,
+            reference: &str,
+            first_query: &PhysicalPlan,
+            state: &State,
+            n: usize,
+        ) -> Duration {
+            let start = Instant::now();
+            let bytes = state.snapshot_bytes();
+            let write = start.elapsed();
+            assert_eq!(
+                bytes.len(),
+                fq_relational::format::snapshot_len(state),
+                "advertised snapshot size drifted from the writer"
+            );
+            report.results.push(ExperimentResult {
+                id: format!("STO_snap/write_{n}"),
+                reference: reference.to_string(),
+                claim: format!("serialize the {n}-row trace state to the binary snapshot"),
+                observed: format!(
+                    "{} µs for {} bytes ({:.0} MB/s)",
+                    write.as_micros(),
+                    bytes.len(),
+                    bytes.len() as f64 / write.as_secs_f64() / 1e6
+                ),
+                pass: true,
+                millis: write.as_millis(),
+            });
+            let start = Instant::now();
+            let loaded = State::read_snapshot(&bytes).expect("snapshot reloads");
+            let cold = start.elapsed();
+            assert_eq!(&loaded, state, "snapshot round-trip changed the state");
+            report.results.push(ExperimentResult {
+                id: format!("STO_snap/cold_{n}"),
+                reference: reference.to_string(),
+                claim: format!(
+                    "cold snapshot load of the {n}-row state: bounds-checked \
+                     bulk reads, no re-interning or re-sorting"
+                ),
+                observed: format!(
+                    "{} µs for {} bytes ({:.0} MB/s)",
+                    cold.as_micros(),
+                    bytes.len(),
+                    bytes.len() as f64 / cold.as_secs_f64() / 1e6
+                ),
+                pass: true,
+                millis: cold.as_millis(),
+            });
+            // Time-to-first-query: snapshot bytes in memory → first
+            // answer out of the physical executor.
+            let start = Instant::now();
+            let served = State::read_snapshot(&bytes).expect("snapshot reloads");
+            let out = first_query.execute(&served);
+            let ttfq = start.elapsed();
+            report.results.push(ExperimentResult {
+                id: format!("STO_snap/ttfq_{n}"),
+                reference: reference.to_string(),
+                claim: format!(
+                    "time-to-first-query over the {n}-row snapshot: load + \
+                     Run ⋈ Looping through the physical executor"
+                ),
+                observed: format!(
+                    "{} µs to the first {}-row answer",
+                    ttfq.as_micros(),
+                    out.tuples.len()
+                ),
+                pass: !out.tuples.is_empty(),
+                millis: ttfq.as_millis(),
+            });
+            cold
+        }
+
+        let t0 = Instant::now();
+        let small = trace_db_state(&trace_db_rows(100_000, 42));
+        eprintln!(
+            "[bench_storage] rebuilt the 10⁵-row state in {} ms",
+            t0.elapsed().as_millis()
+        );
+        snapshot_rows(&mut report, &reference, &first_query, &small, 100_000);
+        drop(small);
+        let cold_snap = snapshot_rows(&mut report, &reference, &first_query, &large, 1_000_000);
+
+        // JSON cold load at the headline size, for the speedup row.
+        let json = fq_json::to_string(&large);
+        let start = Instant::now();
+        let reparsed: State = fq_json::from_str(&json).expect("state reparses");
+        let cold_json = start.elapsed();
+        assert_eq!(reparsed, large, "JSON round-trip changed the state");
+        drop(reparsed);
+        report.results.push(ExperimentResult {
+            id: "STO_cold/json_1000000".to_string(),
+            reference: reference.clone(),
+            claim: "cold JSON load of the 10⁶-row state (parse + intern + merge)".to_string(),
+            observed: format!(
+                "{} µs for {} bytes ({:.0} MB/s)",
+                cold_json.as_micros(),
+                json.len(),
+                json.len() as f64 / cold_json.as_secs_f64() / 1e6
+            ),
+            pass: true,
+            millis: cold_json.as_millis(),
+        });
+        let speedup = cold_json.as_secs_f64() / cold_snap.as_secs_f64().max(1e-9);
+        report.results.push(ExperimentResult {
+            id: "STO_snap/speedup_1000000".to_string(),
+            reference: reference.clone(),
+            claim: "cold load of the 10⁶-row trace state from the binary \
+                    snapshot is ≥ 5x faster than from JSON"
+                .to_string(),
+            observed: format!(
+                "{speedup:.1}x (snapshot {} µs vs JSON {} µs)",
+                cold_snap.as_micros(),
+                cold_json.as_micros()
+            ),
+            pass: speedup >= 5.0,
+            millis: 0,
+        });
+
+        // The 10⁷-row size takes minutes to *generate*; opt in with
+        // FQ_BENCH_HUGE=1 (the gate skips the row when absent).
+        if std::env::var_os("FQ_BENCH_HUGE").is_some() {
+            let t0 = Instant::now();
+            let huge = trace_db_state(&trace_db_rows(10_000_000, 42));
+            eprintln!(
+                "[bench_storage] built the 10⁷-row state in {} ms",
+                t0.elapsed().as_millis()
+            );
+            snapshot_rows(&mut report, &reference, &first_query, &huge, 10_000_000);
+        } else {
+            eprintln!("[bench_storage] skipping the 10⁷-row snapshot rows (set FQ_BENCH_HUGE=1)");
+        }
+    }
+
     let json = report.to_json();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
     std::fs::write(path, &json).expect("write BENCH_storage.json");

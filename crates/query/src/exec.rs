@@ -67,6 +67,10 @@ pub struct ExecStats {
     pub plan_hits: usize,
     /// `query.plan` cache misses across this executor's lifetime.
     pub plan_misses: usize,
+    /// Content fingerprint of the state executed against — the same
+    /// value plan-cache keys and `snapshot-info` report, so callers can
+    /// correlate an outcome with a published snapshot cheaply.
+    pub state_fingerprint: u128,
 }
 
 /// The uniform result of the pipeline: answers, a completeness
@@ -240,6 +244,8 @@ impl Executor {
         outcome.stats.threads = self.engine.threads();
         outcome.stats.morsel_rows = self.morsel_rows;
         outcome.stats.snapshot_epoch = snapshot_epoch;
+        // Cached on the state by plan(), so this is a read, not a hash.
+        outcome.stats.state_fingerprint = state.fingerprint();
         let (plan_hits, plan_misses) = self.plan_cache_stats();
         outcome.stats.plan_hits = plan_hits;
         outcome.stats.plan_misses = plan_misses;

@@ -165,9 +165,17 @@ impl QueryService {
             .shared
             .ingest(relation, rows)
             .map_err(|e| e.to_string())?;
+        // Report the published state's canonical on-disk size so
+        // ingesting clients can track snapshot growth per batch.
+        let snapshot = self.shared.snapshot();
         Ok(fq_json::object([
             ("added", added.to_json()),
             ("epoch", epoch.to_json()),
+            ("format", Json::Str(fq_relational::FORMAT_ID.to_string())),
+            (
+                "snapshot_bytes",
+                fq_relational::format::snapshot_len(snapshot.state()).to_json(),
+            ),
         ]))
     }
 
@@ -181,6 +189,12 @@ impl QueryService {
 
 /// The `snapshot-info` fields for one pinned snapshot, shared with the
 /// CLI's `fq explain` so both surfaces print identical facts.
+///
+/// `fingerprint` is the O(1)-amortized content hash plan caches key on,
+/// `format`/`snapshot_bytes` describe the canonical on-disk columnar
+/// serialization of this snapshot — together they let a client detect
+/// a stale local snapshot (fingerprint mismatch) and size a refresh
+/// without transferring anything.
 pub fn snapshot_info_json(snapshot: &Snapshot, executor: &Executor) -> Json {
     let relations = Json::Object(
         snapshot
@@ -194,6 +208,15 @@ pub fn snapshot_info_json(snapshot: &Snapshot, executor: &Executor) -> Json {
     fq_json::object([
         ("store", snapshot.store_id().to_json()),
         ("epoch", snapshot.epoch().to_json()),
+        (
+            "fingerprint",
+            Json::Str(format!("{:#034x}", snapshot.fingerprint())),
+        ),
+        ("format", Json::Str(fq_relational::FORMAT_ID.to_string())),
+        (
+            "snapshot_bytes",
+            fq_relational::format::snapshot_len(snapshot.state()).to_json(),
+        ),
         ("dict_entries", snapshot.dict().len().to_json()),
         ("dict_strings", snapshot.dict().strings().to_json()),
         ("stored_rows", snapshot.size().to_json()),
@@ -441,6 +464,17 @@ mod tests {
         let info = client.snapshot_info().unwrap();
         assert_eq!(info.get("epoch").and_then(Json::as_int), Some(0));
         assert_eq!(info.get("stored_rows").and_then(Json::as_int), Some(2));
+        assert_eq!(
+            info.get("format").and_then(Json::as_str),
+            Some(fq_relational::FORMAT_ID)
+        );
+        let fingerprint = info.get("fingerprint").and_then(Json::as_str).unwrap();
+        assert!(
+            fingerprint.starts_with("0x") && fingerprint.len() == 34,
+            "{fingerprint}"
+        );
+        let bytes_before = info.get("snapshot_bytes").and_then(Json::as_int).unwrap();
+        assert!(bytes_before > 0);
 
         let out = client.query("F(x, y)", Some("eq")).unwrap();
         assert_eq!(out.get("ok").and_then(Json::as_bool), Some(true));
@@ -451,6 +485,18 @@ mod tests {
             .unwrap();
         assert_eq!(ingested.get("added").and_then(Json::as_int), Some(1));
         assert_eq!(ingested.get("epoch").and_then(Json::as_int), Some(1));
+        // Growth is visible in the reported on-disk size, and the
+        // published snapshot's info fingerprint moved.
+        let grown = ingested
+            .get("snapshot_bytes")
+            .and_then(Json::as_int)
+            .unwrap();
+        assert!(grown > bytes_before, "{grown} vs {bytes_before}");
+        let info = client.snapshot_info().unwrap();
+        assert_ne!(
+            info.get("fingerprint").and_then(Json::as_str).unwrap(),
+            fingerprint
+        );
 
         // A second connection sees the published epoch.
         let mut other = Client::connect(addr).unwrap();

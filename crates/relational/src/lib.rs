@@ -63,6 +63,7 @@
 
 pub mod active_eval;
 pub mod algebra;
+pub mod format;
 pub mod fx;
 pub mod optimize;
 pub mod physical;
@@ -75,6 +76,7 @@ pub mod val;
 
 pub use active_eval::{eval_query, eval_query_with};
 pub use algebra::{AlgebraExpr, Relation};
+pub use format::{is_snapshot, FORMAT_ID, JSON_FORMAT_ID};
 pub use optimize::{optimize, OptimizedExpr};
 pub use physical::{ExecOpts, ExecReport, OpStat, PhysicalPlan, DEFAULT_MORSEL_ROWS};
 pub use safe_range::is_safe_range;

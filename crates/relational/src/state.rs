@@ -110,6 +110,14 @@ pub enum StateError {
     },
     /// The constant is not declared in the scheme.
     UnknownConstant { name: String },
+    /// The bytes handed to the snapshot reader do not begin with the
+    /// snapshot magic — not a columnar snapshot at all.
+    SnapshotMagic,
+    /// The snapshot declares a format version this build cannot read.
+    SnapshotVersion { found: u8 },
+    /// The snapshot is structurally damaged: truncated, checksum
+    /// mismatch, or internally inconsistent section contents.
+    SnapshotCorrupt { detail: String },
 }
 
 impl std::fmt::Display for StateError {
@@ -129,6 +137,16 @@ impl std::fmt::Display for StateError {
             ),
             StateError::UnknownConstant { name } => {
                 write!(f, "constant `{name}` not in the scheme")
+            }
+            StateError::SnapshotMagic => {
+                write!(f, "not a columnar snapshot (bad magic bytes)")
+            }
+            StateError::SnapshotVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version 1)"
+            ),
+            StateError::SnapshotCorrupt { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
             }
         }
     }
@@ -256,6 +274,9 @@ impl State {
             StateError::UnknownConstant { name } => {
                 panic!("constant `{name}` not in the scheme")
             }
+            // Snapshot errors never reach the panicking insertion
+            // paths; keep a diagnostic fallback for completeness.
+            other => panic!("{other}"),
         }
     }
 
@@ -509,6 +530,52 @@ impl State {
         })
     }
 
+    /// Serialize this state into the binary columnar snapshot format
+    /// (see [`crate::format`]) — the fast cold-load counterpart of the
+    /// JSON interchange form. Writing forces column statistics, so a
+    /// reloaded snapshot starts with stats pre-populated.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        crate::format::write(self)
+    }
+
+    /// Write the snapshot serialization to `w`, returning the number
+    /// of bytes written.
+    pub fn write_snapshot<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<usize> {
+        let bytes = self.snapshot_bytes();
+        w.write_all(&bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Load a state from snapshot bytes. Corruption in any form —
+    /// wrong magic, future version, truncation, bit flips, dangling
+    /// dictionary ids — is a diagnosed [`StateError`], never a panic.
+    pub fn read_snapshot(bytes: &[u8]) -> Result<State, StateError> {
+        crate::format::read(bytes)
+    }
+
+    /// Assemble a state from parts the snapshot reader validated:
+    /// `relations` holds exactly the declared relations, encoded
+    /// against `dict`, and `constants` only declared names.
+    pub(crate) fn from_parts(
+        schema: Schema,
+        dict: Dict,
+        relations: BTreeMap<String, Arc<VRel>>,
+        constants: BTreeMap<String, Value>,
+    ) -> State {
+        debug_assert!(schema
+            .relations()
+            .all(|(name, arity)| relations.get(name).is_some_and(|r| r.arity() == arity)));
+        debug_assert_eq!(schema.relations().count(), relations.len());
+        State {
+            schema,
+            dict: Arc::new(dict),
+            relations,
+            constants,
+            ad_cache: OnceLock::new(),
+            fp_cache: OnceLock::new(),
+        }
+    }
+
     /// The active domain of a *query in this state*: the state's active
     /// domain plus all constants used in the formula ("the set of all
     /// constants used in the querying formula and/or elements contained
@@ -687,6 +754,24 @@ impl StateBuilder {
         self.finish_inner(Some(engine))
     }
 
+    /// Finish and serialize in one call: the finished state plus its
+    /// snapshot bytes. The snapshot writer forces column stats, so
+    /// emitting a snapshot at build time costs the stats pass a loader
+    /// would otherwise pay on first query.
+    pub fn finish_snapshot(self) -> (State, Vec<u8>) {
+        let state = self.finish_inner(None);
+        let bytes = state.snapshot_bytes();
+        (state, bytes)
+    }
+
+    /// [`StateBuilder::finish_snapshot`] with the merges (and any
+    /// oversized relation's batch sort) fanned out on `engine`.
+    pub fn finish_snapshot_with(self, engine: &fq_engine::Engine) -> (State, Vec<u8>) {
+        let state = self.finish_inner(Some(engine));
+        let bytes = state.snapshot_bytes();
+        (state, bytes)
+    }
+
     fn finish_inner(mut self, engine: Option<&fq_engine::Engine>) -> State {
         // All staged rows are already interned, so the dictionary is
         // final: if any staged batch is large enough for rank-key
@@ -711,10 +796,26 @@ impl StateBuilder {
                     rel.insert(&[], dict);
                 }
             } else {
-                match &keys {
-                    Some(keys) => rel.extend_from_sorted_with(s.flat, keys),
-                    None => rel.extend_from_sorted(s.flat, dict),
-                };
+                match (&keys, engine) {
+                    // One oversized relation is the case per-relation
+                    // fan-out can't split; sort its batch in parallel
+                    // chunks on the same pool (the engine's nested
+                    // thread budget arbitrates with the outer map).
+                    (Some(keys), Some(engine)) if s.rows >= val::PARALLEL_SORT_MIN_ROWS => {
+                        rel.extend_from_sorted_parallel(
+                            s.flat,
+                            keys,
+                            engine,
+                            val::PARALLEL_SORT_CHUNK_ROWS,
+                        );
+                    }
+                    (Some(keys), _) => {
+                        rel.extend_from_sorted_with(s.flat, keys);
+                    }
+                    (None, _) => {
+                        rel.extend_from_sorted(s.flat, dict);
+                    }
+                }
             }
             (name, rel)
         };

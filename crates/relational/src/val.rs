@@ -92,6 +92,13 @@ impl Val {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reinterpret a raw word (the snapshot reader's inverse of
+    /// [`Val::raw`]); the caller validates tagged ids against its
+    /// dictionary.
+    pub(crate) fn from_raw(word: u64) -> Val {
+        Val(word)
+    }
 }
 
 impl std::fmt::Debug for Val {
@@ -104,9 +111,10 @@ impl std::fmt::Debug for Val {
 }
 
 /// An interned dictionary entry: a natural too large to inline, or a
-/// string.
+/// string. `pub(crate)` so the snapshot format can dump and rebuild
+/// the entry table in id order.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum DictEntry {
+pub(crate) enum DictEntry {
     Big(u64),
     Str(Arc<str>),
 }
@@ -242,6 +250,60 @@ impl Dict {
             .collect()
     }
 
+    /// The interned entries in id order — exactly what the snapshot
+    /// format serializes, so a reload via [`Dict::from_raw_entries`]
+    /// reproduces this dictionary's id assignment and every stored
+    /// word column stays valid verbatim.
+    pub(crate) fn raw_entries(&self) -> &[DictEntry] {
+        &self.entries
+    }
+
+    /// Total bytes of interned string payloads (snapshot sizing).
+    pub(crate) fn string_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                DictEntry::Big(_) => 0,
+                DictEntry::Str(s) => s.len(),
+            })
+            .sum()
+    }
+
+    /// Rebuild a dictionary from an entry table in id order,
+    /// reconstructing the reverse maps. `Err` (with a human-readable
+    /// detail) when the table is not canonical — duplicate entries, or
+    /// a "big" natural small enough to inline — since words encoded
+    /// against such a table would break the one-word-per-value
+    /// invariant word equality relies on.
+    pub(crate) fn from_raw_entries(entries: Vec<DictEntry>) -> Result<Dict, String> {
+        let mut bigs = crate::fx::map_with_capacity(entries.len());
+        let mut strs = crate::fx::map_with_capacity(entries.len());
+        for (id, entry) in entries.iter().enumerate() {
+            match entry {
+                DictEntry::Big(n) => {
+                    if Val::inline_nat(*n).is_some() {
+                        return Err(format!(
+                            "dictionary entry {id} interns the inline-representable natural {n}"
+                        ));
+                    }
+                    if bigs.insert(*n, id as u32).is_some() {
+                        return Err(format!("dictionary entry {id} duplicates the natural {n}"));
+                    }
+                }
+                DictEntry::Str(s) => {
+                    if strs.insert(Arc::clone(s), id as u32).is_some() {
+                        return Err(format!("dictionary entry {id} duplicates a string"));
+                    }
+                }
+            }
+        }
+        Ok(Dict {
+            entries,
+            bigs,
+            strs,
+        })
+    }
+
     fn view(&self, v: Val) -> View<'_> {
         match v.as_inline_nat() {
             Some(n) => View::Nat(n),
@@ -343,6 +405,15 @@ pub(crate) fn batch_prefers_keys(rows: usize, arity: usize, dict_len: usize) -> 
     let log2 = |n: usize| (usize::BITS - n.max(2).leading_zeros()) as usize;
     dict_len > 0 && (rows * arity).saturating_mul(log2(rows)) >= dict_len * log2(dict_len)
 }
+
+/// Below this many staged rows one relation's batch merges sequentially
+/// even when `StateBuilder::finish_with` has an engine: the chunk
+/// fan-out and merge rounds cost more than the sort they replace.
+pub(crate) const PARALLEL_SORT_MIN_ROWS: usize = 1 << 17;
+
+/// Chunk size (rows) for [`VRel::extend_from_sorted_parallel`] when
+/// driven from `StateBuilder::finish_with`.
+pub(crate) const PARALLEL_SORT_CHUNK_ROWS: usize = 1 << 16;
 
 /// An id-indexed table of order-preserving integer keys for one
 /// [`Dict`] generation (see [`Dict::sort_keys`]). Stale tables must not
@@ -620,6 +691,44 @@ impl VRel {
         }
     }
 
+    /// Assemble a relation from parts the snapshot reader has already
+    /// bounds-checked: `rows × arity` words in strict semantic order
+    /// plus the precomputed per-column statistics, adopted with the
+    /// stats cache pre-populated (a loaded snapshot never recomputes
+    /// stats). Debug builds re-assert the shape and sortedness; release
+    /// builds trust the reader's checksums.
+    pub(crate) fn assemble(
+        arity: usize,
+        rows: usize,
+        data: Vec<Val>,
+        stats: Vec<ColStats>,
+        dict: &Dict,
+    ) -> VRel {
+        debug_assert_eq!(data.len(), rows * arity);
+        debug_assert_eq!(stats.len(), arity);
+        debug_assert!(
+            arity == 0
+                || (1..rows).all(|i| {
+                    dict.cmp_rows(
+                        &data[(i - 1) * arity..i * arity],
+                        &data[i * arity..(i + 1) * arity],
+                    ) == Ordering::Less
+                }),
+            "assembled column is not strictly sorted"
+        );
+        let _ = dict;
+        let cell = OnceLock::new();
+        cell.set(stats).expect("fresh cell");
+        VRel {
+            arity,
+            rows,
+            data,
+            stats: cell,
+            #[cfg(debug_assertions)]
+            insert_streak: 0,
+        }
+    }
+
     pub fn arity(&self) -> usize {
         self.arity
     }
@@ -773,6 +882,88 @@ impl VRel {
             return self.merge_presorted(batch, b, |x, y| keys.cmp_rows(x, y));
         }
         self.merge_batch(batch, b, |x, y| keys.cmp_rows(x, y))
+    }
+
+    /// [`VRel::extend_from_sorted_with`] with the batch sort fanned out
+    /// on `engine`'s worker pool: chunks of `chunk_rows` rows are
+    /// stable-sorted concurrently, then merged pairwise in parallel
+    /// rounds, and the resulting permutation feeds the same single
+    /// merge-with-store pass as the sequential path.
+    ///
+    /// The result is **identical** to the sequential entry points at
+    /// any thread count and chunk size: chunk sorts are stable, chunks
+    /// partition the batch in index order, and the pairwise merge
+    /// breaks ties toward the left (earlier-index) run — so the final
+    /// permutation equals the one stable sort the sequential path
+    /// computes, and equal rows are word-identical anyway (interning is
+    /// canonical), making dedupe order-independent.
+    ///
+    /// One oversized relation is exactly the case per-relation fan-out
+    /// (`StateBuilder::finish_with`) cannot help; this is the
+    /// intra-relation parallelism for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows` is zero or the batch is ragged.
+    pub fn extend_from_sorted_parallel(
+        &mut self,
+        batch: Vec<Val>,
+        keys: &SortKeys,
+        engine: &fq_engine::Engine,
+        chunk_rows: usize,
+    ) -> usize {
+        assert!(chunk_rows > 0, "chunk size must be positive");
+        let Some(b) = self.check_batch(&batch) else {
+            return 0;
+        };
+        let arity = self.arity;
+        let cmp = |x: &[Val], y: &[Val]| keys.cmp_rows(x, y);
+        if Self::batch_is_sorted(&batch, b, arity, cmp) {
+            return self.merge_presorted(batch, b, cmp);
+        }
+        let row_of = |i: u32| &batch[i as usize * arity..(i as usize + 1) * arity];
+        // Sorted runs over disjoint index ranges, in index order.
+        let ranges: Vec<(u32, u32)> = (0..b)
+            .step_by(chunk_rows)
+            .map(|start| (start as u32, start.saturating_add(chunk_rows).min(b) as u32))
+            .collect();
+        let mut runs: Vec<Vec<u32>> = engine.parallel_map(&ranges, |&(lo, hi)| {
+            let mut run: Vec<u32> = (lo..hi).collect();
+            // Stable, matching `merge_batch`'s `sort_by` — equal rows
+            // keep index order within a run.
+            run.sort_by(|&i, &j| cmp(row_of(i), row_of(j)));
+            run
+        });
+        // Pairwise merge rounds; ties go to the left run, whose indices
+        // all precede the right run's, preserving global stability.
+        while runs.len() > 1 {
+            let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(left) = it.next() {
+                pairs.push((left, it.next()));
+            }
+            runs = engine.parallel_map_owned(pairs, |(left, right)| {
+                let Some(right) = right else {
+                    return left;
+                };
+                let mut out = Vec::with_capacity(left.len() + right.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < left.len() && j < right.len() {
+                    if cmp(row_of(left[i]), row_of(right[j])) != Ordering::Greater {
+                        out.push(left[i]);
+                        i += 1;
+                    } else {
+                        out.push(right[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&left[i..]);
+                out.extend_from_slice(&right[j..]);
+                out
+            });
+        }
+        let order = runs.pop().expect("b > 0 yields at least one run");
+        self.merge_ordered(batch, b, &order, cmp)
     }
 
     /// Is the batch already strictly sorted (no duplicates) under `cmp`?
@@ -1222,6 +1413,61 @@ mod tests {
         let mut k = VRel::new(1);
         assert_eq!(k.extend_from_sorted_with(sorted, &keys), 40);
         assert_eq!(k.rows(), 40);
+    }
+
+    #[test]
+    fn parallel_batch_sort_equals_sequential_merge() {
+        use fq_engine::{Engine, EngineConfig};
+        let mut d = Dict::default();
+        // Unsorted, duplicate-heavy, string/nat mixed batch.
+        let flat: Vec<Val> = (0..500u64)
+            .flat_map(|i| {
+                [
+                    d.encode(&Value::Str(format!("run#{}", (i * 37) % 90))),
+                    d.encode(&Value::Nat((i * 13) % 47)),
+                ]
+            })
+            .collect();
+        let keys = d.sort_keys();
+        let mut sequential = VRel::new(2);
+        let seq_added = sequential.extend_from_sorted_with(flat.clone(), &keys);
+        // Pre-seed a store so the merge-with-store leg is exercised too.
+        let seed: Vec<Val> = flat[..40].to_vec();
+        for threads in [1, 3] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            for chunk_rows in [1, 7, 64, 10_000] {
+                let mut parallel = VRel::new(2);
+                let added =
+                    parallel.extend_from_sorted_parallel(flat.clone(), &keys, &engine, chunk_rows);
+                assert_eq!(
+                    added, seq_added,
+                    "{threads} threads, chunks of {chunk_rows}"
+                );
+                assert_eq!(parallel.data(), sequential.data());
+                let mut seeded_seq = VRel::new(2);
+                seeded_seq.extend_from_sorted_with(seed.clone(), &keys);
+                seeded_seq.extend_from_sorted_with(flat.clone(), &keys);
+                let mut seeded_par = VRel::new(2);
+                seeded_par.extend_from_sorted_with(seed.clone(), &keys);
+                seeded_par.extend_from_sorted_parallel(flat.clone(), &keys, &engine, chunk_rows);
+                assert_eq!(seeded_par.data(), seeded_seq.data());
+            }
+            // Presorted batches take the probe shortcut unchanged.
+            let mut presorted = VRel::new(2);
+            assert_eq!(
+                presorted.extend_from_sorted_parallel(
+                    sequential.data().to_vec(),
+                    &keys,
+                    &engine,
+                    8
+                ),
+                sequential.rows()
+            );
+            assert_eq!(presorted.data(), sequential.data());
+        }
     }
 
     #[test]

@@ -182,6 +182,103 @@ proptest! {
         prop_assert_eq!(parallel.column_stats("S"), sequential.column_stats("S"));
     }
 
+    /// A binary snapshot round-trips any state exactly: equal state,
+    /// byte-identical JSON interchange form, per-column statistics
+    /// equal to the lazily-computed ones, and the advertised
+    /// `snapshot_len` equal to the written byte count.
+    #[test]
+    fn snapshot_round_trips_any_state(
+        pairs in proptest::collection::vec((arb_value(), arb_value()), 0..16),
+        singles in proptest::collection::vec(arb_value(), 0..10),
+        c in prop_oneof![1 => Just(None), 2 => arb_value().prop_map(Some)],
+    ) {
+        let mut schema = Schema::new().with_relation("R", 2).with_relation("S", 1);
+        if c.is_some() {
+            schema = schema.with_constant("c");
+        }
+        let mut builder = StateBuilder::new(schema);
+        for (a, b) in &pairs {
+            builder.row("R", vec![a.clone(), b.clone()]);
+        }
+        for a in &singles {
+            builder.row_ref("S", std::slice::from_ref(a));
+        }
+        if let Some(v) = &c {
+            builder.constant("c", v.clone());
+        }
+        let state = builder.finish();
+        let bytes = state.snapshot_bytes();
+        prop_assert_eq!(fq_relational::format::snapshot_len(&state), bytes.len());
+        prop_assert!(fq_relational::is_snapshot(&bytes));
+        let loaded = State::read_snapshot(&bytes).unwrap();
+        prop_assert_eq!(&loaded, &state);
+        // JSON interchange stays byte-identical through the binary form.
+        prop_assert_eq!(fq_json::to_string(&loaded), fq_json::to_string(&state));
+        // The stats bulk-read from disk equal the lazily-computed ones.
+        prop_assert_eq!(loaded.column_stats("R"), state.column_stats("R"));
+        prop_assert_eq!(loaded.column_stats("S"), state.column_stats("S"));
+        prop_assert_eq!(loaded.active_domain(), state.active_domain());
+    }
+
+    /// Damaged snapshots are always *diagnosed*: any truncation and any
+    /// single-byte flip of a valid snapshot surfaces a `StateError`,
+    /// never a panic and never a silently-wrong state.
+    #[test]
+    fn corrupted_snapshots_error_without_panicking(
+        pairs in proptest::collection::vec((arb_value(), arb_value()), 1..12),
+        cut_seed in 0usize..1_000_000,
+        flip_seed in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let schema = Schema::new().with_relation("R", 2);
+        let mut builder = StateBuilder::new(schema);
+        for (a, b) in &pairs {
+            builder.row("R", vec![a.clone(), b.clone()]);
+        }
+        let bytes = builder.finish().snapshot_bytes();
+        // Truncation at an arbitrary cut point.
+        let cut = cut_seed % bytes.len();
+        prop_assert!(State::read_snapshot(&bytes[..cut]).is_err(), "cut at {}", cut);
+        // A single byte flipped anywhere in the file.
+        let mut flipped = bytes.clone();
+        let at = flip_seed % flipped.len();
+        flipped[at] ^= mask;
+        prop_assert!(
+            State::read_snapshot(&flipped).is_err(),
+            "flip at {} with mask {:#04x}", at, mask
+        );
+    }
+
+    /// The parallel chunk-sort merge path is bit-identical to the
+    /// sequential rank-key merge at any thread count and chunk size —
+    /// same rows, same order, same statistics.
+    #[test]
+    fn parallel_chunk_sort_equals_sequential_merge(
+        rows in proptest::collection::vec((arb_value(), arb_value()), 0..24),
+        seed_split in 0usize..24,
+        threads in 1usize..=4,
+        chunk_rows in 1usize..32,
+    ) {
+        let mut dict = Dict::default();
+        let mut flat: Vec<_> = Vec::new();
+        for (a, b) in &rows {
+            flat.push(dict.encode(a));
+            flat.push(dict.encode(b));
+        }
+        let cut = seed_split.min(rows.len()) * 2;
+        let keys = dict.sort_keys();
+        let engine = fq_engine::Engine::new(fq_engine::EngineConfig {
+            threads,
+            ..fq_engine::EngineConfig::default()
+        });
+        let mut sequential = VRel::from_rows(2, flat[..cut].to_vec(), &dict);
+        let mut parallel = sequential.clone();
+        sequential.extend_from_sorted_with(flat[cut..].to_vec(), &keys);
+        parallel.extend_from_sorted_parallel(flat[cut..].to_vec(), &keys, &engine, chunk_rows);
+        prop_assert_eq!(parallel.data(), sequential.data());
+        prop_assert_eq!(parallel.stats(&dict), sequential.stats(&dict));
+    }
+
     /// A whole state serializes to **exactly** the JSON the legacy
     /// `BTreeMap<String, BTreeSet<Tuple>>` representation produced, and
     /// parses back to an equal state.

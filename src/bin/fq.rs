@@ -1,21 +1,26 @@
 //! `fq` — command-line interface to the finite-queries library.
 //!
 //! ```text
-//! fq check   <schema.json> <query>             safe-range test + diagnostics
-//! fq eval    <state.json>  <query> [domain]    execute through the pipeline
-//! fq plan    <state.json>  <query> [domain]    print the chosen plan
-//! fq explain <state.json>  <query> [domain]    plan + execute + statistics
-//! fq safe    <state.json>  <query> [domain]    relative safety
+//! fq check   <schema> <query>                  safe-range test + diagnostics
+//! fq eval    <state>  <query> [domain]         execute through the pipeline
+//! fq plan    <state>  <query> [domain]         print the chosen plan
+//! fq explain <state>  <query> [domain]         plan + execute + statistics
+//! fq safe    <state>  <query> [domain]         relative safety
 //! fq decide  <domain> <sentence>               decide a pure-domain sentence
 //! fq traces  <machine-string> <word> [k]       run a machine, print its traces
 //! fq machines [n]                              list the first n machine encodings
-//! fq serve   <state.json> [addr]               serve queries over line/JSON TCP
+//! fq serve   <state> [addr]                    serve queries over line/JSON TCP
+//! fq convert <in> <out>                        convert JSON ↔ binary snapshot
 //! ```
 //!
 //! Domains are the registry names `eq|nat|int|succ|presburger|words|traces`;
-//! when omitted, the domain is inferred from the query's symbols. States
-//! and schemas are JSON in the `fq-relational` serde format; see
-//! `examples/data/` for samples.
+//! when omitted, the domain is inferred from the query's symbols.
+//!
+//! Every `<state>` (and `<schema>`) argument accepts either format —
+//! JSON in the `fq-relational` serde shape (see `examples/data/`) or a
+//! binary columnar snapshot — detected by magic bytes, never by file
+//! extension. `fq convert` translates between them; snapshots cold-load
+//! at I/O speed where JSON is parse-bound.
 //!
 //! Every query-answering command routes through the `fq-query` pipeline:
 //! **compile** (parse + scheme check + normalization) → **plan** (strategy
@@ -25,7 +30,7 @@
 
 use finite_queries::logic::parse_formula;
 use finite_queries::query::{Completeness, DomainId, Executor, QueryError};
-use finite_queries::relational::{Schema, State};
+use finite_queries::relational::{self, Schema, State};
 use finite_queries::turing::trace::{count_traces, trace_string, TraceCount};
 use std::process::ExitCode;
 
@@ -41,9 +46,10 @@ fn main() -> ExitCode {
         Some("traces") => cmd_traces(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fq <check|eval|plan|explain|safe|decide|traces|machines|serve> …\n\
+                "usage: fq <check|eval|plan|explain|safe|decide|traces|machines|serve|convert> …\n\
                  see `src/bin/fq.rs` for the full synopsis"
             );
             return ExitCode::from(2);
@@ -60,33 +66,73 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-fn load_state(path: &str) -> Result<State, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    fq_json::from_str(&text).map_err(|e| format!("`{path}` is not a valid state: {e}").into())
+/// Where a loaded state came from: on-disk format id plus byte size,
+/// for the `explain`/`serve` provenance lines.
+struct StateSource {
+    format: &'static str,
+    bytes: usize,
 }
 
-/// Accept either a bare schema or a full state. A file that is neither
-/// reports **both** parse failures — a malformed schema must not be
-/// diagnosed as a malformed state.
+/// Load a state from either on-disk format, detected by magic bytes.
+fn load_state_with_source(path: &str) -> Result<(State, StateSource), Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = StateSource {
+        format: detected_format(&bytes),
+        bytes: bytes.len(),
+    };
+    let state = if relational::is_snapshot(&bytes) {
+        State::read_snapshot(&bytes)
+            .map_err(|e| format!("`{path}` is not a valid snapshot: {e}"))?
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| format!("`{path}` is not a valid state: {e}"))?;
+        fq_json::from_str(text).map_err(|e| format!("`{path}` is not a valid state: {e}"))?
+    };
+    Ok((state, source))
+}
+
+fn load_state(path: &str) -> Result<State, Box<dyn std::error::Error>> {
+    Ok(load_state_with_source(path)?.0)
+}
+
+fn detected_format(bytes: &[u8]) -> &'static str {
+    if relational::is_snapshot(bytes) {
+        relational::FORMAT_ID
+    } else {
+        relational::JSON_FORMAT_ID
+    }
+}
+
+/// Accept either a bare schema or a full state, in either on-disk
+/// format. A JSON file that is neither reports **both** parse failures
+/// — a malformed schema must not be diagnosed as a malformed state.
 fn load_schema(path: &str) -> Result<Schema, QueryError> {
-    let text = std::fs::read_to_string(path).map_err(|e| QueryError::SchemaLoad {
+    let schema_load = |schema_error: String, state_error: String| QueryError::SchemaLoad {
         path: path.to_string(),
-        schema_error: e.to_string(),
-        state_error: e.to_string(),
-    })?;
-    let schema_error = match fq_json::from_str::<Schema>(&text) {
+        schema_error,
+        state_error,
+    };
+    let bytes = std::fs::read(path).map_err(|e| schema_load(e.to_string(), e.to_string()))?;
+    if relational::is_snapshot(&bytes) {
+        // The snapshot header + meta section carry the schema; no need
+        // to materialize the columns.
+        return relational::format::read_schema(&bytes)
+            .map_err(|e| schema_load(e.to_string(), e.to_string()));
+    }
+    let text =
+        std::str::from_utf8(&bytes).map_err(|e| schema_load(e.to_string(), e.to_string()))?;
+    let schema_error = match fq_json::from_str::<Schema>(text) {
         Ok(schema) => return Ok(schema),
         Err(e) => e,
     };
-    let state_error = match fq_json::from_str::<State>(&text) {
+    let state_error = match fq_json::from_str::<State>(text) {
         Ok(state) => return Ok(state.schema().clone()),
         Err(e) => e,
     };
-    Err(QueryError::SchemaLoad {
-        path: path.to_string(),
-        schema_error: schema_error.to_string(),
-        state_error: state_error.to_string(),
-    })
+    Err(schema_load(
+        schema_error.to_string(),
+        state_error.to_string(),
+    ))
 }
 
 fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -157,7 +203,7 @@ fn cmd_plan(args: &[String]) -> CliResult {
 }
 
 fn cmd_explain(args: &[String]) -> CliResult {
-    let state = load_state(arg(args, 0, "state.json")?)?;
+    let (state, source) = load_state_with_source(arg(args, 0, "state.json")?)?;
     let query = arg(args, 1, "query")?;
     let domain = domain_arg(args, 2, query)?;
     let exec = Executor::from_env();
@@ -223,6 +269,13 @@ fn cmd_explain(args: &[String]) -> CliResult {
     for (name, _) in snapshot.schema().relations() {
         println!("  {:>8} row(s) in {}", snapshot.relation_size(name), name);
     }
+    println!(
+        "source:     {} ({} byte(s) on disk; canonical snapshot {} byte(s))",
+        source.format,
+        source.bytes,
+        relational::format::snapshot_len(snapshot.state())
+    );
+    println!("fingerprint: {:#034x}", out.stats.state_fingerprint);
     Ok(())
 }
 
@@ -290,20 +343,52 @@ fn cmd_serve(args: &[String]) -> CliResult {
     use finite_queries::relational::SharedState;
     use std::sync::Arc;
 
-    let state = load_state(arg(args, 0, "state.json")?)?;
+    let (state, source) = load_state_with_source(arg(args, 0, "state.json")?)?;
     let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878");
     let shared = Arc::new(SharedState::new(state));
     let service = QueryService::new(Arc::clone(&shared), Executor::from_env());
     let server = Server::bind(service, addr)?;
     let local = server.local_addr()?;
     println!(
-        "fq serve: store {} (epoch {}, {} row(s)) listening on {local}",
+        "fq serve: store {} (epoch {}, {} row(s), loaded from {} {} byte(s)) listening on {local}",
         shared.store_id(),
         shared.epoch(),
-        shared.snapshot().size()
+        shared.snapshot().size(),
+        source.format,
+        source.bytes
     );
     println!("protocol: one JSON request per line — cmd query|explain|ingest|snapshot-info");
     server.run()?;
+    Ok(())
+}
+
+/// Convert a state between the JSON interchange format and the binary
+/// columnar snapshot. Direction is inferred from the input's magic
+/// bytes: a snapshot converts to JSON, anything else is parsed as JSON
+/// and converts to a snapshot.
+fn cmd_convert(args: &[String]) -> CliResult {
+    let input = arg(args, 0, "input state")?;
+    let output = arg(args, 1, "output path")?;
+    let (state, source) = load_state_with_source(input)?;
+    let (out_format, out_bytes) = if source.format == relational::FORMAT_ID {
+        (
+            relational::JSON_FORMAT_ID,
+            fq_json::to_string(&state).into_bytes(),
+        )
+    } else {
+        (relational::FORMAT_ID, state.snapshot_bytes())
+    };
+    std::fs::write(output, &out_bytes).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    println!(
+        "converted {} ({} byte(s), {}) -> {} ({} byte(s), {}): {} row(s)",
+        input,
+        source.bytes,
+        source.format,
+        output,
+        out_bytes.len(),
+        out_format,
+        state.size()
+    );
     Ok(())
 }
 

@@ -235,6 +235,90 @@ fn explain_reports_storage_counters() {
 }
 
 #[test]
+fn convert_round_trips_and_snapshot_loads_everywhere() {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_in = fathers_json();
+    let snap = dir.join("fathers.fqsnap").to_string_lossy().to_string();
+    let json_out = dir.join("fathers-back.json").to_string_lossy().to_string();
+
+    // JSON -> snapshot.
+    let (out, err, ok) = fq(&["convert", &json_in, &snap]);
+    assert!(ok, "{err}");
+    assert!(out.contains("fqsnap-v1"), "{out}");
+    assert!(out.contains("3 row(s)"), "{out}");
+    let bytes = std::fs::read(&snap).unwrap();
+    assert!(
+        bytes.starts_with(b"FQSNAP\0"),
+        "snapshot must lead with magic"
+    );
+
+    // Every <state> argument accepts the snapshot directly.
+    let (out, err, ok) = fq(&["eval", &snap, "exists y. F(x, y) & F(y, z)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("1\t4"), "{out}");
+    let (out, err, ok) = fq(&["check", &snap, "exists y z. y != z & F(x,y) & F(x,z)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("safe-range"), "{out}");
+    let (out, err, ok) = fq(&["explain", &snap, "exists y. F(x, y) & F(y, z)", "eq"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("source:     fqsnap-v1"), "{out}");
+    assert!(out.contains("fingerprint: 0x"), "{out}");
+
+    // Snapshot -> JSON: the interchange form is the canonical compact
+    // serialization, byte-identical to serializing the state directly.
+    let (out, err, ok) = fq(&["convert", &snap, &json_out]);
+    assert!(ok, "{err}");
+    assert!(out.contains("-> "), "{out}");
+    let (a, err, ok) = fq(&["eval", &json_out, "exists y. F(x, y) & F(y, z)"]);
+    assert!(ok, "{err}");
+    let (b, _, _) = fq(&["eval", &json_in, "exists y. F(x, y) & F(y, z)"]);
+    assert_eq!(a, b, "round-tripped state must answer identically");
+}
+
+#[test]
+fn convert_diagnoses_future_version() {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_in = fathers_json();
+    let snap = dir.join("future.fqsnap").to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["convert", &json_in, &snap]);
+    assert!(ok, "{err}");
+    // Patch the version byte (right after the 7-byte magic) to 99.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[7] = 99;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = dir.join("future-out.json").to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["convert", &snap, &out]);
+    assert!(!ok, "a future-version snapshot must fail the command");
+    assert!(
+        err.contains("unsupported snapshot format version 99"),
+        "diagnostic should name the version: {err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn convert_diagnoses_truncated_snapshot() {
+    let dir = std::env::temp_dir().join("fq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_in = fathers_json();
+    let snap = dir.join("trunc.fqsnap").to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["convert", &json_in, &snap]);
+    assert!(ok, "{err}");
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+    let out = dir.join("trunc-out.json").to_string_lossy().to_string();
+    let (_, err, ok) = fq(&["convert", &snap, &out]);
+    assert!(!ok, "a truncated snapshot must fail the command");
+    assert!(
+        err.contains("corrupt snapshot"),
+        "diagnostic should say the snapshot is corrupt: {err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
 fn missing_schema_file_fails_with_path() {
     let (_, err, ok) = fq(&["plan", "/nonexistent/nowhere.json", "F(x, y)"]);
     assert!(!ok);
